@@ -1,0 +1,62 @@
+// Ablation (paper Section 2): local toggling vs fetch gating.
+//
+// "We have found that local toggling confers little advantage over fetch
+// gating and do not consider it further." This bench regenerates that
+// comparison: integral-controlled fetch gating, integral-controlled
+// issue-domain toggling ("local toggling"), and Pentium-4-style global
+// clock gating, on the full suite under DVS-stall conditions (no DVS in
+// any of them — these are the pure ILP/throttling mechanisms).
+#include "bench_util.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int main() {
+  banner("Ablation: local toggling vs fetch gating vs clock gating",
+         "Stand-alone throttling mechanisms on the nine-benchmark suite.");
+
+  sim::SimConfig cfg = sim::default_sim_config();
+  sim::ExperimentRunner runner(cfg);
+
+  util::AsciiTable table;
+  table.header({"mechanism", "mean slowdown", "violating benchmarks",
+                "mean actuation"});
+  CsvBlock csv({"mechanism", "mean_slowdown", "violating_benchmarks",
+                "mean_actuation"});
+
+  struct Row {
+    sim::PolicyKind kind;
+    const char* label;
+  };
+  for (const Row& row : {Row{sim::PolicyKind::kFetchGating, "fetch gating"},
+                         Row{sim::PolicyKind::kLocalToggle, "local toggling"},
+                         Row{sim::PolicyKind::kClockGating, "clock gating"}}) {
+    const sim::SuiteResult suite = runner.run_suite(row.kind, {}, cfg);
+    int violating = 0;
+    double actuation = 0.0;
+    for (const auto& r : suite.per_benchmark) {
+      if (r.dtm.violation_fraction > 0.0) ++violating;
+      actuation += r.dtm.mean_gate_fraction +
+                   r.dtm.mean_issue_gate_fraction +
+                   r.dtm.clock_gated_fraction;
+    }
+    actuation /= static_cast<double>(suite.per_benchmark.size());
+    table.row({row.label, fmt(suite.mean_slowdown),
+               std::to_string(violating) + "/9",
+               util::AsciiTable::percent(actuation, 1)});
+    csv.row({row.label, fmt(suite.mean_slowdown, 5),
+             std::to_string(violating), fmt(actuation, 4)});
+    std::fflush(stdout);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper: local toggling confers little advantage over fetch gating\n"
+      "(both exploit ILP; gating issue instead of fetch reaches a similar\n"
+      "activity reduction). Global clock gating needs the least duty\n"
+      "because stopping the clock also eliminates clock-tree (base)\n"
+      "power — but the paper argues stopping the whole clock at a rapid\n"
+      "rate is electrically questionable, and treats its fetch-gating\n"
+      "results as a lower bound on hybrid DTM's benefit.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every binary prints (a) a banner naming the paper artefact it
+// regenerates, (b) a human-readable table, and (c) machine-readable CSV
+// between BEGIN-CSV / END-CSV markers. Run length honours the
+// HYDRA_RUN_INSTRUCTIONS / HYDRA_WARMUP_INSTRUCTIONS environment
+// variables (see sim::default_sim_config).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace hydra::bench {
+
+inline void banner(const std::string& artefact, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("hydra-dtm | %s\n", artefact.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("==============================================================\n");
+}
+
+class CsvBlock {
+ public:
+  explicit CsvBlock(std::vector<std::string> header) : writer_(std::cout) {
+    std::printf("BEGIN-CSV\n");
+    writer_.row(header);
+  }
+  ~CsvBlock() { std::printf("END-CSV\n"); }
+  void row(const std::vector<std::string>& cells) { writer_.row(cells); }
+
+ private:
+  util::CsvWriter writer_;
+};
+
+inline std::string fmt(double v, int precision = 4) {
+  return util::AsciiTable::num(v, precision);
+}
+
+/// DTM overhead (slowdown - 1) as a percentage string.
+inline std::string overhead(double slowdown) {
+  return util::AsciiTable::percent(slowdown - 1.0, 2);
+}
+
+}  // namespace hydra::bench

@@ -1,0 +1,66 @@
+// Extension (paper Section 6, future work): predictive/proactive DTM.
+//
+// "Techniques for predicting thermal stress and responding proactively,
+// rather than waiting for actual thermal stress and responding
+// reactively, may further reduce the overhead of DTM [19]."
+//
+// Pro-Hyb extends the controller-free Hyb with a low-passed temperature
+// slope and acts on the reading extrapolated `horizon` ahead. This bench
+// sweeps the horizon and compares against reactive Hyb on the full suite
+// (DVS-stall).
+#include "bench_util.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int main() {
+  banner("Extension: proactive (predictive) hybrid DTM",
+         "Hyb vs slope-predictive Pro-Hyb across prediction horizons.");
+
+  sim::SimConfig cfg = sim::default_sim_config();
+  cfg.dvs_stall = true;
+  sim::ExperimentRunner runner(cfg);
+
+  util::AsciiTable table;
+  table.header({"policy", "horizon [us]", "mean slowdown",
+                "violating benchmarks", "DVS switches (suite)"});
+  CsvBlock csv({"policy", "horizon_us", "mean_slowdown",
+                "violating_benchmarks", "suite_dvs_transitions"});
+
+  auto report = [&](const std::string& name, double horizon_us,
+                    const sim::SuiteResult& suite) {
+    int violating = 0;
+    std::size_t transitions = 0;
+    for (const auto& r : suite.per_benchmark) {
+      if (r.dtm.violation_fraction > 0.0) ++violating;
+      transitions += r.dtm.dvs_transitions;
+    }
+    table.row({name, horizon_us < 0 ? "-" : fmt(horizon_us, 0),
+               fmt(suite.mean_slowdown), std::to_string(violating) + "/9",
+               std::to_string(transitions)});
+    csv.row({name, fmt(horizon_us, 1), fmt(suite.mean_slowdown, 5),
+             std::to_string(violating), std::to_string(transitions)});
+    std::fflush(stdout);
+  };
+
+  report("Hyb (reactive)", -1.0,
+         runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg));
+
+  for (double horizon_us : {100.0, 300.0, 600.0, 1200.0}) {
+    sim::PolicyParams params;
+    params.proactive.horizon_seconds = horizon_us * 1e-6;
+    report("Pro-Hyb", horizon_us,
+           runner.run_suite(sim::PolicyKind::kProactiveHybrid, params, cfg));
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nPrediction engages throttling before the trigger is crossed and\n"
+      "releases earlier on cooling slopes; its value depends on how\n"
+      "abrupt the workload's thermal transients are relative to the\n"
+      "sensor noise. In this calibration the reactive Hyb is already\n"
+      "near-optimal, and long horizons mostly amplify slope noise into\n"
+      "extra DVS switches — quantifying the trade-off the paper's\n"
+      "future-work section asks about.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 3a: PI-Hyb slowdown as a function of the maximum fetch-gating
+// duty cycle (the ILP/DVS crossover point), averaged across the nine hot
+// SPEC2000 profiles, for both DVS-stall and DVS-ideal.
+//
+// Paper findings reproduced here:
+//  * With DVS-stall, the best crossover is a duty cycle around 3 (gate
+//    fetch one cycle in three); harsher settings starve ILP, gentler
+//    settings push work onto DVS and its switching stalls.
+//  * With DVS-ideal, the gentlest gating is preferred: without switch
+//    stalls, only gating that ILP hides almost completely beats DVS.
+#include "bench_util.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int main() {
+  banner("Figure 3a",
+         "PI-Hyb mean slowdown vs maximum fetch-gating duty cycle.\n"
+         "Duty cycle d means fetch is gated once every d cycles\n"
+         "(gating fraction 1/d); larger gating fractions mean DVS engages "
+         "later.");
+
+  const double duty_cycles[] = {20.0, 10.0, 5.0, 4.0, 3.0, 2.5, 2.0, 1.5};
+
+  sim::SimConfig cfg = sim::default_sim_config();
+  sim::ExperimentRunner runner(cfg);
+
+  util::AsciiTable table;
+  table.header({"duty cycle", "gate fraction", "slowdown (DVS-stall)",
+                "slowdown (DVS-ideal)"});
+  CsvBlock csv({"duty_cycle", "gate_fraction", "slowdown_stall",
+                "slowdown_ideal"});
+
+  double best_stall = 1e9;
+  double best_stall_duty = 0.0;
+  double best_ideal = 1e9;
+  double best_ideal_duty = 0.0;
+  std::vector<std::pair<double, double>> stall_curve;
+
+  for (double duty : duty_cycles) {
+    sim::PolicyParams params;
+    params.hybrid.crossover_gate_fraction = 1.0 / duty;
+
+    cfg.dvs_stall = true;
+    const double stall =
+        runner.run_suite(sim::PolicyKind::kPiHybrid, params, cfg)
+            .mean_slowdown;
+    cfg.dvs_stall = false;
+    const double ideal =
+        runner.run_suite(sim::PolicyKind::kPiHybrid, params, cfg)
+            .mean_slowdown;
+
+    stall_curve.emplace_back(duty, stall);
+    if (stall < best_stall) {
+      best_stall = stall;
+      best_stall_duty = duty;
+    }
+    if (ideal < best_ideal) {
+      best_ideal = ideal;
+      best_ideal_duty = duty;
+    }
+
+    table.row({fmt(duty, 1), fmt(1.0 / duty, 3), fmt(stall), fmt(ideal)});
+    csv.row({fmt(duty, 2), fmt(1.0 / duty, 4), fmt(stall, 5),
+             fmt(ideal, 5)});
+    std::fflush(stdout);
+  }
+
+  table.print(std::cout);
+  std::string plateau;
+  for (const auto& [duty, s] : stall_curve) {
+    if (s <= best_stall + 0.003) {
+      if (!plateau.empty()) plateau += ", ";
+      plateau += fmt(duty, 1);
+    }
+  }
+  std::printf(
+      "\nbest crossover: duty %.1f (DVS-stall)   duty %.1f (DVS-ideal)\n"
+      "stall plateau (within 0.3%%): %s\n"
+      "paper:          duty 3   (DVS-stall)   duty 20  (DVS-ideal)\n",
+      best_stall_duty, best_ideal_duty, plateau.c_str());
+  return 0;
+}

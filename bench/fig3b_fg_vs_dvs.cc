@@ -1,0 +1,63 @@
+// Figure 3b: stand-alone fixed-duty fetch gating — slowdown as a
+// function of the gating duty cycle, with the stand-alone (binary,
+// stall) DVS slowdown superimposed as a reference line.
+//
+// Paper findings reproduced here:
+//  * Slowdown is nearly flat while ILP hides the fetch bubbles, then
+//    rises roughly linearly with the gating fraction once ILP is
+//    exhausted (the paper's "linear relationship ... sets in at a duty
+//    cycle of about 3").
+//  * Most duty cycles do NOT eliminate all thermal violations; only the
+//    harshest setting does (the paper's duty cycle 0.33 — gate two of
+//    every three cycles; gating fraction 0.75 in this calibration).
+#include "bench_util.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int main() {
+  banner("Figure 3b",
+         "Stand-alone fetch gating: mean slowdown and residual thermal\n"
+         "violations per duty cycle, with stand-alone DVS superimposed.");
+
+  // Gating fractions from mildest to the violation-eliminating maximum.
+  const double fractions[] = {0.05, 0.1, 0.2, 1.0 / 3.0, 0.4,
+                              0.5,  0.6, 2.0 / 3.0, 0.75};
+
+  sim::SimConfig cfg = sim::default_sim_config();
+  cfg.dvs_stall = true;
+  sim::ExperimentRunner runner(cfg);
+
+  // DVS reference line.
+  const sim::SuiteResult dvs =
+      runner.run_suite(sim::PolicyKind::kDvs, {}, cfg);
+
+  util::AsciiTable table;
+  table.header({"duty cycle", "gate fraction", "FG slowdown",
+                "violating benchmarks", "DVS slowdown (ref)"});
+  CsvBlock csv({"duty_cycle", "gate_fraction", "fg_slowdown",
+                "violating_benchmarks", "dvs_slowdown"});
+
+  for (double g : fractions) {
+    sim::PolicyParams params;
+    params.fetch_gating.fixed_gate_fraction = g;
+    const sim::SuiteResult fg =
+        runner.run_suite(sim::PolicyKind::kFixedFetchGating, params, cfg);
+    int violating = 0;
+    for (const auto& r : fg.per_benchmark) {
+      if (r.dtm.violation_fraction > 0.0) ++violating;
+    }
+    table.row({fmt(1.0 / g, 2), fmt(g, 3), fmt(fg.mean_slowdown),
+               std::to_string(violating) + "/9", fmt(dvs.mean_slowdown)});
+    csv.row({fmt(1.0 / g, 3), fmt(g, 4), fmt(fg.mean_slowdown, 5),
+             std::to_string(violating), fmt(dvs.mean_slowdown, 5)});
+    std::fflush(stdout);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper: FG slowdown flat while ILP hides bubbles, then rises\n"
+      "linearly past duty ~3; only the harshest duty eliminates all\n"
+      "violations, which is why stand-alone FG needs PI control.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Infrastructure micro-benchmarks (google-benchmark): throughput of the
+// building blocks — core cycles/s, thermal solver steps, steady-state
+// solves, power evaluation, trace generation, sensor sampling. These
+// bound how long the figure-reproduction sweeps take.
+#include <benchmark/benchmark.h>
+
+#include "arch/core.h"
+#include "floorplan/ev7.h"
+#include "power/power_model.h"
+#include "sensor/sensor.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+#include "workload/spec_profiles.h"
+
+namespace {
+
+using namespace hydra;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  workload::SyntheticTrace trace(workload::spec2000_profile("gzip"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_CoreCycle(benchmark::State& state) {
+  workload::SyntheticTrace trace(workload::spec2000_profile("gzip"));
+  arch::CoreConfig cfg;
+  arch::Core core(cfg, trace);
+  for (int i = 0; i < 100'000; ++i) core.cycle();  // warm
+  for (auto _ : state) {
+    core.cycle();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ipc"] = core.stats().ipc();
+}
+BENCHMARK(BM_CoreCycle);
+
+void BM_ThermalBackwardEulerStep(benchmark::State& state) {
+  const auto fp = floorplan::ev7_floorplan();
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::TransientSolver solver(model.network, 45.0);
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
+  for (auto _ : state) {
+    solver.step(power, 3.3e-6);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalBackwardEulerStep);
+
+void BM_ThermalRk4Step(benchmark::State& state) {
+  const auto fp = floorplan::ev7_floorplan();
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::TransientSolver solver(model.network, 45.0, thermal::Scheme::kRk4);
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
+  for (auto _ : state) {
+    solver.step(power, 3.3e-6);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThermalRk4Step);
+
+void BM_SteadyStateSolve(benchmark::State& state) {
+  const auto fp = floorplan::ev7_floorplan();
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        thermal::steady_state(model.network, power, 45.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SteadyStateSolve);
+
+void BM_PowerEvaluation(benchmark::State& state) {
+  const auto fp = floorplan::ev7_floorplan();
+  const power::PowerModel pm(fp, power::EnergyModel{});
+  arch::ActivityFrame frame;
+  frame.cycles = 10'000;
+  frame.clocked_cycles = 10'000;
+  for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
+    frame.events[i] = 4'000.0;
+  }
+  const std::vector<double> temps(floorplan::kNumBlocks, 83.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.block_power(frame, 1.3, 3.0e9, temps));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PowerEvaluation);
+
+void BM_SensorSample(benchmark::State& state) {
+  sensor::SensorBank bank(floorplan::kNumBlocks, sensor::SensorConfig{});
+  const std::vector<double> truth(floorplan::kNumBlocks, 83.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.sample(truth));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SensorSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Section 5.1 (text claim): crossover-point invariance.
+//
+// The paper performed the crossover search "for binary DVS with
+// different low-voltage settings, and with and without the PI
+// controller, and always found the same crossover points", attributing
+// this to the fetch-duty/ILP interaction being a purely architectural
+// phenomenon. This binary repeats the search over a grid of low-voltage
+// settings for both hybrid implementations and reports the best
+// crossover in each configuration.
+#include "bench_util.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int main() {
+  banner("Section 5.1 claim: crossover invariance",
+         "Best hybrid crossover duty cycle vs DVS low voltage and\n"
+         "controller choice (PI-Hyb vs Hyb), DVS-stall.");
+
+  const double duties[] = {5.0, 4.0, 3.0, 2.5, 2.0};
+  const double v_lows[] = {0.80, 0.85, 0.90};
+  // A representative benchmark subset keeps the 2x3x5 grid affordable;
+  // the crossover is a per-configuration optimum, not a suite statistic.
+  const char* benches[] = {"crafty", "gzip", "mesa", "art"};
+
+  sim::SimConfig cfg = sim::default_sim_config();
+  cfg.dvs_stall = true;
+  sim::ExperimentRunner runner(cfg);
+
+  // The optimum sits in a flat basin, so alongside the argmin we report
+  // the *plateau*: every duty cycle within 0.3 % of the best. The
+  // paper's invariance claim corresponds to these plateaus overlapping
+  // across configurations.
+  constexpr double kPlateauTol = 0.003;
+
+  util::AsciiTable table;
+  table.header({"policy", "Vlow/Vnom", "best duty", "slowdown at best",
+                "plateau (within 0.3%)"});
+  CsvBlock csv({"policy", "v_low_fraction", "best_duty", "best_slowdown",
+                "plateau_duties"});
+
+  for (sim::PolicyKind kind :
+       {sim::PolicyKind::kPiHybrid, sim::PolicyKind::kHybrid}) {
+    for (double v_low : v_lows) {
+      cfg.v_low_fraction = v_low;
+      std::vector<std::pair<double, double>> curve;  // duty, slowdown
+      for (double duty : duties) {
+        sim::PolicyParams params;
+        params.hybrid.crossover_gate_fraction = 1.0 / duty;
+        double mean = 0.0;
+        for (const char* bench : benches) {
+          mean += runner
+                      .run(workload::spec2000_profile(bench), kind, params,
+                           cfg)
+                      .slowdown;
+        }
+        curve.emplace_back(duty, mean / std::size(benches));
+      }
+      double best_slowdown = 1e9;
+      double best_duty = 0.0;
+      for (const auto& [duty, s] : curve) {
+        if (s < best_slowdown) {
+          best_slowdown = s;
+          best_duty = duty;
+        }
+      }
+      std::string plateau;
+      for (const auto& [duty, s] : curve) {
+        if (s <= best_slowdown + kPlateauTol) {
+          if (!plateau.empty()) plateau += ", ";
+          plateau += fmt(duty, 1);
+        }
+      }
+      table.row({policy_kind_name(kind), fmt(v_low, 2), fmt(best_duty, 1),
+                 fmt(best_slowdown), plateau});
+      csv.row({policy_kind_name(kind), fmt(v_low, 3), fmt(best_duty, 2),
+               fmt(best_slowdown, 5), plateau});
+      std::fflush(stdout);
+    }
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper: the crossover point is the same for every low-voltage\n"
+      "setting and with or without PI control — the fetch-duty/ILP\n"
+      "interaction is purely architectural.\n");
+  return 0;
+}

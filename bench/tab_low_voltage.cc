@@ -1,0 +1,61 @@
+// Section 4.1 (text claim): the largest low-voltage setting that
+// eliminates all thermal violations.
+//
+// The paper: "With our heat sink and benchmarks, 85% of the nominal
+// voltage is the largest value for the low-voltage setting that
+// eliminates thermal violations." This binary sweeps the binary-DVS low
+// voltage and reports, per setting, the worst residual violation and the
+// mean slowdown — identifying the highest safe setting.
+#include "bench_util.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int main() {
+  banner("Section 4.1 claim: largest safe DVS low voltage",
+         "Binary DVS (stall) with the low point at a fraction of Vnom.");
+
+  const double fractions[] = {0.95, 0.90, 0.875, 0.85, 0.80, 0.75};
+
+  sim::SimConfig cfg = sim::default_sim_config();
+  cfg.dvs_stall = true;
+  sim::ExperimentRunner runner(cfg);
+
+  util::AsciiTable table;
+  table.header({"Vlow/Vnom", "Vlow [V]", "f(Vlow) [GHz]", "slowdown",
+                "violating benchmarks", "worst violation"});
+  CsvBlock csv({"v_low_fraction", "v_low", "f_low_ghz", "slowdown",
+                "violating_benchmarks", "worst_violation_fraction"});
+
+  double best_safe = 0.0;
+  for (double frac : fractions) {
+    cfg.v_low_fraction = frac;
+    const power::DvsLadder ladder = sim::make_ladder(cfg);
+    const sim::SuiteResult suite =
+        runner.run_suite(sim::PolicyKind::kDvs, {}, cfg);
+    int violating = 0;
+    double worst = 0.0;
+    for (const auto& r : suite.per_benchmark) {
+      if (r.dtm.violation_fraction > 0.0) ++violating;
+      worst = std::max(worst, r.dtm.violation_fraction);
+    }
+    if (violating == 0) best_safe = std::max(best_safe, frac);
+    const auto& low = ladder.point(ladder.lowest_level());
+    table.row({fmt(frac, 3), fmt(low.voltage, 3),
+               fmt(low.frequency / 1e9, 2), fmt(suite.mean_slowdown),
+               std::to_string(violating) + "/9",
+               util::AsciiTable::percent(worst, 2)});
+    csv.row({fmt(frac, 3), fmt(low.voltage, 4), fmt(low.frequency / 1e9, 4),
+             fmt(suite.mean_slowdown, 5), std::to_string(violating),
+             fmt(worst, 5)});
+    std::fflush(stdout);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nlargest low-voltage setting that eliminates all violations: "
+      "%.3f x Vnom\npaper: 0.85 x Vnom with their heat sink and "
+      "benchmarks.\n",
+      best_safe);
+  return 0;
+}

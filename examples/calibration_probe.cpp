@@ -1,0 +1,34 @@
+// Calibration probe: per-benchmark baseline characterisation.
+//
+// Prints, for every SPEC2000-like profile, the no-DTM IPC, mean power,
+// peak/steady temperatures and the hottest block — the quantities the
+// paper's setup pins down (Section 3: all nine benchmarks above 81.8 C
+// most of the time, integer register file hottest). Used to validate and
+// tune the power-model calibration.
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace hydra;
+
+int main() {
+  sim::SimConfig cfg = sim::default_sim_config();
+  sim::ExperimentRunner runner(cfg);
+
+  util::AsciiTable table;
+  table.header({"benchmark", "IPC", "power[W]", "Tmax[C]", "hottest",
+                "T_hot_mean[C]", ">81.8C", ">85C"});
+
+  for (const auto& profile : workload::spec2000_hot_profiles()) {
+    const sim::RunResult& r = runner.baseline(profile);
+    table.row({profile.name, util::AsciiTable::num(r.ipc, 2),
+               util::AsciiTable::num(r.mean_power_watts, 1),
+               util::AsciiTable::num(r.max_true_celsius, 2), r.hottest_block,
+               util::AsciiTable::num(r.hottest_mean_celsius, 2),
+               util::AsciiTable::percent(r.above_trigger_fraction),
+               util::AsciiTable::percent(r.violation_fraction)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Compare every DTM policy on one benchmark: slowdown, thermal safety,
+// and how each mechanism was exercised.
+//
+// Usage: policy_comparison [benchmark] [key=value ...]
+//   e.g. policy_comparison gzip dvs_stall=false
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/config.h"
+#include "util/table.h"
+
+using namespace hydra;
+
+int main(int argc, char** argv) {
+  std::string bench = "crafty";
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.find('=') == std::string::npos) {
+      bench = arg;
+    } else {
+      overrides.push_back(arg);
+    }
+  }
+
+  try {
+    const util::Config o = util::Config::from_args(overrides);
+    sim::SimConfig cfg = sim::default_sim_config();
+    cfg.dvs_stall = o.get_bool("dvs_stall", cfg.dvs_stall);
+    cfg.v_low_fraction = o.get_double("v_low_fraction", cfg.v_low_fraction);
+    cfg.run_instructions = static_cast<std::uint64_t>(o.get_int(
+        "run_instructions", static_cast<long long>(cfg.run_instructions)));
+
+    const workload::WorkloadProfile profile =
+        workload::spec2000_profile(bench);
+    sim::ExperimentRunner runner(cfg);
+
+    std::cout << "== hydra-dtm policy comparison: " << bench << " (DVS-"
+              << (cfg.dvs_stall ? "stall" : "ideal") << ") ==\n";
+    const sim::RunResult& base = runner.baseline(profile);
+    std::cout << "baseline: IPC " << util::AsciiTable::num(base.ipc, 2)
+              << ", Tmax "
+              << util::AsciiTable::num(base.max_true_celsius, 2)
+              << " C, above trigger "
+              << util::AsciiTable::percent(base.above_trigger_fraction, 1)
+              << ", violations "
+              << util::AsciiTable::percent(base.violation_fraction, 1)
+              << "\n\n";
+
+    util::AsciiTable table;
+    table.header({"policy", "slowdown", "Tmax[C]", "safe", "mean gate",
+                  "time at Vlow", "DVS switches", "clock gated"});
+    for (sim::PolicyKind kind :
+         {sim::PolicyKind::kFetchGating, sim::PolicyKind::kClockGating,
+          sim::PolicyKind::kDvs, sim::PolicyKind::kPiHybrid,
+          sim::PolicyKind::kHybrid}) {
+      const sim::ExperimentResult r = runner.run(profile, kind, {});
+      table.row({sim::policy_kind_name(kind),
+                 util::AsciiTable::num(r.slowdown, 4),
+                 util::AsciiTable::num(r.dtm.max_true_celsius, 2),
+                 r.dtm.thermally_safe() ? "yes" : "NO",
+                 util::AsciiTable::percent(r.dtm.mean_gate_fraction, 1),
+                 util::AsciiTable::percent(r.dtm.dvs_low_fraction, 1),
+                 std::to_string(r.dtm.dvs_transitions),
+                 util::AsciiTable::percent(r.dtm.clock_gated_fraction, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,80 @@
+// Where should the thermal sensors go?
+//
+// Records per-block temperature traces from baseline runs of several
+// benchmarks, then asks: if the chip could only afford K sensors, which
+// blocks should carry them, and how much design margin does each K still
+// require (paper Section 3's sensor-placement concern)? Uses the exact
+// block temperatures (sensor noise/offset are a separate, additive error
+// budget).
+//
+// Usage: sensor_placement [benchmarks... (default: crafty gzip art gcc)]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "floorplan/ev7.h"
+#include "sensor/placement.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace hydra;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> benches(argv + 1, argv + argc);
+  if (benches.empty()) benches = {"crafty", "gzip", "art", "gcc"};
+  try {
+    sensor::TemperatureTrace trace;
+    const sim::SimConfig cfg = sim::default_sim_config();
+    for (const std::string& bench : benches) {
+      // Record exact per-block temperatures by installing a pass-through
+      // "policy" behind ideal (noise/offset/quantisation-free) sensors:
+      // it observes every 10 kHz sample and throttles nothing.
+      class Recorder final : public core::DtmPolicy {
+       public:
+        explicit Recorder(sensor::TemperatureTrace* out) : out_(out) {}
+        core::DtmCommand update(const core::ThermalSample& s) override {
+          out_->push_back(s.sensed_celsius);
+          return {};
+        }
+        std::string_view name() const override { return "recorder"; }
+        void reset() override {}
+
+       private:
+        sensor::TemperatureTrace* out_;
+      };
+      sim::SimConfig quiet = cfg;
+      quiet.sensor.enable_noise = false;
+      quiet.sensor.enable_offset = false;
+      quiet.sensor.quantization = 0.0;
+      sim::System recording(workload::spec2000_profile(bench), quiet,
+                            std::make_unique<Recorder>(&trace));
+      recording.run();
+      std::cout << "recorded " << bench << " (" << trace.size()
+                << " samples so far)\n";
+    }
+
+    const floorplan::Floorplan fp = floorplan::ev7_floorplan();
+    util::AsciiTable table;
+    table.header({"sensors", "blocks", "required margin [C]"});
+    for (std::size_t k = 1; k <= 4; ++k) {
+      const sensor::PlacementResult r = sensor::greedy_placement(trace, k);
+      std::string names;
+      for (std::size_t b : r.blocks) {
+        if (!names.empty()) names += ", ";
+        names += std::string(fp.block(b).name);
+      }
+      table.row({std::to_string(k), names,
+                 util::AsciiTable::num(r.worst_error, 3)});
+      if (r.worst_error == 0.0) break;
+    }
+    table.print(std::cout);
+    std::cout << "\n'Required margin' is how far the true hotspot can\n"
+                 "exceed the hottest instrumented block — extra headroom\n"
+                 "the trigger threshold must budget, on top of sensor\n"
+                 "noise and offset.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+// Study how sensor imperfections affect DTM safety and overhead.
+//
+// The paper budgets 3 degrees of margin for sensors (up to 2 of fixed
+// offset + 1 of effective precision), which is why the trigger sits at
+// 81.8 C against an 85 C emergency threshold. This example runs the Hyb
+// policy on one benchmark under ideal sensors, noise-only, offset-only,
+// and fully imperfect sensors — showing that the margin buys safety at
+// a small overhead cost.
+//
+// Usage: sensor_study [benchmark]
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+using namespace hydra;
+
+int main(int argc, char** argv) {
+  const std::string bench = argc > 1 ? argv[1] : "crafty";
+  try {
+    const workload::WorkloadProfile profile =
+        workload::spec2000_profile(bench);
+
+    struct Variant {
+      const char* label;
+      bool noise;
+      bool offset;
+    };
+    const Variant variants[] = {
+        {"ideal sensors", false, false},
+        {"noise only (+/-1 C effective)", true, false},
+        {"offset only (up to -2 C)", false, true},
+        {"noise + offset (paper)", true, true},
+    };
+
+    std::cout << "== hydra-dtm sensor study: " << bench
+              << " under Hyb ==\n\n";
+    util::AsciiTable table;
+    table.header({"sensor model", "slowdown", "Tmax[C]", "safe",
+                  "DVS switches", "time at Vlow"});
+
+    for (const Variant& v : variants) {
+      sim::SimConfig cfg = sim::default_sim_config();
+      cfg.sensor.enable_noise = v.noise;
+      cfg.sensor.enable_offset = v.offset;
+      sim::ExperimentRunner runner(cfg);
+      const sim::ExperimentResult r =
+          runner.run(profile, sim::PolicyKind::kHybrid, {});
+      table.row({v.label, util::AsciiTable::num(r.slowdown, 4),
+                 util::AsciiTable::num(r.dtm.max_true_celsius, 2),
+                 r.dtm.thermally_safe() ? "yes" : "NO",
+                 std::to_string(r.dtm.dvs_transitions),
+                 util::AsciiTable::percent(r.dtm.dvs_low_fraction, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWith offsets enabled sensors read low, so the policy\n"
+                 "regulates against the 81.8 C trigger to guarantee the\n"
+                 "true temperature never crosses 85 C.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,91 @@
+// Explore the thermal substrate by itself: build the EV7-like floorplan
+// and package, inject a per-block power vector, and print the
+// steady-state temperature map plus a step-response transient — no
+// processor or DTM in the loop. Useful for package what-if studies
+// (e.g. how much a cheaper heat sink raises the hotspot).
+//
+// Usage: thermal_explorer [r_convec=1.0] [watts_total=28] [block=IntReg]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "floorplan/ev7.h"
+#include "floorplan/floorplan_io.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+#include "util/config.h"
+#include "util/table.h"
+
+using namespace hydra;
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const util::Config cfg = util::Config::from_args(args);
+
+    thermal::Package pkg;
+    pkg.r_convec = cfg.get_double("r_convec", pkg.r_convec);
+    const double total = cfg.get_double("watts_total", 28.0);
+    const std::string hot_block = cfg.get_string("block", "IntReg");
+
+    const floorplan::Floorplan fp = floorplan::ev7_floorplan();
+    const thermal::ThermalModel model = thermal::build_thermal_model(fp, pkg);
+
+    std::cout << "== hydra-dtm thermal explorer ==\n";
+    std::cout << "floorplan (" << fp.size() << " blocks, "
+              << fp.die_width() * 1e3 << " x " << fp.die_height() * 1e3
+              << " mm):\n"
+              << floorplan::to_flp(fp) << "\n";
+
+    // Power: mostly uniform density with an extra 20% of the budget
+    // concentrated on the chosen block (a synthetic hotspot).
+    const auto hot = fp.index_of(hot_block);
+    if (!hot) {
+      std::cerr << "unknown block '" << hot_block << "'\n";
+      return 1;
+    }
+    thermal::Vector watts(fp.size(), 0.0);
+    for (std::size_t i = 0; i < fp.size(); ++i) {
+      watts[i] = 0.8 * total * fp.block(i).area() / fp.die_area();
+    }
+    watts[*hot] += 0.2 * total;
+
+    const thermal::Vector temps = thermal::steady_state(
+        model.network, model.expand_power(watts), pkg.ambient_celsius);
+
+    util::AsciiTable table;
+    table.header({"block", "power [W]", "density [W/mm2]", "T [C]"});
+    for (std::size_t i = 0; i < fp.size(); ++i) {
+      table.row({std::string(fp.block(i).name),
+                 util::AsciiTable::num(watts[i], 2),
+                 util::AsciiTable::num(watts[i] / (fp.block(i).area() * 1e6),
+                                       3),
+                 util::AsciiTable::num(temps[i], 2)});
+    }
+    table.row({"(spreader)", "-", "-",
+               util::AsciiTable::num(temps[model.spreader_center], 2)});
+    table.row({"(sink)", "-", "-",
+               util::AsciiTable::num(temps[model.sink_center], 2)});
+    table.print(std::cout);
+
+    // Step response: drop the hotspot's extra power and watch it cool.
+    thermal::TransientSolver solver(model.network, pkg.ambient_celsius);
+    solver.set_temperatures(temps);
+    thermal::Vector cooled = watts;
+    cooled[*hot] -= 0.2 * total;
+    std::cout << "\nstep response after removing the hotspot power:\n";
+    double t = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      for (int k = 0; k < 300; ++k) solver.step(model.expand_power(cooled), 10e-6);
+      t += 3e-3;
+      std::cout << "  t=" << util::AsciiTable::num(t * 1e3, 0) << " ms  "
+                << hot_block << " = "
+                << util::AsciiTable::num(solver.temperature(*hot), 2)
+                << " C\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,43 @@
+// Per-block activity accounting produced by the core each interval.
+#pragma once
+
+#include <array>
+
+#include "floorplan/block.h"
+
+namespace hydra::arch {
+
+/// Raw event counts per architectural block over an accounting interval,
+/// plus the cycle bookkeeping needed to turn counts into utilisations.
+/// The core increments these; the power model consumes and normalises
+/// them (it owns the per-block maximum event rates).
+struct ActivityFrame {
+  std::array<double, floorplan::kNumBlocks> events{};
+  double cycles = 0.0;          ///< elapsed core cycles (incl. gated/stalled)
+  double clocked_cycles = 0.0;  ///< cycles with the clock tree running
+
+  void clear() {
+    events.fill(0.0);
+    cycles = 0.0;
+    clocked_cycles = 0.0;
+  }
+
+  void add(floorplan::BlockId id, double n = 1.0) {
+    events[static_cast<std::size_t>(id)] += n;
+  }
+
+  double count(floorplan::BlockId id) const {
+    return events[static_cast<std::size_t>(id)];
+  }
+
+  /// Accumulate another frame into this one.
+  void accumulate(const ActivityFrame& other) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      events[i] += other.events[i];
+    }
+    cycles += other.cycles;
+    clocked_cycles += other.clocked_cycles;
+  }
+};
+
+}  // namespace hydra::arch

@@ -1,0 +1,39 @@
+#include "arch/branch_predictor.h"
+
+#include <stdexcept>
+
+namespace hydra::arch {
+
+GsharePredictor::GsharePredictor(int index_bits, int history_bits)
+    : index_bits_(index_bits), history_bits_(history_bits) {
+  if (index_bits < 1 || index_bits > 24) {
+    throw std::invalid_argument("gshare index bits out of range");
+  }
+  if (history_bits < 0 || history_bits > index_bits) {
+    throw std::invalid_argument("gshare history bits out of range");
+  }
+  index_mask_ = (1ULL << index_bits) - 1;
+  history_mask_ =
+      history_bits == 0 ? 0 : (1ULL << history_bits) - 1;
+  counters_.assign(1ULL << index_bits, 2);  // weakly taken
+}
+
+std::size_t GsharePredictor::index(std::uint64_t pc) const {
+  // Fold the (short) history into the top bits of the index so it
+  // perturbs rather than replaces the pc bits.
+  const std::uint64_t folded = history_ << (index_bits_ - history_bits_);
+  return ((pc >> 2) ^ folded) & index_mask_;
+}
+
+bool GsharePredictor::predict(std::uint64_t pc) const {
+  return counters_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(std::uint64_t pc, bool taken) {
+  std::uint8_t& c = counters_[index(pc)];
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+}  // namespace hydra::arch

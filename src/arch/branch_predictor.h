@@ -1,0 +1,41 @@
+// Gshare direction predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hydra::arch {
+
+/// Classic gshare: global history XOR pc indexes a table of 2-bit
+/// saturating counters. `history_bits` controls how much global history
+/// is folded in (0 = pure bimodal). Real SPEC traces benefit from long
+/// histories; the synthetic traces used here have i.i.d. branch
+/// outcomes, for which short histories avoid spreading a single biased
+/// branch across the whole table, so the core defaults to a few bits —
+/// what matters for the DTM studies is a realistic per-workload
+/// misprediction rate.
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(int index_bits = 12, int history_bits = 4);
+
+  /// Predict the direction for `pc` with the current history.
+  bool predict(std::uint64_t pc) const;
+
+  /// Update tables and history with the true outcome.
+  void update(std::uint64_t pc, bool taken);
+
+  int index_bits() const { return index_bits_; }
+  int history_bits() const { return history_bits_; }
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+
+  int index_bits_;
+  int history_bits_;
+  std::uint64_t history_ = 0;
+  std::uint64_t index_mask_;
+  std::uint64_t history_mask_;
+  std::vector<std::uint8_t> counters_;  ///< 2-bit saturating
+};
+
+}  // namespace hydra::arch

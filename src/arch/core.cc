@@ -1,0 +1,438 @@
+#include "arch/core.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::arch {
+
+using floorplan::BlockId;
+
+Core::Core(const CoreConfig& cfg, TraceSource& trace)
+    : cfg_(cfg),
+      trace_(&trace),
+      bpred_(cfg.bpred_index_bits, cfg.bpred_history_bits),
+      tournament_(cfg.tournament),
+      icache_(cfg.icache),
+      dcache_(cfg.dcache),
+      l2_(cfg.l2),
+      itb_(),
+      dtb_() {
+  if (cfg_.rob_entries <= 0 || cfg_.fetch_width <= 0 ||
+      cfg_.rename_width <= 0 || cfg_.issue_width <= 0 ||
+      cfg_.commit_width <= 0) {
+    throw std::invalid_argument("core widths/capacities must be positive");
+  }
+  rob_.resize(static_cast<std::size_t>(cfg_.rob_entries));
+  set_frequency(cfg_.nominal_frequency_hz);
+}
+
+void Core::set_fetch_gate_fraction(double g) {
+  if (g < 0.0 || g > 1.0) {
+    throw std::invalid_argument("fetch gate fraction must be in [0, 1]");
+  }
+  gate_fraction_ = g;
+}
+
+void Core::set_issue_gate_fraction(double g) {
+  if (g < 0.0 || g > 1.0) {
+    throw std::invalid_argument("issue gate fraction must be in [0, 1]");
+  }
+  issue_gate_fraction_ = g;
+}
+
+bool Core::predict_branch(std::uint64_t pc) {
+  return cfg_.predictor == CoreConfig::Predictor::kTournament
+             ? tournament_.predict(pc)
+             : bpred_.predict(pc);
+}
+
+void Core::update_predictor(std::uint64_t pc, bool taken) {
+  if (cfg_.predictor == CoreConfig::Predictor::kTournament) {
+    tournament_.update(pc, taken);
+  } else {
+    bpred_.update(pc, taken);
+  }
+}
+
+int Core::forwarding_state(std::size_t rob_offset, std::uint64_t addr) const {
+  // Walk younger -> older from just before the load: the youngest older
+  // store to the same word determines the outcome.
+  for (std::size_t j = rob_offset; j-- > 0;) {
+    const RobEntry& e = rob_[(rob_head_ + j) % rob_.size()];
+    if (e.cls == OpClass::kStore && e.mem_addr == addr) {
+      return e.issued ? 1 : -1;
+    }
+  }
+  return 0;
+}
+
+bool Core::mshr_available() const {
+  if (cfg_.mshr_entries <= 0) return true;
+  std::erase_if(mshrs_, [this](std::int64_t r) { return r <= now_; });
+  return static_cast<int>(mshrs_.size()) < cfg_.mshr_entries;
+}
+
+void Core::mshr_allocate(std::int64_t release_cycle) {
+  if (cfg_.mshr_entries > 0) mshrs_.push_back(release_cycle);
+}
+
+void Core::set_frequency(double hz) {
+  if (hz <= 0.0) throw std::invalid_argument("frequency must be positive");
+  const double cycles = cfg_.memory_latency_ns * 1e-9 * hz;
+  memory_latency_cycles_ = std::max(1, static_cast<int>(std::ceil(cycles)));
+}
+
+ActivityFrame Core::take_interval_activity() {
+  ActivityFrame out = interval_;
+  interval_.clear();
+  return out;
+}
+
+int Core::queue_class(OpClass cls) const {
+  switch (cls) {
+    case OpClass::kIntAlu:
+    case OpClass::kIntMul:
+    case OpClass::kBranch:
+      return 0;
+    case OpClass::kFpAdd:
+    case OpClass::kFpMul:
+      return 1;
+    case OpClass::kLoad:
+    case OpClass::kStore:
+      return 2;
+  }
+  return 0;
+}
+
+Core::RobEntry& Core::rob_at_seq(std::uint64_t seq) {
+  assert(seq >= head_seq_ && seq - head_seq_ < rob_count_);
+  return rob_[(rob_head_ + (seq - head_seq_)) % rob_.size()];
+}
+
+const Core::RobEntry& Core::rob_at_seq(std::uint64_t seq) const {
+  assert(seq >= head_seq_ && seq - head_seq_ < rob_count_);
+  return rob_[(rob_head_ + (seq - head_seq_)) % rob_.size()];
+}
+
+bool Core::source_ready(std::uint64_t src_seq) const {
+  if (src_seq < head_seq_) return true;  // producer already committed
+  const RobEntry& producer = rob_at_seq(src_seq);
+  return producer.issued && producer.done_cycle <= now_;
+}
+
+int Core::ifetch_latency(std::uint64_t pc) {
+  interval_.add(BlockId::kICache);
+  interval_.add(BlockId::kITB);
+  int latency = 0;
+  if (!itb_.access(pc)) latency += cfg_.tlb_miss_penalty;
+  if (!icache_.access(pc)) {
+    ++stats_.icache_misses;
+    interval_.add(BlockId::kL2);
+    interval_.add(BlockId::kL2Left, 0.5);
+    interval_.add(BlockId::kL2Right, 0.5);
+    if (l2_.access(pc)) {
+      latency += cfg_.l2_hit_latency;
+    } else {
+      ++stats_.l2_misses;
+      latency += memory_latency_cycles_;
+    }
+  }
+  return latency;
+}
+
+int Core::load_store_latency(std::uint64_t addr) {
+  interval_.add(BlockId::kDCache);
+  interval_.add(BlockId::kDTB);
+  int latency = cfg_.l1_hit_latency;
+  if (!dtb_.access(addr)) latency += cfg_.tlb_miss_penalty;
+  if (!dcache_.access(addr)) {
+    ++stats_.dcache_misses;
+    interval_.add(BlockId::kL2);
+    interval_.add(BlockId::kL2Left, 0.5);
+    interval_.add(BlockId::kL2Right, 0.5);
+    if (l2_.access(addr)) {
+      latency += cfg_.l2_hit_latency;
+    } else {
+      ++stats_.l2_misses;
+      latency += memory_latency_cycles_;
+    }
+  }
+  return latency;
+}
+
+void Core::do_fetch() {
+  // Mispredict redirect: resume once the branch has resolved and the
+  // front end has refilled.
+  if (fetch_halted_) {
+    if (redirect_cycle_ >= 0 && now_ >= redirect_cycle_) {
+      fetch_halted_ = false;
+      redirect_cycle_ = -1;
+    } else {
+      return;
+    }
+  }
+  if (now_ < icache_ready_cycle_) return;  // I-cache miss pending
+
+  // Duty-cycled fetch gating (evenly striped).
+  if (gate_fraction_ > 0.0) {
+    gate_accumulator_ += gate_fraction_;
+    if (gate_accumulator_ >= 1.0) {
+      gate_accumulator_ -= 1.0;
+      ++stats_.fetch_gated_cycles;
+      return;
+    }
+  }
+
+  if (static_cast<int>(frontend_.size()) >= cfg_.frontend_entries) return;
+
+  bool accessed_icache = false;
+  for (int i = 0; i < cfg_.fetch_width &&
+                  static_cast<int>(frontend_.size()) < cfg_.frontend_entries;
+       ++i) {
+    MicroOp op;
+    if (has_pending_op_) {
+      // The op whose I-fetch missed; its line has arrived by now.
+      op = pending_op_;
+      has_pending_op_ = false;
+      accessed_icache = true;
+    } else {
+      op = trace_->next();
+    }
+    if (!accessed_icache) {
+      // One I-cache/ITB access per fetch group.
+      const int miss_latency = ifetch_latency(op.pc);
+      accessed_icache = true;
+      if (miss_latency > 0) {
+        // Miss: nothing fetched this cycle; retry once the line arrives.
+        icache_ready_cycle_ = now_ + miss_latency;
+        pending_op_ = op;
+        has_pending_op_ = true;
+        return;
+      }
+    }
+    ++stats_.fetched;
+
+    bool stop_after = false;
+    bool mispredicted = false;
+    if (op.cls == OpClass::kBranch) {
+      ++stats_.branches;
+      interval_.add(BlockId::kBPred);
+      const bool predicted = predict_branch(op.pc);
+      update_predictor(op.pc, op.branch_taken);
+      if (predicted != op.branch_taken) {
+        ++stats_.mispredicts;
+        mispredicted = true;
+        stop_after = true;  // fetch halts until the branch resolves
+      } else if (op.branch_taken) {
+        stop_after = true;  // taken-branch fetch break
+      }
+    }
+    frontend_.push_back({op, mispredicted});
+    if (mispredicted) {
+      fetch_halted_ = true;
+      redirect_cycle_ = -1;
+    }
+    if (stop_after) break;
+  }
+}
+
+void Core::do_rename() {
+  for (int i = 0; i < cfg_.rename_width && !frontend_.empty(); ++i) {
+    if (rob_count_ >= rob_.size()) break;
+    const FrontendOp& fop = frontend_.front();
+    const int qc = queue_class(fop.op.cls);
+    const int cap = qc == 0   ? cfg_.int_queue_entries
+                    : qc == 1 ? cfg_.fp_queue_entries
+                              : cfg_.ls_queue_entries;
+    if (queue_count_[qc] >= cap) break;
+
+    RobEntry& e = rob_[(rob_head_ + rob_count_) % rob_.size()];
+    e.cls = fop.op.cls;
+    e.num_srcs = fop.op.num_srcs;
+    e.seq = next_seq_;
+    e.mem_addr = fop.op.mem_addr;
+    e.issued = false;
+    e.done_cycle = 0;
+    e.mispredicted = fop.mispredicted;
+    // Producers that predate the trace (distance beyond the first
+    // instruction) are treated as always ready: keep only in-range ones.
+    int kept = 0;
+    for (int s = 0; s < fop.op.num_srcs; ++s) {
+      const auto dist = static_cast<std::uint64_t>(fop.op.src_dist[s]);
+      if (dist <= next_seq_) e.src_seq[kept++] = next_seq_ - dist;
+    }
+    e.num_srcs = static_cast<std::uint8_t>(kept);
+    ++next_seq_;
+    ++rob_count_;
+    ++queue_count_[qc];
+    frontend_.pop_front();
+    interval_.add(is_fp(fop.op.cls) ? BlockId::kFPMap : BlockId::kIntMap);
+  }
+}
+
+void Core::do_issue() {
+  // Local-toggling support: gate the whole issue stage on a duty cycle.
+  if (issue_gate_fraction_ > 0.0) {
+    issue_gate_accumulator_ += issue_gate_fraction_;
+    if (issue_gate_accumulator_ >= 1.0) {
+      issue_gate_accumulator_ -= 1.0;
+      return;
+    }
+  }
+  int issued_total = 0;
+  int alu_used = 0;
+  int mul_used = 0;
+  int fpadd_used = 0;
+  int fpmul_used = 0;
+  int mem_used = 0;
+
+  for (std::size_t k = 0; k < rob_count_; ++k) {
+    if (issued_total >= cfg_.issue_width) break;
+    RobEntry& e = rob_[(rob_head_ + k) % rob_.size()];
+    if (e.issued) continue;
+
+    // Functional-unit availability.
+    bool fu_ok = false;
+    switch (e.cls) {
+      case OpClass::kIntAlu:
+      case OpClass::kBranch:
+        fu_ok = alu_used < cfg_.int_alu_units;
+        break;
+      case OpClass::kIntMul:
+        fu_ok = mul_used < cfg_.int_mul_units;
+        break;
+      case OpClass::kFpAdd:
+        fu_ok = fpadd_used < cfg_.fp_add_units;
+        break;
+      case OpClass::kFpMul:
+        fu_ok = fpmul_used < cfg_.fp_mul_units;
+        break;
+      case OpClass::kLoad:
+      case OpClass::kStore:
+        fu_ok = mem_used < cfg_.mem_ports;
+        break;
+    }
+    if (!fu_ok) continue;
+
+    bool ready = true;
+    for (int s = 0; s < e.num_srcs; ++s) {
+      if (!source_ready(e.src_seq[s])) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+
+    // Issue.
+    int latency = 0;
+    switch (e.cls) {
+      case OpClass::kIntAlu:
+        latency = cfg_.int_alu_latency;
+        ++alu_used;
+        interval_.add(BlockId::kIntExec);
+        interval_.add(BlockId::kIntReg, e.num_srcs + 1.0);
+        break;
+      case OpClass::kBranch:
+        latency = cfg_.int_alu_latency;
+        ++alu_used;
+        interval_.add(BlockId::kIntExec);
+        interval_.add(BlockId::kIntReg, e.num_srcs);
+        break;
+      case OpClass::kIntMul:
+        latency = cfg_.int_mul_latency;
+        ++mul_used;
+        interval_.add(BlockId::kIntExec);
+        interval_.add(BlockId::kIntReg, e.num_srcs + 1.0);
+        break;
+      case OpClass::kFpAdd:
+        latency = cfg_.fp_add_latency;
+        ++fpadd_used;
+        interval_.add(BlockId::kFPAdd);
+        interval_.add(BlockId::kFPReg, e.num_srcs + 1.0);
+        break;
+      case OpClass::kFpMul:
+        latency = cfg_.fp_mul_latency;
+        ++fpmul_used;
+        interval_.add(BlockId::kFPMul);
+        interval_.add(BlockId::kFPReg, e.num_srcs + 1.0);
+        break;
+      case OpClass::kLoad: {
+        bool forwarded = false;
+        if (cfg_.store_forwarding) {
+          const int fwd = forwarding_state(k, e.mem_addr);
+          if (fwd < 0) continue;  // older store address unresolved: wait
+          if (fwd > 0) {
+            latency = 1;  // store-to-load forwarding from the store queue
+            forwarded = true;
+          }
+        }
+        if (!forwarded) {
+          const bool l1_hit = dcache_.probe(e.mem_addr);
+          if (!l1_hit && !mshr_available()) continue;  // structural stall
+          latency = load_store_latency(e.mem_addr);
+          if (!l1_hit) mshr_allocate(now_ + latency);
+        }
+        ++mem_used;
+        interval_.add(BlockId::kLdStQ);
+        interval_.add(BlockId::kIntReg, e.num_srcs + 1.0);
+        break;
+      }
+      case OpClass::kStore: {
+        // Address generation; data drains from the store queue post-commit.
+        const bool l1_hit = dcache_.probe(e.mem_addr);
+        if (!l1_hit && !mshr_available()) continue;  // structural stall
+        const int fill = load_store_latency(e.mem_addr);
+        if (!l1_hit) mshr_allocate(now_ + fill);
+        latency = cfg_.int_alu_latency;
+        ++mem_used;
+        interval_.add(BlockId::kLdStQ);
+        interval_.add(BlockId::kIntReg, e.num_srcs);
+        break;
+      }
+    }
+    const int qc = queue_class(e.cls);
+    --queue_count_[qc];
+    interval_.add(qc == 0   ? BlockId::kIntQ
+                  : qc == 1 ? BlockId::kFPQ
+                            : BlockId::kLdStQ);
+    e.issued = true;
+    e.done_cycle = now_ + latency;
+    ++issued_total;
+
+    if (e.cls == OpClass::kBranch && e.mispredicted) {
+      redirect_cycle_ = e.done_cycle + cfg_.mispredict_penalty;
+    }
+  }
+}
+
+void Core::do_commit() {
+  for (int i = 0; i < cfg_.commit_width && rob_count_ > 0; ++i) {
+    RobEntry& head = rob_[rob_head_];
+    if (!head.issued || head.done_cycle > now_) break;
+    rob_head_ = (rob_head_ + 1) % rob_.size();
+    --rob_count_;
+    ++head_seq_;
+    ++stats_.committed;
+  }
+}
+
+void Core::cycle() {
+  do_commit();
+  do_issue();
+  do_rename();
+  do_fetch();
+  ++now_;
+  ++stats_.cycles;
+  interval_.cycles += 1.0;
+  interval_.clocked_cycles += 1.0;
+}
+
+void Core::idle_cycle(bool clocked) {
+  ++now_;
+  ++stats_.cycles;
+  interval_.cycles += 1.0;
+  if (clocked) interval_.clocked_cycles += 1.0;
+}
+
+}  // namespace hydra::arch

@@ -1,0 +1,54 @@
+// Micro-op record and trace-source interface.
+//
+// The core is trace-driven: a TraceSource supplies an infinite stream of
+// micro-ops whose dependencies are expressed as *distances* (in dynamic
+// instruction count) to the producing instruction. This carries exactly
+// the information the out-of-order timing model needs — true data
+// dependencies, memory addresses and branch outcomes — without requiring
+// functional execution of Alpha binaries (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <cstdint>
+
+namespace hydra::arch {
+
+/// Functional classes of micro-ops; each maps to an execution resource.
+enum class OpClass : std::uint8_t {
+  kIntAlu = 0,
+  kIntMul,
+  kFpAdd,
+  kFpMul,
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+inline constexpr int kNumOpClasses = 7;
+
+constexpr bool is_fp(OpClass c) {
+  return c == OpClass::kFpAdd || c == OpClass::kFpMul;
+}
+constexpr bool is_mem(OpClass c) {
+  return c == OpClass::kLoad || c == OpClass::kStore;
+}
+
+/// One dynamic instruction.
+struct MicroOp {
+  OpClass cls = OpClass::kIntAlu;
+  std::uint8_t num_srcs = 0;  ///< 0..2 register sources
+  /// Distance (>= 1) in dynamic instructions to each producer.
+  std::int32_t src_dist[2] = {0, 0};
+  std::uint64_t pc = 0;        ///< instruction address (for I-cache/bpred)
+  std::uint64_t mem_addr = 0;  ///< effective address for loads/stores
+  bool branch_taken = false;   ///< ground-truth outcome for branches
+};
+
+/// Infinite instruction stream.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Produce the next dynamic instruction.
+  virtual MicroOp next() = 0;
+};
+
+}  // namespace hydra::arch

@@ -1,0 +1,81 @@
+#include "arch/tournament_predictor.h"
+
+#include <stdexcept>
+
+namespace hydra::arch {
+
+TournamentPredictor::TournamentPredictor(const TournamentConfig& cfg)
+    : cfg_(cfg) {
+  if (cfg.local_history_bits < 1 || cfg.local_history_bits > 16 ||
+      cfg.local_table_bits < 1 || cfg.local_table_bits > 20 ||
+      cfg.global_bits < 1 || cfg.global_bits > 24) {
+    throw std::invalid_argument("tournament predictor geometry out of range");
+  }
+  local_history_mask_ = (1ULL << cfg.local_history_bits) - 1;
+  global_mask_ = (1ULL << cfg.global_bits) - 1;
+  local_history_.assign(1ULL << cfg.local_table_bits, 0);
+  // Local counters are indexed by the *history pattern*, so the table
+  // needs 2^history_bits entries (the 21264 used 1K x 3-bit).
+  local_counters_.assign(1ULL << cfg.local_history_bits, 4);  // weakly taken
+  global_counters_.assign(1ULL << cfg.global_bits, 2);
+  // Weakly prefer the local component at reset: a per-branch bias is the
+  // commonest pattern, and an untrained global component (whose contexts
+  // are sparse early on) should have to earn the chooser's trust.
+  chooser_.assign(1ULL << cfg.global_bits, 1);
+}
+
+std::size_t TournamentPredictor::local_index(std::uint64_t pc) const {
+  return (pc >> 2) & (local_history_.size() - 1);
+}
+
+std::size_t TournamentPredictor::global_index() const {
+  return global_history_ & global_mask_;
+}
+
+std::size_t TournamentPredictor::chooser_index(std::uint64_t pc) const {
+  // McFarling-style combining: the chooser is indexed by pc so each
+  // static branch learns which component models it better.
+  return (pc >> 2) & global_mask_;
+}
+
+bool TournamentPredictor::predict(std::uint64_t pc) const {
+  const std::uint16_t hist = local_history_[local_index(pc)];
+  const bool local_pred = local_counters_[hist] >= 4;  // 3-bit counter
+  const bool global_pred = global_counters_[global_index()] >= 2;
+  const bool use_global = chooser_[chooser_index(pc)] >= 2;
+  ++chooser_decisions_;
+  if (use_global) ++global_chosen_;
+  return use_global ? global_pred : local_pred;
+}
+
+void TournamentPredictor::update(std::uint64_t pc, bool taken) {
+  const std::size_t li = local_index(pc);
+  const std::uint16_t hist = local_history_[li];
+  const bool local_pred = local_counters_[hist] >= 4;
+  const bool global_pred = global_counters_[global_index()] >= 2;
+
+  // Chooser trains toward whichever component was right (when they
+  // disagree).
+  std::uint8_t& choose = chooser_[chooser_index(pc)];
+  if (global_pred != local_pred) {
+    const bool global_right = global_pred == taken;
+    if (global_right && choose < 3) ++choose;
+    if (!global_right && choose > 0) --choose;
+  }
+
+  // Component counters.
+  std::uint8_t& lc = local_counters_[hist];
+  if (taken && lc < 7) ++lc;
+  if (!taken && lc > 0) --lc;
+  std::uint8_t& gc = global_counters_[global_index()];
+  if (taken && gc < 3) ++gc;
+  if (!taken && gc > 0) --gc;
+
+  // Histories.
+  local_history_[li] =
+      static_cast<std::uint16_t>(((hist << 1) | (taken ? 1 : 0)) &
+                                 local_history_mask_);
+  global_history_ = ((global_history_ << 1) | (taken ? 1 : 0)) & global_mask_;
+}
+
+}  // namespace hydra::arch

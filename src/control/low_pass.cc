@@ -1,0 +1,39 @@
+#include "control/low_pass.h"
+
+#include <stdexcept>
+
+namespace hydra::control {
+
+FirstOrderLowPass::FirstOrderLowPass(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("low-pass alpha must be in (0, 1]");
+  }
+}
+
+double FirstOrderLowPass::update(double x) {
+  if (!primed_) {
+    y_ = x;
+    primed_ = true;
+  } else {
+    y_ += alpha_ * (x - y_);
+  }
+  return y_;
+}
+
+ConsecutiveDebounce::ConsecutiveDebounce(std::size_t threshold)
+    : threshold_(threshold) {
+  if (threshold == 0) {
+    throw std::invalid_argument("debounce threshold must be positive");
+  }
+}
+
+bool ConsecutiveDebounce::update(bool sample) {
+  if (!sample) {
+    count_ = 0;
+    return false;
+  }
+  if (count_ < threshold_) ++count_;
+  return count_ >= threshold_;
+}
+
+}  // namespace hydra::control

@@ -1,0 +1,41 @@
+// Filters used to debounce DTM actuation decisions.
+#pragma once
+
+#include <cstddef>
+
+namespace hydra::control {
+
+/// First-order IIR low-pass: y += alpha * (x - y), alpha in (0, 1].
+class FirstOrderLowPass {
+ public:
+  explicit FirstOrderLowPass(double alpha);
+
+  double update(double x);
+  double value() const { return y_; }
+  void reset(double y = 0.0) { y_ = y; }
+
+ private:
+  double alpha_;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Debounce counter: asserts only after `threshold` consecutive true
+/// samples; deasserts immediately on a false sample. This is the paper's
+/// "simple low-pass filter to decide whether to increase the voltage"
+/// (raising is filtered; lowering is compulsory and unfiltered).
+class ConsecutiveDebounce {
+ public:
+  explicit ConsecutiveDebounce(std::size_t threshold);
+
+  /// Feed one sample; returns true once `threshold` consecutive trues
+  /// have been observed (and keeps returning true until a false arrives).
+  bool update(bool sample);
+  void reset() { count_ = 0; }
+
+ private:
+  std::size_t threshold_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hydra::control

@@ -1,0 +1,44 @@
+#include "control/pi_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hydra::control {
+
+PiController::PiController(double kp, double ki, double out_min,
+                           double out_max)
+    : kp_(kp), ki_(ki), out_min_(out_min), out_max_(out_max) {
+  if (out_min >= out_max) {
+    throw std::invalid_argument("controller output range is empty");
+  }
+}
+
+double PiController::update(double error, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("dt must be positive");
+  const double candidate_integrator = integrator_ + ki_ * error * dt;
+  const double unclamped = kp_ * error + candidate_integrator;
+  const double clamped = std::clamp(unclamped, out_min_, out_max_);
+  // Conditional integration: only absorb the step when it does not push
+  // the output further into saturation.
+  const bool saturated_high = unclamped > out_max_ && error > 0.0;
+  const bool saturated_low = unclamped < out_min_ && error < 0.0;
+  if (!saturated_high && !saturated_low) {
+    integrator_ = candidate_integrator;
+  } else {
+    // Park the integrator at the value that exactly saturates the output
+    // so release is immediate once the error reverses.
+    integrator_ = std::clamp(candidate_integrator, out_min_ - kp_ * error,
+                             out_max_ - kp_ * error);
+  }
+  last_unclamped_ = unclamped;
+  last_output_ = clamped;
+  return clamped;
+}
+
+void PiController::reset() {
+  integrator_ = 0.0;
+  last_unclamped_ = 0.0;
+  last_output_ = 0.0;
+}
+
+}  // namespace hydra::control

@@ -1,0 +1,42 @@
+// Proportional-integral controller with anti-windup.
+//
+// Used three ways in the paper's apparatus: as the PI controller setting
+// DVS voltage levels, as the integral controller (kp = 0) choosing the
+// fetch-gating duty cycle, and inside PI-Hyb where the *unclamped* output
+// signals that the ILP technique has crossed over and DVS should engage.
+#pragma once
+
+namespace hydra::control {
+
+class PiController {
+ public:
+  /// Output is clamped to [out_min, out_max]; integration is conditional
+  /// (no windup while saturated in the error's direction).
+  PiController(double kp, double ki, double out_min, double out_max);
+
+  /// Advance with `error` over `dt` seconds; returns the clamped output.
+  double update(double error, double dt);
+
+  /// Output of the last update() before clamping — the hybrid policy's
+  /// crossover detector.
+  double last_unclamped() const { return last_unclamped_; }
+  double last_output() const { return last_output_; }
+  double integrator() const { return integrator_; }
+
+  /// Preset the integrator (used when a hybrid policy hands control back
+  /// to the ILP technique at the crossover level).
+  void set_integrator(double v) { integrator_ = v; }
+
+  void reset();
+
+ private:
+  double kp_;
+  double ki_;
+  double out_min_;
+  double out_max_;
+  double integrator_ = 0.0;
+  double last_unclamped_ = 0.0;
+  double last_output_ = 0.0;
+};
+
+}  // namespace hydra::control

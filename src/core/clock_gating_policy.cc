@@ -1,0 +1,21 @@
+#include "core/clock_gating_policy.h"
+
+namespace hydra::core {
+
+ClockGatingPolicy::ClockGatingPolicy(DtmThresholds thresholds,
+                                     ClockGatingConfig cfg)
+    : thresholds_(thresholds), cfg_(cfg) {}
+
+DtmCommand ClockGatingPolicy::update(const ThermalSample& sample) {
+  if (sample.max_sensed >= thresholds_.trigger_celsius) {
+    engaged_ = true;
+  } else if (sample.max_sensed <
+             thresholds_.trigger_celsius - cfg_.hysteresis) {
+    engaged_ = false;
+  }
+  DtmCommand cmd;
+  cmd.clock_gate = engaged_;
+  return cmd;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,71 @@
+#include "core/dvs_policy.h"
+
+#include <algorithm>
+
+namespace hydra::core {
+
+DvsPolicy::DvsPolicy(const power::DvsLadder& ladder, DtmThresholds thresholds,
+                     DvsPolicyConfig cfg)
+    : ladder_(ladder),
+      thresholds_(thresholds),
+      cfg_(cfg),
+      pi_(cfg.kp, cfg.ki, 0.0, 1.0),
+      raise_filter_(cfg.raise_filter_samples) {}
+
+void DvsPolicy::reset() {
+  pi_.reset();
+  raise_filter_.reset();
+  level_ = 0;
+  last_time_ = -1.0;
+}
+
+std::size_t DvsPolicy::controller_level(const ThermalSample& sample) {
+  const double dt =
+      last_time_ < 0.0 ? 1e-4 : std::max(1e-9, sample.time_seconds - last_time_);
+  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  const double throttle = pi_.update(error, dt);
+  const auto& top = ladder_.point(0);
+  const auto& bottom = ladder_.point(ladder_.lowest_level());
+  const double v_target =
+      top.voltage - throttle * (top.voltage - bottom.voltage);
+  return ladder_.level_at_or_below(v_target);
+}
+
+DtmCommand DvsPolicy::update(const ThermalSample& sample) {
+  std::size_t desired = level_;
+  switch (cfg_.mode) {
+    case DvsPolicyConfig::Mode::kBinary:
+      desired = sample.max_sensed >= thresholds_.trigger_celsius
+                    ? ladder_.lowest_level()
+                    : 0;
+      break;
+    case DvsPolicyConfig::Mode::kStepped:
+    case DvsPolicyConfig::Mode::kContinuous:
+      desired = controller_level(sample);
+      break;
+  }
+
+  if (desired > level_) {
+    // Lowering voltage: compulsory, immediate.
+    level_ = desired;
+    raise_filter_.reset();
+  } else if (desired < level_) {
+    // Raising voltage: pass the low-pass filter first.
+    const bool cool_enough =
+        sample.max_sensed <
+        thresholds_.trigger_celsius - cfg_.hysteresis;
+    if (raise_filter_.update(cool_enough)) {
+      level_ = desired;
+      raise_filter_.reset();
+    }
+  } else {
+    raise_filter_.reset();
+  }
+  last_time_ = sample.time_seconds;
+
+  DtmCommand cmd;
+  cmd.dvs_level = level_;
+  return cmd;
+}
+
+}  // namespace hydra::core

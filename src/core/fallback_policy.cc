@@ -1,0 +1,56 @@
+#include "core/fallback_policy.h"
+
+#include <algorithm>
+
+namespace hydra::core {
+
+FallbackPolicy::FallbackPolicy(const power::DvsLadder& ladder,
+                               DtmThresholds thresholds, FallbackConfig cfg)
+    : ladder_(ladder),
+      thresholds_(thresholds),
+      cfg_(cfg),
+      controller_(cfg.kp, cfg.ki, 0.0, cfg.max_gate_fraction),
+      release_filter_(cfg.release_filter_samples) {}
+
+void FallbackPolicy::reset() {
+  controller_.reset();
+  release_filter_.reset();
+  dvs_engaged_ = false;
+  last_time_ = -1.0;
+}
+
+DtmCommand FallbackPolicy::update(const ThermalSample& sample) {
+  const double dt = last_time_ < 0.0
+                        ? 1e-4
+                        : std::max(1e-9, sample.time_seconds - last_time_);
+  last_time_ = sample.time_seconds;
+  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  const double gate = controller_.update(error, dt);
+
+  DtmCommand cmd;
+  cmd.fetch_gate_fraction = gate;
+
+  // Fallback stage: only once fetch gating is saturated (its cooling
+  // ability exhausted) and the emergency threshold is in sight.
+  const bool saturated = gate >= cfg_.max_gate_fraction - 1e-9;
+  const bool in_extremis =
+      sample.max_sensed >=
+      thresholds_.emergency_celsius - cfg_.emergency_margin;
+  if (!dvs_engaged_) {
+    if (saturated && in_extremis) {
+      dvs_engaged_ = true;
+      release_filter_.reset();
+    }
+  } else {
+    const bool cool = sample.max_sensed <
+                      thresholds_.trigger_celsius - cfg_.hysteresis;
+    if (release_filter_.update(cool)) {
+      dvs_engaged_ = false;
+      release_filter_.reset();
+    }
+  }
+  cmd.dvs_level = dvs_engaged_ ? ladder_.lowest_level() : 0;
+  return cmd;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,38 @@
+#include "core/fetch_gating_policy.h"
+
+#include <algorithm>
+
+namespace hydra::core {
+
+FetchGatingPolicy::FetchGatingPolicy(DtmThresholds thresholds,
+                                     FetchGatingConfig cfg)
+    : thresholds_(thresholds),
+      cfg_(cfg),
+      controller_(cfg.kp, cfg.ki, 0.0, cfg.max_gate_fraction) {}
+
+void FetchGatingPolicy::reset() {
+  controller_.reset();
+  gate_ = 0.0;
+  last_time_ = -1.0;
+}
+
+DtmCommand FetchGatingPolicy::update(const ThermalSample& sample) {
+  if (cfg_.mode == FetchGatingConfig::Mode::kFixed) {
+    gate_ = sample.max_sensed >= thresholds_.trigger_celsius
+                ? cfg_.fixed_gate_fraction
+                : 0.0;
+  } else {
+    const double dt = last_time_ < 0.0
+                          ? 1e-4
+                          : std::max(1e-9, sample.time_seconds - last_time_);
+    const double error = sample.max_sensed - thresholds_.trigger_celsius;
+    gate_ = controller_.update(error, dt);
+  }
+  last_time_ = sample.time_seconds;
+
+  DtmCommand cmd;
+  cmd.fetch_gate_fraction = gate_;
+  return cmd;
+}
+
+}  // namespace hydra::core

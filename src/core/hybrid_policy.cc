@@ -1,0 +1,126 @@
+#include "core/hybrid_policy.h"
+
+#include <algorithm>
+
+namespace hydra::core {
+
+PiHybridPolicy::PiHybridPolicy(const power::DvsLadder& ladder,
+                               DtmThresholds thresholds, HybridConfig cfg)
+    : ladder_(ladder),
+      thresholds_(thresholds),
+      cfg_(cfg),
+      // The controller's output range extends past the crossover so
+      // saturation (anti-windup) cannot mask the crossover signal; the
+      // applied gate fraction is clamped to the crossover separately.
+      pi_(cfg.kp, cfg.ki, 0.0, 1.0),
+      release_filter_(cfg.release_filter_samples) {}
+
+void PiHybridPolicy::reset() {
+  pi_.reset();
+  release_filter_.reset();
+  dvs_engaged_ = false;
+  last_time_ = -1.0;
+}
+
+DtmCommand PiHybridPolicy::update(const ThermalSample& sample) {
+  const double dt = last_time_ < 0.0
+                        ? 1e-4
+                        : std::max(1e-9, sample.time_seconds - last_time_);
+  last_time_ = sample.time_seconds;
+  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+
+  DtmCommand cmd;
+  if (!dvs_engaged_) {
+    const double demand = pi_.update(error, dt);
+    const double gate = std::min(demand, cfg_.crossover_gate_fraction);
+    // Crossover: the controller demands more gating than ILP can hide,
+    // so DVS's cubic power reduction is now the cheaper response.
+    if (demand >
+        cfg_.crossover_gate_fraction * (1.0 + cfg_.crossover_margin)) {
+      dvs_engaged_ = true;
+      release_filter_.reset();
+      cmd.fetch_gate_fraction = 0.0;
+      cmd.dvs_level = ladder_.lowest_level();
+    } else {
+      cmd.fetch_gate_fraction = gate;
+    }
+  } else {
+    const bool cool = sample.max_sensed <
+                      thresholds_.trigger_celsius - cfg_.hysteresis;
+    if (release_filter_.update(cool)) {
+      // Hand control back to the ILP technique, warm-starting the
+      // integrator just below the crossover so regulation resumes
+      // smoothly instead of re-triggering DVS on the next sample.
+      dvs_engaged_ = false;
+      pi_.set_integrator(0.8 * cfg_.crossover_gate_fraction);
+      release_filter_.reset();
+      cmd.fetch_gate_fraction = pi_.update(error, dt);
+    } else {
+      cmd.dvs_level = ladder_.lowest_level();
+    }
+  }
+  return cmd;
+}
+
+HybridPolicy::HybridPolicy(const power::DvsLadder& ladder,
+                           DtmThresholds thresholds, HybridConfig cfg)
+    : ladder_(ladder),
+      thresholds_(thresholds),
+      cfg_(cfg),
+      release_filter_(cfg.release_filter_samples),
+      escalate_filter_(cfg.escalate_filter_samples) {}
+
+void HybridPolicy::reset() {
+  release_filter_.reset();
+  escalate_filter_.reset();
+  level_ = 0;
+}
+
+DtmCommand HybridPolicy::update(const ThermalSample& sample) {
+  const double t1 = thresholds_.trigger_celsius;
+  const double t2 = thresholds_.trigger_celsius + cfg_.dvs_threshold_offset;
+
+  // Engaging fetch gating is compulsory and immediate; the FG -> DVS
+  // escalation is debounced against sensor-noise spikes. While the
+  // debounce is pending, at least fetch gating stays engaged (and an
+  // already-engaged DVS is not released, since above t2 the release
+  // condition below cannot hold anyway).
+  int desired;
+  if (sample.max_sensed >= t2) {
+    desired = escalate_filter_.update(true) ? 2 : std::max(level_, 1);
+  } else {
+    escalate_filter_.reset();
+    desired = sample.max_sensed >= t1 ? 1 : 0;
+  }
+
+  if (desired > level_) {
+    level_ = desired;
+    release_filter_.reset();
+  } else if (desired < level_) {
+    if (level_ == 2) {
+      // Leaving DVS costs a voltage switch, so it passes the debounce
+      // filter (and drops to fetch gating first, never straight to
+      // unthrottled).
+      const bool cool = sample.max_sensed < t2 - cfg_.hysteresis;
+      if (release_filter_.update(cool)) {
+        level_ = 1;
+        release_filter_.reset();
+      }
+    } else {
+      // Fetch gating switches for free: the comparator acts directly.
+      level_ = desired;
+    }
+  } else {
+    release_filter_.reset();
+  }
+
+  DtmCommand cmd;
+  if (level_ == 1) {
+    cmd.fetch_gate_fraction = cfg_.crossover_gate_fraction;
+  } else if (level_ == 2) {
+    cmd.dvs_level = ladder_.lowest_level();
+  }
+  return cmd;
+}
+
+}  // namespace hydra::core

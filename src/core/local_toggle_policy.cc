@@ -1,0 +1,32 @@
+#include "core/local_toggle_policy.h"
+
+#include <algorithm>
+
+namespace hydra::core {
+
+LocalTogglePolicy::LocalTogglePolicy(DtmThresholds thresholds,
+                                     LocalToggleConfig cfg)
+    : thresholds_(thresholds),
+      cfg_(cfg),
+      controller_(cfg.kp, cfg.ki, 0.0, cfg.max_gate_fraction) {}
+
+void LocalTogglePolicy::reset() {
+  controller_.reset();
+  gate_ = 0.0;
+  last_time_ = -1.0;
+}
+
+DtmCommand LocalTogglePolicy::update(const ThermalSample& sample) {
+  const double dt = last_time_ < 0.0
+                        ? 1e-4
+                        : std::max(1e-9, sample.time_seconds - last_time_);
+  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  gate_ = controller_.update(error, dt);
+  last_time_ = sample.time_seconds;
+
+  DtmCommand cmd;
+  cmd.issue_gate_fraction = gate_;
+  return cmd;
+}
+
+}  // namespace hydra::core

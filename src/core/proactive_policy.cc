@@ -1,0 +1,37 @@
+#include "core/proactive_policy.h"
+
+#include <algorithm>
+
+namespace hydra::core {
+
+ProactiveHybridPolicy::ProactiveHybridPolicy(const power::DvsLadder& ladder,
+                                             DtmThresholds thresholds,
+                                             ProactiveConfig cfg)
+    : cfg_(cfg),
+      inner_(ladder, thresholds, cfg.hybrid),
+      slope_(cfg.slope_filter_alpha) {}
+
+void ProactiveHybridPolicy::reset() {
+  inner_.reset();
+  slope_.reset();
+  last_max_ = 0.0;
+  last_time_ = -1.0;
+}
+
+DtmCommand ProactiveHybridPolicy::update(const ThermalSample& sample) {
+  double predicted = sample.max_sensed;
+  if (last_time_ >= 0.0) {
+    const double dt = std::max(1e-12, sample.time_seconds - last_time_);
+    const double raw_slope = (sample.max_sensed - last_max_) / dt;
+    const double smoothed = slope_.update(raw_slope);
+    predicted = sample.max_sensed + smoothed * cfg_.horizon_seconds;
+  }
+  last_max_ = sample.max_sensed;
+  last_time_ = sample.time_seconds;
+
+  ThermalSample ahead = sample;
+  ahead.max_sensed = predicted;
+  return inner_.update(ahead);
+}
+
+}  // namespace hydra::core

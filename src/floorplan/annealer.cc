@@ -1,0 +1,259 @@
+#include "floorplan/annealer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "floorplan/block.h"
+#include "floorplan/ev7.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+#include "util/rng.h"
+
+namespace hydra::floorplan {
+namespace {
+
+/// Slicing tree stored as a vector of nodes; node 0 is the root.
+struct TreeNode {
+  bool is_leaf = false;
+  int leaf_index = -1;   ///< into the block-spec vector
+  bool vertical = true;  ///< cut direction for internal nodes
+  int left = -1;
+  int right = -1;
+  double area = 0.0;     ///< subtree area (maintained)
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+  std::vector<int> leaf_nodes;      ///< node index of each leaf
+  std::vector<int> internal_nodes;  ///< node indices of internal nodes
+};
+
+/// Balanced initial tree over blocks [lo, hi).
+int build_initial(Tree& tree, const std::vector<CoreBlockSpec>& blocks,
+                  int lo, int hi, bool vertical) {
+  const int idx = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  if (hi - lo == 1) {
+    TreeNode& n = tree.nodes[idx];
+    n.is_leaf = true;
+    n.leaf_index = lo;
+    n.area = blocks[lo].area;
+    tree.leaf_nodes.push_back(idx);
+    return idx;
+  }
+  const int mid = (lo + hi) / 2;
+  const int l = build_initial(tree, blocks, lo, mid, !vertical);
+  const int r = build_initial(tree, blocks, mid, hi, !vertical);
+  TreeNode& n = tree.nodes[idx];
+  n.is_leaf = false;
+  n.vertical = vertical;
+  n.left = l;
+  n.right = r;
+  n.area = tree.nodes[l].area + tree.nodes[r].area;
+  tree.internal_nodes.push_back(idx);
+  return idx;
+}
+
+/// Recursively place the subtree into [x, y, w, h].
+void place(const Tree& tree, int node, double x, double y, double w,
+           double h, const std::vector<CoreBlockSpec>& blocks,
+           Floorplan& out) {
+  const TreeNode& n = tree.nodes[node];
+  if (n.is_leaf) {
+    out.add(Block{blocks[n.leaf_index].name, x, y, w, h});
+    return;
+  }
+  const double frac = tree.nodes[n.left].area / n.area;
+  if (n.vertical) {
+    const double wl = w * frac;
+    place(tree, n.left, x, y, wl, h, blocks, out);
+    place(tree, n.right, x + wl, y, w - wl, h, blocks, out);
+  } else {
+    const double hl = h * frac;
+    place(tree, n.left, x, y, w, hl, blocks, out);
+    place(tree, n.right, x, y + hl, w, h - hl, blocks, out);
+  }
+}
+
+Floorplan layout_core(const Tree& tree,
+                      const std::vector<CoreBlockSpec>& blocks) {
+  const double side = std::sqrt(tree.nodes[0].area);
+  Floorplan fp;
+  place(tree, 0, 0.0, 0.0, side, side, blocks, fp);
+  return fp;
+}
+
+double worst_aspect(const Floorplan& fp) {
+  double worst = 1.0;
+  for (const Block& b : fp.blocks()) {
+    const double a = std::max(b.width / b.height, b.height / b.width);
+    worst = std::max(worst, a);
+  }
+  return worst;
+}
+
+}  // namespace
+
+Floorplan assemble_die(const Floorplan& core, double die_side) {
+  const double w = core.die_width();
+  const double h = core.die_height();
+  if (w > die_side + 1e-12 || h > die_side + 1e-12) {
+    throw std::invalid_argument("core does not fit the die");
+  }
+  const double x0 = (die_side - w) / 2.0;
+  const double y0 = die_side - h;
+  Floorplan out;
+  out.add(Block{block_name(BlockId::kL2Left), 0.0, y0, x0, h});
+  out.add(Block{block_name(BlockId::kL2), 0.0, 0.0, die_side, y0});
+  out.add(Block{block_name(BlockId::kL2Right), x0 + w, y0,
+                die_side - x0 - w, h});
+  for (const Block& b : core.blocks()) {
+    out.add(Block{b.name, b.x + x0, b.y + y0, b.width, b.height});
+  }
+  return out;
+}
+
+std::vector<CoreBlockSpec> ev7_core_block_specs(
+    const std::vector<double>& block_watts) {
+  if (block_watts.size() != kNumBlocks) {
+    throw std::invalid_argument("need one power entry per BlockId");
+  }
+  const Floorplan fp = ev7_floorplan();
+  std::vector<CoreBlockSpec> out;
+  for (std::size_t i = 0; i < kNumBlocks; ++i) {
+    const auto id = static_cast<BlockId>(i);
+    if (id == BlockId::kL2 || id == BlockId::kL2Left ||
+        id == BlockId::kL2Right) {
+      continue;  // the L2 ring is placed by assemble_die
+    }
+    out.push_back({block_name(id), fp.block(i).area(), block_watts[i]});
+  }
+  return out;
+}
+
+AnnealResult anneal_core_floorplan(const std::vector<CoreBlockSpec>& blocks,
+                                   const thermal::Package& pkg,
+                                   const AnnealerConfig& cfg) {
+  if (blocks.empty()) {
+    throw std::invalid_argument("annealer needs at least one block");
+  }
+  for (const CoreBlockSpec& b : blocks) {
+    if (b.area <= 0.0 || b.watts < 0.0) {
+      throw std::invalid_argument("block areas must be positive");
+    }
+  }
+
+  util::Rng rng(cfg.seed);
+  Tree tree;
+  build_initial(tree, blocks, 0, static_cast<int>(blocks.size()), true);
+
+  // Peak temperature of a candidate core layout, assembled into the die.
+  const auto evaluate = [&](const Floorplan& core, double* peak_out) {
+    const Floorplan die = assemble_die(core, cfg.die_side);
+    thermal::ThermalModel model = thermal::build_thermal_model(die, pkg);
+    thermal::Vector watts(die.size(), 0.0);
+    // L2 power split by area over the three ring blocks.
+    double l2_area = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) l2_area += die.block(i).area();
+    for (std::size_t i = 0; i < 3; ++i) {
+      watts[i] = cfg.l2_total_watts * die.block(i).area() / l2_area;
+    }
+    for (const CoreBlockSpec& b : blocks) {
+      watts[*die.index_of(b.name)] = b.watts;
+    }
+    const thermal::Vector t = thermal::steady_state(
+        model.network, model.expand_power(watts), pkg.ambient_celsius);
+    double peak = t[0];
+    for (std::size_t i = 1; i < die.size(); ++i) peak = std::max(peak, t[i]);
+    *peak_out = peak;
+    const double aspect = worst_aspect(core);
+    const double violation = std::max(0.0, aspect - cfg.aspect_limit);
+    return peak + cfg.aspect_penalty_weight * violation * violation;
+  };
+
+  AnnealResult result;
+  Floorplan current_layout = layout_core(tree, blocks);
+  double current_peak = 0.0;
+  double current_cost = evaluate(current_layout, &current_peak);
+  result.initial_peak_celsius = current_peak;
+
+  Floorplan best_layout = current_layout;
+  double best_cost = current_cost;
+  double best_peak = current_peak;
+
+  const double cooling =
+      cfg.iterations > 1
+          ? std::pow(cfg.t_end / cfg.t_start,
+                     1.0 / static_cast<double>(cfg.iterations - 1))
+          : 1.0;
+  double temperature = cfg.t_start;
+
+  for (int iter = 0; iter < cfg.iterations; ++iter, temperature *= cooling) {
+    // Propose a move on a copy of the tree.
+    Tree candidate = tree;
+    const int kind = static_cast<int>(rng.below(3));
+    if (kind == 0 && candidate.leaf_nodes.size() >= 2) {
+      // Swap two leaves' blocks.
+      const std::size_t a = rng.below(candidate.leaf_nodes.size());
+      std::size_t b = rng.below(candidate.leaf_nodes.size());
+      if (a == b) continue;
+      std::swap(candidate.nodes[candidate.leaf_nodes[a]].leaf_index,
+                candidate.nodes[candidate.leaf_nodes[b]].leaf_index);
+      // Leaf areas travel with the blocks: recompute subtree areas.
+      candidate.nodes[candidate.leaf_nodes[a]].area =
+          blocks[candidate.nodes[candidate.leaf_nodes[a]].leaf_index].area;
+      candidate.nodes[candidate.leaf_nodes[b]].area =
+          blocks[candidate.nodes[candidate.leaf_nodes[b]].leaf_index].area;
+      // Propagate areas bottom-up (nodes vector is in pre-order; walk in
+      // reverse so children are updated before parents).
+      for (int i = static_cast<int>(candidate.nodes.size()) - 1; i >= 0;
+           --i) {
+        TreeNode& n = candidate.nodes[i];
+        if (!n.is_leaf) {
+          n.area = candidate.nodes[n.left].area +
+                   candidate.nodes[n.right].area;
+        }
+      }
+    } else if (kind == 1 && !candidate.internal_nodes.empty()) {
+      // Flip a cut direction.
+      const std::size_t i = rng.below(candidate.internal_nodes.size());
+      TreeNode& n = candidate.nodes[candidate.internal_nodes[i]];
+      n.vertical = !n.vertical;
+    } else if (!candidate.internal_nodes.empty()) {
+      // Swap a node's children (mirrors the subtree).
+      const std::size_t i = rng.below(candidate.internal_nodes.size());
+      TreeNode& n = candidate.nodes[candidate.internal_nodes[i]];
+      std::swap(n.left, n.right);
+    } else {
+      continue;
+    }
+
+    Floorplan layout = layout_core(candidate, blocks);
+    double peak = 0.0;
+    const double cost = evaluate(layout, &peak);
+    ++result.evaluated_moves;
+
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(1e-9, temperature))) {
+      tree = std::move(candidate);
+      current_layout = std::move(layout);
+      current_cost = cost;
+      current_peak = peak;
+      ++result.accepted_moves;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_layout = current_layout;
+        best_peak = peak;
+      }
+    }
+  }
+
+  result.floorplan = assemble_die(best_layout, cfg.die_side);
+  result.peak_celsius = best_peak;
+  result.max_aspect = worst_aspect(best_layout);
+  return result;
+}
+
+}  // namespace hydra::floorplan

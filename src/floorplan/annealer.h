@@ -1,0 +1,76 @@
+// Thermal-aware floorplanning by simulated annealing over slicing trees.
+//
+// Hotspots are a *placement* phenomenon as much as a power one: the same
+// per-block powers produce different peak temperatures depending on
+// which hot blocks abut which cool ones (paper Section 2's spatial
+// gradients; thermal-aware floorplanning was pursued by the same group
+// as follow-on work). This module searches the space of slicing-tree
+// core layouts for one that minimises the steady-state hotspot.
+//
+// Representation: a slicing tree over the core blocks. Every leaf is a
+// block with a fixed area; internal nodes cut their region horizontally
+// or vertically, children receiving area-proportional shares — so every
+// tree tiles the square core bounding box exactly (zero whitespace),
+// with block aspect ratios soft-constrained through a cost penalty.
+// Moves: swap two leaves, flip a cut direction, swap a node's children.
+// Cost: peak steady-state temperature of the assembled die (core box at
+// the top-centre of the 16 mm die, L2 filling the remainder, the same
+// package as the DTM experiments) plus the aspect penalty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+#include "thermal/package.h"
+
+namespace hydra::floorplan {
+
+/// One core block to place: stable name, silicon area, dissipated power.
+struct CoreBlockSpec {
+  std::string_view name;
+  double area = 0.0;   ///< [m^2]
+  double watts = 0.0;  ///< steady power used for the thermal objective
+};
+
+struct AnnealerConfig {
+  int iterations = 2500;
+  double t_start = 3.0;        ///< initial annealing temperature [cost units]
+  double t_end = 0.02;
+  double aspect_limit = 4.0;   ///< soft max block aspect ratio
+  double aspect_penalty_weight = 0.5;  ///< [deg C per unit violation^2]
+  std::uint64_t seed = 1;
+  /// Side of the full die [m] and the L2 power split used when
+  /// assembling the evaluated die (defaults match the EV7-like die).
+  double die_side = 16e-3;
+  double l2_total_watts = 3.0;
+};
+
+struct AnnealResult {
+  Floorplan floorplan;            ///< full die (core + surrounding L2)
+  double peak_celsius = 0.0;      ///< steady-state hotspot of the result
+  double initial_peak_celsius = 0.0;  ///< hotspot of the starting layout
+  double max_aspect = 0.0;        ///< worst block aspect in the result
+  int accepted_moves = 0;
+  int evaluated_moves = 0;
+};
+
+/// Assemble a full die from a core floorplan (already tiling its own
+/// bounding box) by centring it at the top edge of the die and filling
+/// the remainder with the three L2 blocks. Throws if the core does not
+/// fit the die.
+Floorplan assemble_die(const Floorplan& core, double die_side);
+
+/// Run the annealer. `blocks` must be non-empty with positive areas.
+AnnealResult anneal_core_floorplan(const std::vector<CoreBlockSpec>& blocks,
+                                   const thermal::Package& pkg,
+                                   const AnnealerConfig& cfg = {});
+
+/// The EV7 core blocks (areas from ev7_floorplan()) paired with a given
+/// per-block power vector indexed by BlockId — convenience for driving
+/// the annealer with PowerModel output.
+std::vector<CoreBlockSpec> ev7_core_block_specs(
+    const std::vector<double>& block_watts);
+
+}  // namespace hydra::floorplan

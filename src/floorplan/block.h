@@ -1,0 +1,67 @@
+// Architectural blocks of the modelled processor.
+//
+// The floorplan follows Figure 2 of the paper: an Alpha-21264-style core
+// surrounded by L2 cache filling the rest of the die (the 21364's
+// multiprocessor logic is replaced by cache, as the paper does for
+// uniprocessor studies). Geometry is in metres, origin at the die's
+// lower-left corner.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace hydra::floorplan {
+
+/// Identifiers for every architectural block in the modelled floorplan.
+/// Order is stable and used to index per-block arrays throughout the
+/// power/thermal/activity pipeline.
+enum class BlockId : std::size_t {
+  kL2Left = 0,
+  kL2,
+  kL2Right,
+  kICache,
+  kDCache,
+  kBPred,
+  kDTB,
+  kFPAdd,
+  kFPReg,
+  kFPMul,
+  kFPMap,
+  kIntMap,
+  kIntQ,
+  kIntReg,
+  kIntExec,
+  kFPQ,
+  kLdStQ,
+  kITB,
+};
+
+inline constexpr std::size_t kNumBlocks = 18;
+
+/// Canonical display name of a block.
+constexpr std::string_view block_name(BlockId id) {
+  constexpr std::array<std::string_view, kNumBlocks> kNames = {
+      "L2_left", "L2",     "L2_right", "Icache", "Dcache", "Bpred",
+      "DTB",     "FPAdd",  "FPReg",    "FPMul",  "FPMap",  "IntMap",
+      "IntQ",    "IntReg", "IntExec",  "FPQ",    "LdStQ",  "ITB"};
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+/// Axis-aligned rectangular block. Invariant: width > 0 and height > 0
+/// (enforced by Floorplan::add).
+struct Block {
+  std::string_view name;
+  double x = 0.0;       ///< left edge [m]
+  double y = 0.0;       ///< bottom edge [m]
+  double width = 0.0;   ///< [m]
+  double height = 0.0;  ///< [m]
+
+  double area() const { return width * height; }
+  double right() const { return x + width; }
+  double top() const { return y + height; }
+  double center_x() const { return x + width / 2.0; }
+  double center_y() const { return y + height / 2.0; }
+};
+
+}  // namespace hydra::floorplan

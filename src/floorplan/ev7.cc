@@ -1,0 +1,61 @@
+#include "floorplan/ev7.h"
+
+namespace hydra::floorplan {
+namespace {
+
+constexpr double kMm = 1e-3;
+
+// Die and core dimensions. The 21364 die is roughly 16 mm on a side in
+// 0.13 um with the 21264 core occupying ~6.2 mm x 6.2 mm; the paper
+// replaces the multiprocessor logic with additional L2.
+constexpr double kDie = 16.0 * kMm;
+constexpr double kCore = 6.2 * kMm;
+constexpr double kCoreX0 = 4.9 * kMm;  // core left edge
+constexpr double kCoreY0 = 9.8 * kMm;  // core bottom edge
+
+}  // namespace
+
+Floorplan ev7_floorplan() {
+  Floorplan fp;
+  auto add = [&fp](BlockId id, double x_mm, double y_mm, double w_mm,
+                   double h_mm) {
+    fp.add(Block{block_name(id), kCoreX0 + x_mm * kMm, kCoreY0 + y_mm * kMm,
+                 w_mm * kMm, h_mm * kMm});
+  };
+  auto add_abs = [&fp](BlockId id, double x_mm, double y_mm, double w_mm,
+                       double h_mm) {
+    fp.add(Block{block_name(id), x_mm * kMm, y_mm * kMm, w_mm * kMm,
+                 h_mm * kMm});
+  };
+
+  // L2 surrounds the core: left and right flanks plus the bottom slab.
+  add_abs(BlockId::kL2Left, 0.0, 9.8, 4.9, 6.2);
+  add_abs(BlockId::kL2, 0.0, 0.0, 16.0, 9.8);
+  add_abs(BlockId::kL2Right, 11.1, 9.8, 4.9, 6.2);
+
+  // Core-internal layout (coordinates relative to the core origin, mm).
+  // Top band: branch predictor and I-cache.
+  add(BlockId::kICache, 3.1, 4.65, 3.1, 1.55);
+  // Bottom band: D-cache.
+  add(BlockId::kDCache, 1.1, 0.0, 5.1, 1.55);
+  add(BlockId::kBPred, 1.1, 4.65, 2.0, 1.55);
+  // Execute band.
+  add(BlockId::kDTB, 4.8, 1.55, 1.4, 1.55);
+  // FP cluster column on the far left.
+  add(BlockId::kFPAdd, 0.0, 0.0, 1.1, 1.55);
+  add(BlockId::kFPReg, 0.0, 1.55, 1.1, 1.55);
+  add(BlockId::kFPMul, 0.0, 3.1, 1.1, 1.55);
+  add(BlockId::kFPMap, 0.0, 4.65, 1.1, 1.55);
+  // Rename/issue band.
+  add(BlockId::kIntMap, 1.1, 3.1, 1.3, 1.55);
+  add(BlockId::kIntQ, 2.4, 3.1, 1.1, 1.55);
+  add(BlockId::kIntReg, 1.1, 1.55, 1.7, 1.55);
+  add(BlockId::kIntExec, 2.8, 1.55, 2.0, 1.55);
+  add(BlockId::kFPQ, 3.5, 3.1, 0.9, 1.55);
+  add(BlockId::kLdStQ, 4.4, 3.1, 0.9, 1.55);
+  add(BlockId::kITB, 5.3, 3.1, 0.9, 1.55);
+
+  return fp;
+}
+
+}  // namespace hydra::floorplan

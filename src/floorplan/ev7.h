@@ -1,0 +1,15 @@
+// Factory for the modelled Alpha-21364-like floorplan (paper Figure 2).
+#pragma once
+
+#include "floorplan/floorplan.h"
+
+namespace hydra::floorplan {
+
+/// Build the floorplan of Figure 2: a 21264-style core (15 blocks) placed
+/// at the top-centre of a 16 mm x 16 mm die, with L2 cache filling the
+/// remainder (split into left / right / bottom blocks). Block order
+/// matches BlockId, so `fp.block(static_cast<size_t>(BlockId::kIntReg))`
+/// is the integer register file.
+Floorplan ev7_floorplan();
+
+}  // namespace hydra::floorplan

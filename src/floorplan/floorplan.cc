@@ -1,0 +1,113 @@
+#include "floorplan/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::floorplan {
+namespace {
+
+/// Length of the overlap between intervals [a0,a1] and [b0,b1].
+double interval_overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+}  // namespace
+
+void Floorplan::add(Block block) {
+  if (block.width <= 0.0 || block.height <= 0.0) {
+    throw std::invalid_argument("block '" + std::string(block.name) +
+                                "' has non-positive dimensions");
+  }
+  if (index_of(block.name)) {
+    throw std::invalid_argument("duplicate block name '" +
+                                std::string(block.name) + "'");
+  }
+  blocks_.push_back(block);
+}
+
+std::optional<std::size_t> Floorplan::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+double Floorplan::die_width() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const Block& b : blocks_) {
+    if (first || b.x < lo) lo = first ? b.x : std::min(lo, b.x);
+    hi = first ? b.right() : std::max(hi, b.right());
+    first = false;
+  }
+  return blocks_.empty() ? 0.0 : hi - lo;
+}
+
+double Floorplan::die_height() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const Block& b : blocks_) {
+    if (first || b.y < lo) lo = first ? b.y : std::min(lo, b.y);
+    hi = first ? b.top() : std::max(hi, b.top());
+    first = false;
+  }
+  return blocks_.empty() ? 0.0 : hi - lo;
+}
+
+double Floorplan::total_block_area() const {
+  double area = 0.0;
+  for (const Block& b : blocks_) area += b.area();
+  return area;
+}
+
+bool Floorplan::overlap_free() const {
+  constexpr double kTol = 1e-12;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const Block& a = blocks_[i];
+      const Block& b = blocks_[j];
+      const double ox = interval_overlap(a.x, a.right(), b.x, b.right());
+      const double oy = interval_overlap(a.y, a.top(), b.y, b.top());
+      if (ox > kTol && oy > kTol) return false;
+    }
+  }
+  return true;
+}
+
+bool Floorplan::covers_die(double tol) const {
+  if (blocks_.empty()) return false;
+  if (!overlap_free()) return false;
+  const double die = die_area();
+  return std::abs(total_block_area() - die) <= tol * die;
+}
+
+std::vector<Adjacency> Floorplan::adjacencies(double tol) const {
+  std::vector<Adjacency> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const Block& a = blocks_[i];
+      const Block& b = blocks_[j];
+      // Vertical shared edge: a's right touches b's left or vice versa.
+      if (std::abs(a.right() - b.x) <= tol || std::abs(b.right() - a.x) <= tol) {
+        const double len = interval_overlap(a.y, a.top(), b.y, b.top());
+        if (len > tol) {
+          out.push_back({i, j, len, /*vertical_edge=*/true});
+          continue;
+        }
+      }
+      // Horizontal shared edge: a's top touches b's bottom or vice versa.
+      if (std::abs(a.top() - b.y) <= tol || std::abs(b.top() - a.y) <= tol) {
+        const double len = interval_overlap(a.x, a.right(), b.x, b.right());
+        if (len > tol) {
+          out.push_back({i, j, len, /*vertical_edge=*/false});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hydra::floorplan

@@ -1,0 +1,58 @@
+// Floorplan container: block geometry, validation, adjacency.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floorplan/block.h"
+
+namespace hydra::floorplan {
+
+/// Shared-edge adjacency between two blocks, used to derive lateral
+/// thermal resistances.
+struct Adjacency {
+  std::size_t a = 0;          ///< block index
+  std::size_t b = 0;          ///< block index, b > a
+  double shared_length = 0;   ///< length of the common edge [m]
+  bool vertical_edge = false; ///< true if blocks touch along a vertical edge
+};
+
+/// An immutable-after-build set of rectangular blocks tiling a die.
+class Floorplan {
+ public:
+  /// Add a block. Throws std::invalid_argument on non-positive dimensions
+  /// or duplicate names.
+  void add(Block block);
+
+  std::size_t size() const { return blocks_.size(); }
+  const Block& block(std::size_t i) const { return blocks_[i]; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Index of the block with the given name, if any.
+  std::optional<std::size_t> index_of(std::string_view name) const;
+
+  /// Bounding box of all blocks (the die outline).
+  double die_width() const;
+  double die_height() const;
+  double die_area() const { return die_width() * die_height(); }
+  /// Sum of block areas.
+  double total_block_area() const;
+
+  /// True when no two blocks overlap (touching edges allowed).
+  bool overlap_free() const;
+  /// True when block areas tile the bounding box within `tol` relative
+  /// error and no overlaps exist.
+  bool covers_die(double tol = 1e-9) const;
+
+  /// All pairs of blocks sharing a positive-length edge (within `tol`
+  /// alignment tolerance).
+  std::vector<Adjacency> adjacencies(double tol = 1e-12) const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace hydra::floorplan

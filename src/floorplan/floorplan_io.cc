@@ -1,0 +1,71 @@
+#include "floorplan/floorplan_io.h"
+
+#include <cctype>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace hydra::floorplan {
+namespace {
+
+/// Process-lifetime intern table so Block::name string_views stay valid.
+std::string_view intern(std::string s) {
+  static std::mutex mu;
+  static std::deque<std::string> table;
+  const std::scoped_lock lock(mu);
+  for (const std::string& existing : table) {
+    if (existing == s) return existing;
+  }
+  table.push_back(std::move(s));
+  return table.back();
+}
+
+}  // namespace
+
+std::string to_flp(const Floorplan& fp) {
+  std::ostringstream out;
+  out << "# hydra-dtm floorplan: name width height left bottom (metres)\n";
+  for (const Block& b : fp.blocks()) {
+    out << b.name << '\t' << util::CsvWriter::format_double(b.width) << '\t'
+        << util::CsvWriter::format_double(b.height) << '\t'
+        << util::CsvWriter::format_double(b.x) << '\t'
+        << util::CsvWriter::format_double(b.y) << '\n';
+  }
+  return out.str();
+}
+
+Floorplan from_flp(std::string_view text) {
+  Floorplan fp;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string name;
+    if (!(fields >> name)) continue;  // blank line
+    double w = 0.0;
+    double h = 0.0;
+    double x = 0.0;
+    double y = 0.0;
+    if (!(fields >> w >> h >> x >> y)) {
+      throw std::invalid_argument("flp line " + std::to_string(line_no) +
+                                  ": expected <name> <w> <h> <x> <y>");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("flp line " + std::to_string(line_no) +
+                                  ": unexpected trailing field '" + extra +
+                                  "'");
+    }
+    fp.add(Block{intern(std::move(name)), x, y, w, h});
+  }
+  return fp;
+}
+
+}  // namespace hydra::floorplan

@@ -1,0 +1,93 @@
+#include "power/array_energy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::power {
+namespace {
+
+/// Wordline + bitline energy common to reads and writes.
+double wire_energy(const ArrayGeometry& g, const ArrayTechnology& tech,
+                   double bitline_swing_fraction) {
+  if (g.rows == 0 || g.cols == 0 || g.read_ports + g.write_ports == 0) {
+    throw std::invalid_argument("array geometry must be non-degenerate");
+  }
+  const double ports = static_cast<double>(g.read_ports + g.write_ports);
+  // Cell pitch grows with ports (extra wordlines/bitlines per cell).
+  const double pitch =
+      tech.cell_pitch * (1.0 + tech.port_pitch_factor * (ports - 1.0));
+
+  // Wordline: spans all columns; drives one access gate per column.
+  const double wl_length = static_cast<double>(g.cols) * pitch;
+  const double wl_cap = wl_length * tech.wire_cap_per_m +
+                        static_cast<double>(g.cols) * tech.cell_gate_cap;
+  const double e_wordline = wl_cap * tech.vdd * tech.vdd;
+
+  // Bitlines: one per column, spanning all rows; a drain cap per row.
+  const double bl_length = static_cast<double>(g.rows) * pitch;
+  const double bl_cap = bl_length * tech.wire_cap_per_m +
+                        static_cast<double>(g.rows) * tech.cell_drain_cap;
+  const double e_bitlines = static_cast<double>(g.cols) * bl_cap *
+                            tech.vdd * tech.vdd * bitline_swing_fraction;
+
+  return e_wordline + e_bitlines;
+}
+
+double decoder_energy(const ArrayGeometry& g, const ArrayTechnology& tech) {
+  const double addr_bits =
+      std::max(1.0, std::log2(static_cast<double>(g.rows)));
+  return addr_bits * tech.decoder_energy_per_bit;
+}
+
+}  // namespace
+
+double array_read_energy(const ArrayGeometry& g,
+                         const ArrayTechnology& tech) {
+  // Reads use a limited bitline swing terminated by sense amps.
+  const double e = decoder_energy(g, tech) +
+                   wire_energy(g, tech, /*bitline_swing_fraction=*/0.15) +
+                   static_cast<double>(g.cols) * tech.sense_amp_energy +
+                   static_cast<double>(g.cols) * tech.driver_energy_per_bit;
+  return e;
+}
+
+double array_write_energy(const ArrayGeometry& g,
+                          const ArrayTechnology& tech) {
+  // Writes drive full-swing bitlines; no sensing.
+  return decoder_energy(g, tech) +
+         wire_energy(g, tech, /*bitline_swing_fraction=*/1.0);
+}
+
+double array_peak_power(const ArrayGeometry& g, double frequency,
+                        const ArrayTechnology& tech) {
+  if (frequency <= 0.0) {
+    throw std::invalid_argument("frequency must be positive");
+  }
+  const double per_cycle =
+      static_cast<double>(g.read_ports) * array_read_energy(g, tech) +
+      static_cast<double>(g.write_ports) * array_write_energy(g, tech);
+  return per_cycle * frequency;
+}
+
+ArrayGeometry int_register_file_geometry() {
+  // 21264-class: 80 physical integer registers, 64-bit, heavily ported
+  // (two clusters of 4R/2W in the real chip; modelled flat here).
+  return {80, 64, 8, 4};
+}
+
+ArrayGeometry fp_register_file_geometry() { return {72, 64, 4, 2}; }
+
+ArrayGeometry icache_geometry() {
+  // 64 KB banked into subarrays; one 256-row x 128-col subarray is
+  // active per access (CACTI-style banking).
+  return {256, 128, 1, 1};
+}
+
+ArrayGeometry dcache_geometry() { return {256, 128, 2, 1}; }
+
+ArrayGeometry bpred_geometry() {
+  // 8K 2-bit counters organised 256 x 64.
+  return {256, 64, 1, 1};
+}
+
+}  // namespace hydra::power

@@ -1,0 +1,71 @@
+// First-principles per-access energy for array structures (CACTI-style,
+// heavily simplified) — the derivation behind Wattch-class power models.
+//
+// Wattch derives per-access energies of caches, register files, queues
+// and predictors from their geometry (rows x cols x ports) using
+// capacitance estimates for decoders, wordlines, bitlines and sense
+// amps. This module reimplements that chain with 0.13 um technology
+// constants, both to document where the EnergyModel calibration comes
+// from and to let users derive specs for alternative configurations
+// (bigger register files, different cache organisations).
+//
+//   E_access ~= E_decode + E_wordline + E_bitline + E_senseamp + E_drive
+//
+// Absolute values carry large uncertainty (as they do in Wattch); the
+// model's value is in *relative* scaling: energy grows with rows, cols
+// and ports in the right proportions (verified by tests). Two known
+// omissions, shared with simple CACTI models: the bypass network and
+// per-structure clock load, which dominate heavily-ported register
+// files in practice — Wattch adds separate clock/result-bus components
+// for exactly this reason, and EnergyModel's calibrated table folds
+// them into the per-block peaks.
+#pragma once
+
+#include <cstddef>
+
+namespace hydra::power {
+
+/// 0.13 um technology constants used by the energy equations.
+struct ArrayTechnology {
+  double vdd = 1.3;                 ///< [V]
+  double wire_cap_per_m = 240e-12;  ///< wordline/bitline wire [F/m]
+  double cell_gate_cap = 1.4e-15;   ///< access-transistor gate [F]
+  double cell_drain_cap = 1.1e-15;  ///< pass-transistor drain on bitline [F]
+  double sense_amp_energy = 8e-15;  ///< per column sensed [J]
+  double decoder_energy_per_bit = 3.5e-15;  ///< per address bit [J]
+  double driver_energy_per_bit = 4e-15;     ///< output driver per bit [J]
+  double cell_pitch = 2.4e-6;       ///< SRAM cell pitch [m] (per port growth
+                                    ///  is handled separately)
+  /// Wordline/bitline length grows with port count (wider cells).
+  double port_pitch_factor = 0.6;
+};
+
+/// Geometry of one array structure.
+struct ArrayGeometry {
+  std::size_t rows = 64;
+  std::size_t cols = 64;        ///< bits per row (data width read per access)
+  std::size_t read_ports = 1;
+  std::size_t write_ports = 1;
+};
+
+/// Energy of one read access [J].
+double array_read_energy(const ArrayGeometry& g,
+                         const ArrayTechnology& tech = {});
+
+/// Energy of one write access [J] (no sense amps; full bitline swing).
+double array_write_energy(const ArrayGeometry& g,
+                          const ArrayTechnology& tech = {});
+
+/// Peak power [W] if every port is used every cycle at `frequency`.
+double array_peak_power(const ArrayGeometry& g, double frequency,
+                        const ArrayTechnology& tech = {});
+
+/// Geometry of the EV7-like core's main array structures, for deriving
+/// an energy table comparable to EnergyModel's calibrated one.
+ArrayGeometry int_register_file_geometry();  ///< 80 regs x 64b, 8R/4W ports
+ArrayGeometry fp_register_file_geometry();   ///< 72 regs x 64b, 4R/2W
+ArrayGeometry icache_geometry();             ///< active 256x128 subarray
+ArrayGeometry dcache_geometry();             ///< active subarray, 2 ports
+ArrayGeometry bpred_geometry();              ///< 8K x 2-bit counters
+
+}  // namespace hydra::power

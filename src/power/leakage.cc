@@ -1,0 +1,52 @@
+#include "power/leakage.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::power {
+
+using floorplan::BlockId;
+
+namespace {
+
+/// True for the SRAM-array blocks (caches), which leak less per area than
+/// hot logic thanks to higher-Vth cells.
+bool is_sram(BlockId id) {
+  switch (id) {
+    case BlockId::kL2Left:
+    case BlockId::kL2:
+    case BlockId::kL2Right:
+    case BlockId::kICache:
+    case BlockId::kDCache:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Areal leakage densities at T0 = 60 C, Vnom [W/m^2].
+constexpr double kLogicDensity = 4.0e4;  // 0.04 W/mm^2
+constexpr double kSramDensity = 1.2e4;   // 0.012 W/mm^2
+
+}  // namespace
+
+LeakageModel::LeakageModel(const floorplan::Floorplan& fp) {
+  if (fp.size() != floorplan::kNumBlocks) {
+    throw std::invalid_argument(
+        "LeakageModel expects the full EV7-like floorplan");
+  }
+  for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
+    const auto id = static_cast<BlockId>(i);
+    const double density = is_sram(id) ? kSramDensity : kLogicDensity;
+    base_watts_[i] = density * fp.block(i).area();
+  }
+}
+
+double LeakageModel::power(BlockId id, double celsius, double voltage) const {
+  const double base = base_watts_[static_cast<std::size_t>(id)];
+  const double v_scale = voltage / v_nominal_;
+  return base * v_scale *
+         std::exp(beta_per_kelvin_ * (celsius - t0_celsius_));
+}
+
+}  // namespace hydra::power

@@ -1,0 +1,39 @@
+// Temperature-dependent leakage model.
+//
+// The paper updates Wattch's leakage model so leakage is a function of
+// temperature using ITRS 0.13 um projections. We use the standard
+// empirical exponential form
+//     P_leak = rho * A * (V / Vnom) * exp(beta * (T - T0))
+// where rho is an areal leakage density at the reference temperature T0.
+// beta = 0.017 / K doubles leakage roughly every 40 K, consistent with
+// subthreshold behaviour at the 0.13 um node. SRAM-dominated blocks use a
+// lower density than hot logic.
+#pragma once
+
+#include <array>
+
+#include "floorplan/block.h"
+#include "floorplan/floorplan.h"
+
+namespace hydra::power {
+
+class LeakageModel {
+ public:
+  /// `fp` supplies per-block areas; densities use defaults below.
+  explicit LeakageModel(const floorplan::Floorplan& fp);
+
+  /// Leakage power [W] of block `id` at temperature `celsius` and supply
+  /// `voltage`.
+  double power(floorplan::BlockId id, double celsius, double voltage) const;
+
+  double reference_celsius() const { return t0_celsius_; }
+  double v_nominal() const { return v_nominal_; }
+
+ private:
+  std::array<double, floorplan::kNumBlocks> base_watts_{};  ///< at T0, Vnom
+  double t0_celsius_ = 60.0;
+  double beta_per_kelvin_ = 0.017;
+  double v_nominal_ = 1.3;
+};
+
+}  // namespace hydra::power

@@ -1,0 +1,35 @@
+#include "power/power_model.h"
+
+#include <stdexcept>
+
+namespace hydra::power {
+
+PowerModel::PowerModel(const floorplan::Floorplan& fp, EnergyModel energy)
+    : energy_(std::move(energy)), leakage_(fp) {}
+
+std::vector<double> PowerModel::block_power(
+    const arch::ActivityFrame& frame, double voltage, double frequency,
+    const std::vector<double>& celsius) const {
+  if (celsius.size() < floorplan::kNumBlocks) {
+    throw std::invalid_argument("temperature vector too short");
+  }
+  std::vector<double> watts(floorplan::kNumBlocks, 0.0);
+  for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
+    const auto id = static_cast<floorplan::BlockId>(i);
+    watts[i] = energy_.dynamic_power(frame, id, voltage, frequency) +
+               leakage_.power(id, celsius[i], voltage);
+  }
+  return watts;
+}
+
+double PowerModel::total_power(const arch::ActivityFrame& frame,
+                               double voltage, double frequency,
+                               const std::vector<double>& celsius) const {
+  double total = 0.0;
+  for (double w : block_power(frame, voltage, frequency, celsius)) {
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace hydra::power

@@ -1,0 +1,108 @@
+#include "sensor/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hydra::sensor {
+namespace {
+
+void validate_trace(const TemperatureTrace& trace) {
+  if (trace.empty() || trace[0].empty()) {
+    throw std::invalid_argument("temperature trace must be non-empty");
+  }
+  for (const auto& row : trace) {
+    if (row.size() != trace[0].size()) {
+      throw std::invalid_argument("ragged temperature trace");
+    }
+  }
+}
+
+}  // namespace
+
+double placement_worst_error(const TemperatureTrace& trace,
+                             const std::vector<std::size_t>& subset) {
+  validate_trace(trace);
+  if (subset.empty()) {
+    throw std::invalid_argument("sensor subset must be non-empty");
+  }
+  const std::size_t blocks = trace[0].size();
+  for (std::size_t b : subset) {
+    if (b >= blocks) throw std::invalid_argument("block index out of range");
+  }
+  double worst = 0.0;
+  for (const auto& row : trace) {
+    const double truth = *std::max_element(row.begin(), row.end());
+    double sensed = -std::numeric_limits<double>::infinity();
+    for (std::size_t b : subset) sensed = std::max(sensed, row[b]);
+    worst = std::max(worst, truth - sensed);
+  }
+  return worst;
+}
+
+PlacementResult greedy_placement(const TemperatureTrace& trace,
+                                 std::size_t count) {
+  validate_trace(trace);
+  const std::size_t blocks = trace[0].size();
+  if (count == 0 || count > blocks) {
+    throw std::invalid_argument("sensor count out of range");
+  }
+  PlacementResult result;
+  std::vector<bool> chosen(blocks, false);
+  for (std::size_t k = 0; k < count; ++k) {
+    double best_error = std::numeric_limits<double>::infinity();
+    std::size_t best_block = blocks;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (chosen[b]) continue;
+      std::vector<std::size_t> candidate = result.blocks;
+      candidate.push_back(b);
+      const double err = placement_worst_error(trace, candidate);
+      if (err < best_error) {
+        best_error = err;
+        best_block = b;
+      }
+    }
+    chosen[best_block] = true;
+    result.blocks.push_back(best_block);
+    result.worst_error = best_error;
+    if (best_error == 0.0) break;  // already exact
+  }
+  std::sort(result.blocks.begin(), result.blocks.end());
+  return result;
+}
+
+PlacementResult exhaustive_placement(const TemperatureTrace& trace,
+                                     std::size_t count) {
+  validate_trace(trace);
+  const std::size_t blocks = trace[0].size();
+  if (count == 0 || count > blocks) {
+    throw std::invalid_argument("sensor count out of range");
+  }
+  // Iterate all subsets of the given size via a selection mask.
+  std::vector<std::size_t> indices(count);
+  for (std::size_t i = 0; i < count; ++i) indices[i] = i;
+
+  PlacementResult best;
+  best.worst_error = std::numeric_limits<double>::infinity();
+  while (true) {
+    const double err = placement_worst_error(trace, indices);
+    if (err < best.worst_error) {
+      best.worst_error = err;
+      best.blocks = indices;
+    }
+    // Advance the combination.
+    std::size_t i = count;
+    while (i-- > 0) {
+      if (indices[i] != i + blocks - count) {
+        ++indices[i];
+        for (std::size_t j = i + 1; j < count; ++j) {
+          indices[j] = indices[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return best;
+    }
+  }
+}
+
+}  // namespace hydra::sensor

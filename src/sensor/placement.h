@@ -1,0 +1,44 @@
+// Thermal sensor placement optimisation.
+//
+// Paper Section 3: "Sensor placement is also important: if the critical
+// transistors in a sensor are not co-located with potential hotspots,
+// the observed temperature may be cooler than the actual hotspots which
+// we are attempting to regulate. This requires an additional design
+// margin...". Given recorded per-block temperature traces, this module
+// selects a sensor subset that minimises exactly that margin: the worst
+// (over time) amount by which the hottest *instrumented* block
+// under-reads the true chip hotspot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hydra::sensor {
+
+/// Per-time-step temperatures: samples[t][b] = block b at step t.
+using TemperatureTrace = std::vector<std::vector<double>>;
+
+/// Result of a placement search.
+struct PlacementResult {
+  std::vector<std::size_t> blocks;  ///< chosen block indices, ascending
+  /// max over time of (true hotspot - hottest instrumented block) [deg C]
+  /// — the extra design margin this placement requires.
+  double worst_error = 0.0;
+};
+
+/// Worst-case under-read of `subset` over the trace. Throws
+/// std::invalid_argument on an empty trace/subset or ragged rows.
+double placement_worst_error(const TemperatureTrace& trace,
+                             const std::vector<std::size_t>& subset);
+
+/// Greedy forward selection of `count` sensor locations: each step adds
+/// the block that most reduces the worst error. O(count * blocks * T).
+PlacementResult greedy_placement(const TemperatureTrace& trace,
+                                 std::size_t count);
+
+/// Exhaustive search over all subsets of size `count` (use for small
+/// problems; cost is C(blocks, count) * T).
+PlacementResult exhaustive_placement(const TemperatureTrace& trace,
+                                     std::size_t count);
+
+}  // namespace hydra::sensor

@@ -1,0 +1,45 @@
+#include "sensor/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::sensor {
+
+SensorBank::SensorBank(std::size_t count, const SensorConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (count == 0) throw std::invalid_argument("sensor bank needs sensors");
+  if (cfg.quantization < 0.0 || cfg.noise_sigma < 0.0 ||
+      cfg.max_offset < 0.0 || cfg.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("bad sensor configuration");
+  }
+  offsets_.resize(count, 0.0);
+  if (cfg_.enable_offset) {
+    for (double& o : offsets_) o = -rng_.uniform(0.0, cfg_.max_offset);
+  }
+}
+
+std::vector<double> SensorBank::sample(const std::vector<double>& truth) {
+  if (truth.size() < offsets_.size()) {
+    throw std::invalid_argument("truth vector shorter than sensor bank");
+  }
+  std::vector<double> out(offsets_.size());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    double v = truth[i] + offsets_[i];
+    if (cfg_.enable_noise && cfg_.noise_sigma > 0.0) {
+      v += rng_.gaussian(0.0, cfg_.noise_sigma);
+    }
+    if (cfg_.quantization > 0.0) {
+      v = std::round(v / cfg_.quantization) * cfg_.quantization;
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+double SensorBank::sample_max(const std::vector<double>& truth) {
+  const std::vector<double> s = sample(truth);
+  return *std::max_element(s.begin(), s.end());
+}
+
+}  // namespace hydra::sensor

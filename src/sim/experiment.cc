@@ -1,0 +1,184 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace hydra::sim {
+
+std::string policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone:
+      return "baseline";
+    case PolicyKind::kDvs:
+      return "DVS";
+    case PolicyKind::kFetchGating:
+      return "FG";
+    case PolicyKind::kFixedFetchGating:
+      return "FG-fixed";
+    case PolicyKind::kClockGating:
+      return "ClockGate";
+    case PolicyKind::kPiHybrid:
+      return "PI-Hyb";
+    case PolicyKind::kHybrid:
+      return "Hyb";
+    case PolicyKind::kProactiveHybrid:
+      return "Pro-Hyb";
+    case PolicyKind::kLocalToggle:
+      return "LocalToggle";
+    case PolicyKind::kFallback:
+      return "Fallback";
+  }
+  return "?";
+}
+
+power::DvsLadder make_ladder(const SimConfig& cfg) {
+  const power::VoltageFrequencyCurve curve(cfg.v_nominal, cfg.f_nominal,
+                                           cfg.v_threshold, cfg.vf_alpha);
+  return power::DvsLadder(curve, cfg.dvs_steps, cfg.v_low_fraction);
+}
+
+std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
+                                             const PolicyParams& params,
+                                             const SimConfig& cfg) {
+  // Integral gains are specified in paper-time (deg C * s); under time
+  // acceleration every thermal time constant shrinks by time_scale, so
+  // the gains scale up by the same factor to keep the closed-loop
+  // dynamics dimensionless-identical (DESIGN.md).
+  const double ts = cfg.time_scale;
+  switch (kind) {
+    case PolicyKind::kNone:
+      return nullptr;
+    case PolicyKind::kDvs: {
+      core::DvsPolicyConfig dvs = params.dvs;
+      dvs.ki *= ts;
+      return std::make_unique<core::DvsPolicy>(make_ladder(cfg),
+                                               cfg.thresholds, dvs);
+    }
+    case PolicyKind::kFetchGating: {
+      core::FetchGatingConfig fg = params.fetch_gating;
+      fg.mode = core::FetchGatingConfig::Mode::kIntegral;
+      fg.ki *= ts;
+      return std::make_unique<core::FetchGatingPolicy>(cfg.thresholds, fg);
+    }
+    case PolicyKind::kFixedFetchGating: {
+      core::FetchGatingConfig fg = params.fetch_gating;
+      fg.mode = core::FetchGatingConfig::Mode::kFixed;
+      return std::make_unique<core::FetchGatingPolicy>(cfg.thresholds, fg);
+    }
+    case PolicyKind::kClockGating:
+      return std::make_unique<core::ClockGatingPolicy>(cfg.thresholds,
+                                                       params.clock_gating);
+    case PolicyKind::kPiHybrid: {
+      core::HybridConfig hy = params.hybrid;
+      hy.ki *= ts;
+      return std::make_unique<core::PiHybridPolicy>(make_ladder(cfg),
+                                                    cfg.thresholds, hy);
+    }
+    case PolicyKind::kHybrid:
+      return std::make_unique<core::HybridPolicy>(
+          make_ladder(cfg), cfg.thresholds, params.hybrid);
+    case PolicyKind::kProactiveHybrid: {
+      core::ProactiveConfig pro = params.proactive;
+      // The horizon is paper-time like every other duration: compress it.
+      pro.horizon_seconds /= ts;
+      return std::make_unique<core::ProactiveHybridPolicy>(
+          make_ladder(cfg), cfg.thresholds, pro);
+    }
+    case PolicyKind::kLocalToggle: {
+      core::LocalToggleConfig lt = params.local_toggle;
+      lt.ki *= ts;
+      return std::make_unique<core::LocalTogglePolicy>(cfg.thresholds, lt);
+    }
+    case PolicyKind::kFallback: {
+      core::FallbackConfig fb = params.fallback;
+      fb.ki *= ts;
+      return std::make_unique<core::FallbackPolicy>(make_ladder(cfg),
+                                                    cfg.thresholds, fb);
+    }
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+SimConfig default_sim_config() {
+  SimConfig cfg;
+  cfg.run_instructions =
+      env_u64("HYDRA_RUN_INSTRUCTIONS", cfg.run_instructions);
+  cfg.warmup_instructions =
+      env_u64("HYDRA_WARMUP_INSTRUCTIONS", cfg.warmup_instructions);
+  return cfg;
+}
+
+std::vector<double> SuiteResult::slowdowns() const {
+  std::vector<double> out;
+  out.reserve(per_benchmark.size());
+  for (const ExperimentResult& r : per_benchmark) out.push_back(r.slowdown);
+  return out;
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig base_cfg)
+    : base_cfg_(std::move(base_cfg)) {}
+
+const RunResult& ExperimentRunner::baseline(
+    const workload::WorkloadProfile& profile) {
+  auto it = baseline_cache_.find(profile.name);
+  if (it == baseline_cache_.end()) {
+    System system(profile, base_cfg_, nullptr);
+    it = baseline_cache_.emplace(profile.name, system.run()).first;
+  }
+  return it->second;
+}
+
+ExperimentResult ExperimentRunner::run(
+    const workload::WorkloadProfile& profile, PolicyKind kind,
+    const PolicyParams& params, const SimConfig& cfg) {
+  ExperimentResult result;
+  result.baseline = baseline(profile);
+  System system(profile, cfg, make_policy(kind, params, cfg));
+  result.dtm = system.run();
+  result.slowdown = result.baseline.wall_seconds > 0.0
+                        ? result.dtm.wall_seconds /
+                              result.baseline.wall_seconds
+                        : 1.0;
+  return result;
+}
+
+ExperimentResult ExperimentRunner::run(
+    const workload::WorkloadProfile& profile, PolicyKind kind,
+    const PolicyParams& params) {
+  return run(profile, kind, params, base_cfg_);
+}
+
+SuiteResult ExperimentRunner::run_suite(PolicyKind kind,
+                                        const PolicyParams& params,
+                                        const SimConfig& cfg) {
+  SuiteResult suite;
+  util::RunningStats stats;
+  for (const workload::WorkloadProfile& profile :
+       workload::spec2000_hot_profiles()) {
+    suite.per_benchmark.push_back(run(profile, kind, params, cfg));
+    stats.add(suite.per_benchmark.back().slowdown);
+  }
+  suite.mean_slowdown = stats.mean();
+  const std::vector<double> xs = suite.slowdowns();
+  suite.ci99_half_width = util::confidence_half_width_99(xs);
+  return suite;
+}
+
+SuiteResult ExperimentRunner::run_suite(PolicyKind kind,
+                                        const PolicyParams& params) {
+  return run_suite(kind, params, base_cfg_);
+}
+
+}  // namespace hydra::sim

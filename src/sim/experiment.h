@@ -1,0 +1,113 @@
+// Experiment harness: policy construction, baseline caching, slowdown
+// measurement, and benchmark-suite aggregation — the machinery behind
+// every figure and table reproduction (see DESIGN.md experiment index).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clock_gating_policy.h"
+#include "core/dvs_policy.h"
+#include "core/fetch_gating_policy.h"
+#include "core/hybrid_policy.h"
+#include "core/fallback_policy.h"
+#include "core/local_toggle_policy.h"
+#include "core/proactive_policy.h"
+#include "sim/system.h"
+#include "workload/spec_profiles.h"
+
+namespace hydra::sim {
+
+enum class PolicyKind {
+  kNone,             ///< baseline: no DTM
+  kDvs,              ///< stand-alone DVS
+  kFetchGating,      ///< integral-controlled fetch gating
+  kFixedFetchGating, ///< fixed-duty fetch gating (Figure 3b sweeps)
+  kClockGating,      ///< Pentium-4-style global clock gating
+  kPiHybrid,         ///< PI-Hyb
+  kHybrid,           ///< Hyb (controller-free)
+  kProactiveHybrid,  ///< extension: slope-predictive Hyb (paper future work)
+  kLocalToggle,      ///< issue-domain toggling (paper Section 2, [17])
+  kFallback,         ///< DEETM-style fallback hierarchy (paper Section 2, [8])
+};
+
+std::string policy_kind_name(PolicyKind kind);
+
+/// Tunables for make_policy. Defaults reproduce the paper's headline
+/// configuration: binary DVS, integral fetch gating capped at 2/3, and
+/// hybrid crossover at gating fraction 1/3.
+struct PolicyParams {
+  core::DvsPolicyConfig dvs{};
+  core::FetchGatingConfig fetch_gating{};
+  core::ClockGatingConfig clock_gating{};
+  core::HybridConfig hybrid{};
+  core::ProactiveConfig proactive{};
+  core::LocalToggleConfig local_toggle{};
+  core::FallbackConfig fallback{};
+};
+
+/// Build the DVS ladder implied by a SimConfig.
+power::DvsLadder make_ladder(const SimConfig& cfg);
+
+/// Instantiate a policy (nullptr for kNone).
+std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
+                                             const PolicyParams& params,
+                                             const SimConfig& cfg);
+
+/// Default simulation configuration for experiments. Honours the
+/// HYDRA_RUN_INSTRUCTIONS / HYDRA_WARMUP_INSTRUCTIONS environment
+/// variables so CI can run abbreviated sweeps.
+SimConfig default_sim_config();
+
+/// One DTM run paired with its baseline.
+struct ExperimentResult {
+  RunResult dtm;
+  RunResult baseline;
+  /// Execution-time ratio dtm/baseline (>= 1 when DTM slows the run).
+  double slowdown = 1.0;
+};
+
+/// Mean over the nine-benchmark suite.
+struct SuiteResult {
+  std::vector<ExperimentResult> per_benchmark;
+  double mean_slowdown = 1.0;
+  /// Half-width of the 99 % confidence interval on the mean slowdown.
+  double ci99_half_width = 0.0;
+
+  std::vector<double> slowdowns() const;
+};
+
+/// Runs experiments, caching one baseline per benchmark. The cache is
+/// keyed by benchmark name: per-run SimConfig overrides passed to run()
+/// must only change DTM-side parameters (DVS ladder, switch behaviour,
+/// policy thresholds), which do not affect the DTM-free baseline.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(SimConfig base_cfg);
+
+  const SimConfig& base_config() const { return base_cfg_; }
+
+  /// Baseline (no-DTM) run for a benchmark, cached.
+  const RunResult& baseline(const workload::WorkloadProfile& profile);
+
+  /// Run `kind` under `cfg` and pair it with the cached baseline.
+  ExperimentResult run(const workload::WorkloadProfile& profile,
+                       PolicyKind kind, const PolicyParams& params,
+                       const SimConfig& cfg);
+  /// Same with the runner's base config.
+  ExperimentResult run(const workload::WorkloadProfile& profile,
+                       PolicyKind kind, const PolicyParams& params = {});
+
+  /// Run the whole nine-benchmark suite.
+  SuiteResult run_suite(PolicyKind kind, const PolicyParams& params,
+                        const SimConfig& cfg);
+  SuiteResult run_suite(PolicyKind kind, const PolicyParams& params = {});
+
+ private:
+  SimConfig base_cfg_;
+  std::map<std::string, RunResult> baseline_cache_;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,65 @@
+// Configuration of a full co-simulation run (paper Section 3 setup).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/core_config.h"
+#include "core/dtm_policy.h"
+#include "sensor/sensor.h"
+#include "thermal/package.h"
+
+namespace hydra::sim {
+
+struct SimConfig {
+  // --- Operating point / DVS ------------------------------------------
+  double v_nominal = 1.3;        ///< [V]
+  double f_nominal = 3.0e9;      ///< [Hz]
+  double v_threshold = 0.35;     ///< device Vth for the f(V) curve [V]
+  double vf_alpha = 1.3;         ///< alpha-power-law exponent
+  double v_low_fraction = 0.85;  ///< paper: largest safe low voltage
+  std::size_t dvs_steps = 2;     ///< binary DVS by default
+  /// Time to change the DVS setting [s]; paper: 10 us.
+  double dvs_switch_time = 10e-6;
+  /// true: pipeline stalls during the switch ("DVS-stall");
+  /// false: execution continues, new point applies after the switch
+  /// ("DVS-ideal").
+  bool dvs_stall = true;
+
+  // --- Thermal / DTM -----------------------------------------------------
+  core::DtmThresholds thresholds{};
+  thermal::Package package{};
+  /// Global clock-gating quantum [s]; paper (Pentium 4): 2 us.
+  double clock_gate_quantum = 2e-6;
+  /// Power/thermal accounting interval [cycles]; paper: 10,000 (with
+  /// time_scale = 1). Scaled down alongside time_scale so the interval
+  /// stays well below the sensor sampling period.
+  long long thermal_interval_cycles = 5'000;
+
+  // --- Time acceleration --------------------------------------------------
+  /// Uniform compression of every thermal/DTM time constant (capacitances,
+  /// sensor period, DVS switch time, clock quantum are all divided by
+  /// this). 1.0 reproduces the paper's literal timings; the default of 40
+  /// preserves all dimensionless dynamics while letting runs of a few
+  /// million cycles span several silicon thermal time constants
+  /// (DESIGN.md).
+  double time_scale = 40.0;
+
+  // --- Sensors -------------------------------------------------------------
+  sensor::SensorConfig sensor{};
+
+  // --- Core / run length ----------------------------------------------------
+  arch::CoreConfig core{};
+  /// Instructions run before measurement begins (after steady-state
+  /// thermal initialisation); the policy is active during warm-up.
+  std::uint64_t warmup_instructions = 1'600'000;
+  /// Instructions measured for slowdown.
+  std::uint64_t run_instructions = 3'000'000;
+  /// Instructions used to estimate representative activity for the
+  /// steady-state thermal initialisation. 0 (default) sizes the probe
+  /// automatically to one full phase rotation of the workload (capped at
+  /// 2M), so the quasi-static heat-sink temperature reflects the
+  /// workload's long-run average power rather than a single phase.
+  std::uint64_t activity_probe_instructions = 0;
+};
+
+}  // namespace hydra::sim

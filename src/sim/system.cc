@@ -1,0 +1,282 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "floorplan/ev7.h"
+#include "thermal/solver.h"
+
+namespace hydra::sim {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+thermal::ThermalModel make_model(const floorplan::Floorplan& fp,
+                                 const SimConfig& cfg) {
+  if (cfg.time_scale <= 0.0) {
+    throw std::invalid_argument("time_scale must be positive");
+  }
+  thermal::ThermalModel m = thermal::build_thermal_model(fp, cfg.package);
+  m.network.scale_capacitances(cfg.time_scale);
+  return m;
+}
+
+double max_block_temp(const thermal::Vector& temps, std::size_t blocks) {
+  double m = temps[0];
+  for (std::size_t i = 1; i < blocks; ++i) m = std::max(m, temps[i]);
+  return m;
+}
+
+}  // namespace
+
+System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
+               std::unique_ptr<core::DtmPolicy> policy)
+    : cfg_(cfg),
+      fp_(floorplan::ev7_floorplan()),
+      model_(make_model(fp_, cfg)),
+      vf_curve_(cfg.v_nominal, cfg.f_nominal, cfg.v_threshold, cfg.vf_alpha),
+      ladder_(vf_curve_, cfg.dvs_steps, cfg.v_low_fraction),
+      power_(fp_, power::EnergyModel()),
+      trace_(profile),
+      core_(cfg.core, trace_),
+      sensors_(floorplan::kNumBlocks, cfg.sensor),
+      policy_(std::move(policy)),
+      solver_(model_.network, cfg.package.ambient_celsius) {
+  sensor_period_ = 1.0 / cfg_.sensor.sample_rate_hz / cfg_.time_scale;
+  switch_time_ = cfg_.dvs_switch_time / cfg_.time_scale;
+  gate_quantum_ = cfg_.clock_gate_quantum / cfg_.time_scale;
+  acc_.block_temp_weighted.assign(floorplan::kNumBlocks, 0.0);
+  benchmark_name_ = profile.name;
+  probe_auto_instructions_ = 0;
+  for (const workload::PhaseSpec& ph : profile.phases) {
+    probe_auto_instructions_ += ph.length_instructions;
+  }
+  if (probe_auto_instructions_ == 0) probe_auto_instructions_ = 300'000;
+}
+
+void System::initialize_thermal_state() {
+  // Probe a representative slice of the workload for its activity. A
+  // warm-up third is discarded (cold compulsory misses would bias the
+  // estimate low); the measured window then spans one full phase
+  // rotation so the estimate reflects long-run average power.
+  std::uint64_t probe = cfg_.activity_probe_instructions;
+  if (probe == 0) {
+    probe = std::min<std::uint64_t>(probe_auto_instructions_, 2'000'000);
+  }
+  const std::uint64_t start = core_.committed();
+  while (core_.committed() < start + probe / 3) core_.cycle();
+  core_.take_interval_activity();
+  while (core_.committed() < start + probe / 3 + probe) core_.cycle();
+  const arch::ActivityFrame frame = core_.take_interval_activity();
+
+  // Power <-> temperature fixed point (leakage depends on temperature).
+  const double ambient = cfg_.package.ambient_celsius;
+  thermal::Vector temps(model_.network.size(), ambient + 30.0);
+  const auto& nominal = ladder_.point(0);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::vector<double> watts = power_.block_power(
+        frame, nominal.voltage, nominal.frequency, temps);
+    temps = thermal::steady_state(model_.network, model_.expand_power(watts),
+                                  ambient);
+  }
+  solver_.set_temperatures(temps);
+
+  t_ = 0.0;
+  next_sensor_t_ = sensor_period_;
+  interval_cycles_ = 0;
+  interval_wall_ = 0.0;
+}
+
+void System::apply_dvs_level(std::size_t level) {
+  dvs_level_ = level;
+  core_.set_frequency(ladder_.point(level).frequency);
+}
+
+void System::sensor_event(bool measure) {
+  if (policy_) {
+    core::ThermalSample sample;
+    sample.sensed_celsius = sensors_.sample(solver_.temperatures());
+    sample.max_sensed = *std::max_element(sample.sensed_celsius.begin(),
+                                          sample.sensed_celsius.end());
+    sample.time_seconds = t_;
+    const core::DtmCommand cmd = policy_->update(sample);
+
+    gate_fraction_ = cmd.fetch_gate_fraction;
+    core_.set_fetch_gate_fraction(gate_fraction_);
+    issue_gate_fraction_ = cmd.issue_gate_fraction;
+    core_.set_issue_gate_fraction(issue_gate_fraction_);
+
+    clock_gate_requested_ = cmd.clock_gate;
+    if (clock_gate_requested_ && !clock_gate_on_) {
+      clock_gate_on_ = true;
+      quantum_end_t_ = t_ + gate_quantum_;
+    } else if (!clock_gate_requested_) {
+      clock_gate_on_ = false;
+    }
+
+    if (!transition_active_ && cmd.dvs_level != dvs_level_) {
+      if (cmd.dvs_level >= ladder_.size()) {
+        throw std::out_of_range("policy requested DVS level beyond ladder");
+      }
+      pending_level_ = cmd.dvs_level;
+      transition_active_ = true;
+      transition_end_t_ = t_ + switch_time_;
+      if (measure) ++acc_.transitions;
+    }
+  }
+  next_sensor_t_ += sensor_period_;
+}
+
+void System::thermal_and_power_step(bool measure) {
+  const arch::ActivityFrame frame = core_.take_interval_activity();
+  const auto& op = ladder_.point(dvs_level_);
+  const std::vector<double> watts =
+      power_.block_power(frame, op.voltage, op.frequency,
+                         solver_.temperatures());
+  const double dt = interval_wall_;
+  solver_.step(model_.expand_power(watts), dt);
+
+  const thermal::Vector& temps = solver_.temperatures();
+  const double max_true = max_block_temp(temps, floorplan::kNumBlocks);
+  double total_watts = 0.0;
+  for (double w : watts) total_watts += w;
+
+  if (measure) {
+    if (max_true > cfg_.thresholds.emergency_celsius) acc_.violation += dt;
+    if (max_true > cfg_.thresholds.trigger_celsius) acc_.above_trigger += dt;
+    acc_.gate_weighted += gate_fraction_ * dt;
+    acc_.issue_gate_weighted += issue_gate_fraction_ * dt;
+    acc_.energy += total_watts * dt;
+    acc_.max_true = std::max(acc_.max_true, max_true);
+    for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
+      acc_.block_temp_weighted[i] += temps[i] * dt;
+    }
+  }
+
+  if (measure && trace_cb_) {
+    StepTrace st;
+    st.time_seconds = t_;
+    st.max_true_celsius = max_true;
+    st.voltage = op.voltage;
+    st.frequency = op.frequency;
+    st.gate_fraction = gate_fraction_;
+    st.clock_gated = clock_gate_on_;
+    st.committed = core_.committed();
+    st.power_watts = total_watts;
+    trace_cb_(st);
+  }
+
+  interval_cycles_ = 0;
+  interval_wall_ = 0.0;
+}
+
+void System::advance_until(std::uint64_t target_committed, bool measure) {
+  while (core_.committed() < target_committed) {
+    // Next scheduled event.
+    double next_event = next_sensor_t_;
+    if (transition_active_) {
+      next_event = std::min(next_event, transition_end_t_);
+    }
+    if (clock_gate_on_ || clock_gate_requested_) {
+      next_event = std::min(next_event, quantum_end_t_);
+    }
+
+    const double freq = ladder_.point(dvs_level_).frequency;
+    long long cycles_to_event =
+        static_cast<long long>(std::ceil((next_event - t_) * freq));
+    if (cycles_to_event < 1) cycles_to_event = 1;
+    long long n = std::min<long long>(
+        cycles_to_event, cfg_.thermal_interval_cycles - interval_cycles_);
+    n = std::min<long long>(n, 4096);
+
+    const bool stalled = transition_active_ && cfg_.dvs_stall;
+    if (clock_gate_on_) {
+      for (long long i = 0; i < n; ++i) core_.idle_cycle(false);
+    } else if (stalled) {
+      for (long long i = 0; i < n; ++i) core_.idle_cycle(true);
+    } else {
+      for (long long i = 0; i < n; ++i) core_.cycle();
+    }
+
+    const double dt = static_cast<double>(n) / freq;
+    t_ += dt;
+    interval_cycles_ += n;
+    interval_wall_ += dt;
+    if (measure) {
+      acc_.wall += dt;
+      if (dvs_level_ != 0) acc_.dvs_low += dt;
+      if (clock_gate_on_) acc_.clock_gated += dt;
+    }
+
+    if (interval_cycles_ >= cfg_.thermal_interval_cycles) {
+      thermal_and_power_step(measure);
+    }
+    if (transition_active_ && t_ >= transition_end_t_ - kEps) {
+      transition_active_ = false;
+      apply_dvs_level(pending_level_);
+    }
+    if ((clock_gate_on_ || clock_gate_requested_) &&
+        t_ >= quantum_end_t_ - kEps) {
+      // Alternate gated / running quanta while the policy requests gating
+      // (Pentium-4-style stop-go at the quantum granularity).
+      clock_gate_on_ = !clock_gate_on_ && clock_gate_requested_;
+      quantum_end_t_ = t_ + gate_quantum_;
+    }
+    if (t_ >= next_sensor_t_ - kEps) {
+      sensor_event(measure);
+    }
+  }
+}
+
+void System::warmup() {
+  advance_until(core_.committed() + cfg_.warmup_instructions, false);
+}
+
+RunResult System::run() {
+  initialize_thermal_state();
+  warmup();
+  // Flush any partially accumulated thermal interval so the measured
+  // window starts on an interval boundary (otherwise the first measured
+  // step integrates pre-measurement time and fractions can exceed 1).
+  if (interval_cycles_ > 0) thermal_and_power_step(false);
+
+  acc_ = Accum{};
+  acc_.block_temp_weighted.assign(floorplan::kNumBlocks, 0.0);
+  acc_.start_committed = core_.committed();
+  acc_.start_cycles = core_.cycles();
+
+  advance_until(acc_.start_committed + cfg_.run_instructions, true);
+
+  RunResult r;
+  r.benchmark = benchmark_name_;
+  r.policy = policy_ ? std::string(policy_->name()) : "baseline";
+  r.wall_seconds = acc_.wall;
+  r.instructions = core_.committed() - acc_.start_committed;
+  r.cycles = core_.cycles() - acc_.start_cycles;
+  r.ipc = r.cycles == 0 ? 0.0
+                        : static_cast<double>(r.instructions) /
+                              static_cast<double>(r.cycles);
+  r.max_true_celsius = acc_.max_true;
+  if (acc_.wall > 0.0) {
+    r.violation_fraction = acc_.violation / acc_.wall;
+    r.above_trigger_fraction = acc_.above_trigger / acc_.wall;
+    r.mean_gate_fraction = acc_.gate_weighted / acc_.wall;
+    r.mean_issue_gate_fraction = acc_.issue_gate_weighted / acc_.wall;
+    r.dvs_low_fraction = acc_.dvs_low / acc_.wall;
+    r.clock_gated_fraction = acc_.clock_gated / acc_.wall;
+    r.mean_power_watts = acc_.energy / acc_.wall;
+    std::size_t hottest = 0;
+    for (std::size_t i = 1; i < floorplan::kNumBlocks; ++i) {
+      if (acc_.block_temp_weighted[i] > acc_.block_temp_weighted[hottest]) {
+        hottest = i;
+      }
+    }
+    r.hottest_block = std::string(fp_.block(hottest).name);
+    r.hottest_mean_celsius = acc_.block_temp_weighted[hottest] / acc_.wall;
+  }
+  r.dvs_transitions = acc_.transitions;
+  return r;
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,150 @@
+// Co-simulation system: core <-> power <-> thermal <-> sensors <-> DTM.
+//
+// The loop follows the paper's methodology: the core runs in 10k-cycle
+// accounting intervals whose average per-block power drives the RC
+// thermal model; sensors are sampled at 10 kHz and feed the DTM policy;
+// the policy's commands actuate fetch gating immediately, global clock
+// gating in fixed quanta, and DVS through a transition state machine
+// with 10 us switching time (stalling the pipeline in the "stall"
+// variant). Temperatures are initialised to the workload's steady state
+// and a warm-up period runs before statistics are gathered.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/core.h"
+#include "core/dtm_policy.h"
+#include "floorplan/floorplan.h"
+#include "power/power_model.h"
+#include "power/voltage_freq.h"
+#include "sensor/sensor.h"
+#include "sim/sim_config.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+#include "workload/synthetic_trace.h"
+
+namespace hydra::sim {
+
+/// Outcome of one measured run.
+struct RunResult {
+  std::string benchmark;
+  std::string policy;
+
+  double wall_seconds = 0.0;  ///< measured execution time (simulated)
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double ipc = 0.0;
+
+  double max_true_celsius = 0.0;        ///< hottest block, whole run
+  double violation_fraction = 0.0;      ///< time with T_true > emergency
+  double above_trigger_fraction = 0.0;  ///< time with T_true > trigger
+  std::size_t dvs_transitions = 0;
+  double mean_gate_fraction = 0.0;      ///< time-weighted fetch gating
+  double mean_issue_gate_fraction = 0.0; ///< time-weighted issue gating
+  double dvs_low_fraction = 0.0;        ///< time at a non-nominal DVS level
+  double clock_gated_fraction = 0.0;    ///< time with the clock stopped
+  double mean_power_watts = 0.0;
+  std::string hottest_block;            ///< block with highest mean temp
+  double hottest_mean_celsius = 0.0;
+
+  bool thermally_safe() const { return violation_fraction == 0.0; }
+};
+
+/// Periodic observation hook for examples/diagnostics (one call per
+/// thermal interval).
+struct StepTrace {
+  double time_seconds = 0.0;
+  double max_true_celsius = 0.0;
+  double voltage = 0.0;
+  double frequency = 0.0;
+  double gate_fraction = 0.0;
+  bool clock_gated = false;
+  std::uint64_t committed = 0;
+  double power_watts = 0.0;
+};
+
+class System {
+ public:
+  /// `policy` may be null (baseline: no DTM). The system owns the policy.
+  System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
+         std::unique_ptr<core::DtmPolicy> policy);
+
+  /// Steady-state init + warm-up + measured run.
+  RunResult run();
+
+  /// Install an observer called once per thermal interval during the
+  /// measured run.
+  void set_trace_callback(std::function<void(const StepTrace&)> cb) {
+    trace_cb_ = std::move(cb);
+  }
+
+  const power::DvsLadder& ladder() const { return ladder_; }
+  const floorplan::Floorplan& floorplan() const { return fp_; }
+
+ private:
+  void initialize_thermal_state();
+  void warmup();
+  /// Advance until `target_committed` instructions have committed.
+  void advance_until(std::uint64_t target_committed, bool measure);
+  void thermal_and_power_step(bool measure);
+  void sensor_event(bool measure);
+  void apply_dvs_level(std::size_t level);
+
+  // Configuration-derived state.
+  SimConfig cfg_;
+  floorplan::Floorplan fp_;
+  thermal::ThermalModel model_;
+  power::VoltageFrequencyCurve vf_curve_;
+  power::DvsLadder ladder_;
+  power::PowerModel power_;
+  workload::SyntheticTrace trace_;
+  arch::Core core_;
+  sensor::SensorBank sensors_;
+  std::unique_ptr<core::DtmPolicy> policy_;
+  thermal::TransientSolver solver_;
+
+  // Scaled event periods [s].
+  double sensor_period_ = 0.0;
+  double switch_time_ = 0.0;
+  double gate_quantum_ = 0.0;
+
+  // Dynamic state.
+  double t_ = 0.0;             ///< simulation time [s]
+  double next_sensor_t_ = 0.0;
+  std::size_t dvs_level_ = 0;  ///< applied DVS level
+  std::size_t pending_level_ = 0;
+  bool transition_active_ = false;
+  double transition_end_t_ = 0.0;
+  bool clock_gate_requested_ = false;
+  bool clock_gate_on_ = false;  ///< inside a gated quantum
+  double quantum_end_t_ = 0.0;
+  double gate_fraction_ = 0.0;
+  double issue_gate_fraction_ = 0.0;
+  long long interval_cycles_ = 0;
+  double interval_wall_ = 0.0;
+
+  // Measurement accumulators.
+  struct Accum {
+    double wall = 0.0;
+    double violation = 0.0;
+    double above_trigger = 0.0;
+    double gate_weighted = 0.0;
+    double issue_gate_weighted = 0.0;
+    double dvs_low = 0.0;
+    double clock_gated = 0.0;
+    double energy = 0.0;
+    double max_true = 0.0;
+    std::vector<double> block_temp_weighted;
+    std::size_t transitions = 0;
+    std::uint64_t start_committed = 0;
+    std::uint64_t start_cycles = 0;
+  } acc_;
+
+  std::function<void(const StepTrace&)> trace_cb_;
+  std::string benchmark_name_;
+  std::uint64_t probe_auto_instructions_ = 300'000;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,65 @@
+// Small dense linear algebra: just enough for compact thermal models.
+//
+// The RC networks built from block-level floorplans have a few dozen
+// nodes, so dense LU with partial pivoting is simpler and faster than
+// pulling in a sparse solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hydra::thermal {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// y = A x. Requires x.size() == cols().
+  Vector multiply(const Vector& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorisation with partial pivoting of a square matrix, reusable for
+/// many right-hand sides (the transient solver refactors only when the
+/// time step changes).
+class LuFactorization {
+ public:
+  /// Factorise A. Throws std::invalid_argument if A is not square and
+  /// std::runtime_error if A is numerically singular.
+  explicit LuFactorization(Matrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Convenience one-shot solve of A x = b.
+Vector solve_linear(Matrix a, const Vector& b);
+
+}  // namespace hydra::thermal

@@ -1,0 +1,84 @@
+#include "thermal/model_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "thermal/package_builder.h"
+
+namespace hydra::thermal {
+namespace {
+
+using floorplan::Block;
+using floorplan::Floorplan;
+
+/// Lateral resistance between two adjacent blocks: series of the two
+/// half-block conduction paths through the die, across the shared edge.
+double lateral_resistance(const Block& a, const Block& b, double shared_len,
+                          bool vertical_edge, const Package& pkg) {
+  // Heat travels perpendicular to the shared edge; the path length in each
+  // block is half its extent in that direction.
+  const double da = vertical_edge ? a.width / 2.0 : a.height / 2.0;
+  const double db = vertical_edge ? b.width / 2.0 : b.height / 2.0;
+  const double cross_section = pkg.k_silicon * pkg.die_thickness * shared_len;
+  return (da + db) / cross_section;
+}
+
+}  // namespace
+
+Vector ThermalModel::expand_power(const Vector& block_power) const {
+  if (block_power.size() != num_blocks) {
+    throw std::invalid_argument("block power vector has wrong size");
+  }
+  Vector full(network.size(), 0.0);
+  for (std::size_t i = 0; i < num_blocks; ++i) full[i] = block_power[i];
+  return full;
+}
+
+ThermalModel build_thermal_model(const Floorplan& fp, const Package& pkg) {
+  if (fp.size() == 0) {
+    throw std::invalid_argument("cannot build thermal model: empty floorplan");
+  }
+  if (!fp.covers_die(1e-6)) {
+    throw std::invalid_argument(
+        "cannot build thermal model: floorplan must tile its bounding box "
+        "without overlaps");
+  }
+
+  ThermalModel model;
+  RcNetwork& net = model.network;
+  model.num_blocks = fp.size();
+
+  // --- Die nodes -----------------------------------------------------
+  for (const Block& b : fp.blocks()) {
+    const double cap = pkg.c_silicon * b.area() * pkg.die_thickness;
+    net.add_node(std::string(b.name), cap);
+  }
+
+  // Lateral die resistances from shared edges.
+  for (const auto& adj : fp.adjacencies(1e-9)) {
+    const double r =
+        lateral_resistance(fp.block(adj.a), fp.block(adj.b),
+                           adj.shared_length, adj.vertical_edge, pkg);
+    net.connect(adj.a, adj.b, r);
+  }
+
+  // --- Package ----------------------------------------------------------
+  const PackageNodes nodes =
+      attach_package_nodes(net, fp.die_width(), fp.die_height(), pkg);
+  model.spreader_center = nodes.spreader_center;
+  model.spreader_edge = nodes.spreader_edge;
+  model.sink_center = nodes.sink_center;
+  model.sink_edge = nodes.sink_edge;
+
+  // Block -> spreader centre: half the die thickness plus the TIM layer,
+  // each over the block's own footprint.
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    net.connect(i, model.spreader_center,
+                die_to_spreader_resistance(fp.block(i).area(), pkg));
+  }
+
+  return model;
+}
+
+}  // namespace hydra::thermal

@@ -1,0 +1,40 @@
+// Construct the HotSpot-style compact thermal model from a floorplan and
+// package description (paper Figure 1).
+//
+// Node layout: one node per floorplan block (silicon), a heat-spreader
+// centre node plus four edge nodes, and a heat-sink centre node plus four
+// edge nodes. Lateral die resistances are derived from shared block edges;
+// vertical resistances from the die / TIM / spreader / sink stack; the
+// sink couples to ambient through the package's convection resistance
+// distributed by area.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "floorplan/floorplan.h"
+#include "thermal/package.h"
+#include "thermal/rc_network.h"
+
+namespace hydra::thermal {
+
+/// A built model: the RC network plus the node-index map.
+struct ThermalModel {
+  RcNetwork network;
+  std::size_t num_blocks = 0;      ///< block node i corresponds to fp.block(i)
+  std::size_t spreader_center = 0;
+  std::array<std::size_t, 4> spreader_edge{};  ///< N, S, E, W
+  std::size_t sink_center = 0;
+  std::array<std::size_t, 4> sink_edge{};      ///< N, S, E, W
+
+  /// Expand a per-block power vector to a full per-node vector (package
+  /// nodes dissipate nothing).
+  Vector expand_power(const Vector& block_power) const;
+};
+
+/// Build the model. Throws std::invalid_argument if the floorplan is
+/// empty, overlapping, or does not tile its bounding box.
+ThermalModel build_thermal_model(const floorplan::Floorplan& fp,
+                                 const Package& pkg);
+
+}  // namespace hydra::thermal

@@ -1,0 +1,41 @@
+// Thermal package parameters (paper Section 3).
+#pragma once
+
+namespace hydra::thermal {
+
+/// Material and geometry constants of the die + package stack. Defaults
+/// correspond to the paper's setup: 0.5 mm die, copper spreader and heat
+/// sink as in the HotSpot work, and a low-cost 1.0 K/W sink-to-air
+/// convection resistance chosen to push hot SPEC benchmarks into thermal
+/// stress.
+struct Package {
+  // Silicon die.
+  double die_thickness = 0.5e-3;         ///< [m]
+  double k_silicon = 150.0;              ///< thermal conductivity [W/mK]
+  double c_silicon = 1.75e6;             ///< volumetric heat capacity [J/m^3 K]
+
+  // Thermal interface material between die and spreader.
+  double tim_thickness = 20e-6;          ///< [m]
+  double k_tim = 4.0;                    ///< [W/mK]
+
+  // Copper heat spreader.
+  double spreader_side = 3.0e-2;         ///< [m]
+  double spreader_thickness = 1.0e-3;    ///< [m]
+  double k_copper = 400.0;               ///< [W/mK]
+  double c_copper = 3.55e6;              ///< [J/m^3 K]
+
+  // Heat sink (aluminium base modelled; fins folded into r_convec).
+  double sink_side = 6.0e-2;             ///< [m]
+  double sink_thickness = 6.9e-3;        ///< [m]
+  double k_sink = 240.0;                 ///< [W/mK]
+  double c_sink = 2.42e6;                ///< [J/m^3 K]
+
+  /// Equivalent sink-to-air convection resistance [K/W]. 1.0 is the
+  /// paper's low-cost package; HotSpot's default desktop value is 0.8.
+  double r_convec = 1.0;
+
+  /// Ambient (inside-case) air temperature [deg C].
+  double ambient_celsius = 45.0;
+};
+
+}  // namespace hydra::thermal

@@ -1,0 +1,40 @@
+// Shared construction of the spreader/sink/convection part of a thermal
+// model (used by both the block-level and grid-level die models).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "thermal/package.h"
+#include "thermal/rc_network.h"
+
+namespace hydra::thermal {
+
+/// Node indices of the package stack added by attach_package_nodes.
+struct PackageNodes {
+  std::size_t spreader_center = 0;
+  std::array<std::size_t, 4> spreader_edge{};  ///< N, S, E, W
+  std::size_t sink_center = 0;
+  std::array<std::size_t, 4> sink_edge{};      ///< N, S, E, W
+};
+
+/// Append spreader and sink nodes to `net` for a die of the given
+/// dimensions, including spreader<->sink vertical paths, in-plate lateral
+/// paths, and the convection tie to ambient. Die nodes must be connected
+/// to `spreader_center` by the caller (each through half the die
+/// thickness plus the TIM layer over its own footprint).
+/// Throws std::invalid_argument if the package layers do not nest.
+PackageNodes attach_package_nodes(RcNetwork& net, double die_width,
+                                  double die_height, const Package& pkg);
+
+/// Lateral resistance between a centre region of width `w_inner` and the
+/// surrounding edge region of a plate (side `side`, thickness `t`,
+/// conductivity `k`).
+double plate_lateral_resistance(double w_inner, double side, double t,
+                                double k);
+
+/// Vertical die-node -> spreader-centre resistance for a die region of
+/// area `area` (half die conduction plus the TIM layer).
+double die_to_spreader_resistance(double area, const Package& pkg);
+
+}  // namespace hydra::thermal

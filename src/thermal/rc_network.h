@@ -1,0 +1,60 @@
+// Generic thermal RC network (paper Figure 1).
+//
+// Nodes carry a heat capacitance; edges carry thermal resistances; each
+// node may additionally be tied to ambient through a resistance. Power
+// sources inject heat at nodes. Temperatures are stored as *rises above
+// ambient* internally; the public API works in absolute degrees Celsius.
+//
+// Dynamics:  C dT/dt = P - G T        (T = rise over ambient)
+// Steady state:  T = G^{-1} P
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermal/linalg.h"
+
+namespace hydra::thermal {
+
+class RcNetwork {
+ public:
+  /// Add a node with heat capacitance `capacitance` [J/K] and return its
+  /// index. Capacitance must be positive for transient solves.
+  std::size_t add_node(std::string name, double capacitance);
+
+  /// Connect nodes a and b through thermal resistance `ohms` [K/W].
+  /// Resistances must be positive; parallel connections accumulate.
+  void connect(std::size_t a, std::size_t b, double ohms);
+
+  /// Connect node `a` to ambient through `ohms` [K/W].
+  void connect_to_ambient(std::size_t a, double ohms);
+
+  std::size_t size() const { return capacitance_.size(); }
+  const std::string& node_name(std::size_t i) const { return names_[i]; }
+  double capacitance(std::size_t i) const { return capacitance_[i]; }
+
+  /// Divide all capacitances by `factor` (> 0). Used to accelerate
+  /// simulated thermal time uniformly (see DESIGN.md, time_scale).
+  void scale_capacitances(double inv_factor);
+
+  /// Dense conductance matrix G (including ambient ties on the diagonal).
+  Matrix conductance_matrix() const;
+
+  /// Total conductance to ambient [W/K] — for conservation checks.
+  double total_ambient_conductance() const;
+
+ private:
+  struct Edge {
+    std::size_t a;
+    std::size_t b;
+    double conductance;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<double> capacitance_;
+  std::vector<double> ambient_conductance_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace hydra::thermal

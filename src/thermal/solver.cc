@@ -1,0 +1,110 @@
+#include "thermal/solver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::thermal {
+
+Vector steady_state(const RcNetwork& net, const Vector& power,
+                    double ambient_celsius) {
+  if (power.size() != net.size()) {
+    throw std::invalid_argument("power vector size mismatch");
+  }
+  Vector rise = solve_linear(net.conductance_matrix(), power);
+  for (double& t : rise) t += ambient_celsius;
+  return rise;
+}
+
+TransientSolver::TransientSolver(const RcNetwork& net, double ambient_celsius,
+                                 Scheme scheme)
+    : net_(&net),
+      ambient_(ambient_celsius),
+      scheme_(scheme),
+      g_(net.conductance_matrix()),
+      celsius_(net.size(), ambient_celsius) {}
+
+void TransientSolver::set_temperatures(const Vector& celsius) {
+  if (celsius.size() != net_->size()) {
+    throw std::invalid_argument("temperature vector size mismatch");
+  }
+  celsius_ = celsius;
+}
+
+void TransientSolver::initialize_steady_state(const Vector& power) {
+  celsius_ = steady_state(*net_, power, ambient_);
+}
+
+void TransientSolver::step(const Vector& power, double dt) {
+  if (power.size() != net_->size()) {
+    throw std::invalid_argument("power vector size mismatch");
+  }
+  if (dt <= 0.0) {
+    throw std::invalid_argument("time step must be positive");
+  }
+  if (scheme_ == Scheme::kBackwardEuler) {
+    step_backward_euler(power, dt);
+  } else {
+    step_rk4(power, dt);
+  }
+}
+
+void TransientSolver::step_backward_euler(const Vector& power, double dt) {
+  const std::size_t n = net_->size();
+  // Round dt to 3 significant figures so DVS-induced variation in the
+  // wall-clock length of a 10k-cycle interval maps onto a bounded set of
+  // cached factorisations. The rounded dt is used for the integration
+  // itself, keeping matrix and right-hand side consistent (sub-percent
+  // step-length error, negligible against the ms-scale time constants).
+  const double mag = std::pow(10.0, std::floor(std::log10(dt)) - 2.0);
+  dt = std::round(dt / mag) * mag;
+  auto it = lu_cache_.find(dt);
+  if (it == lu_cache_.end()) {
+    Matrix a = g_;
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, i) += net_->capacitance(i) / dt;
+    }
+    it = lu_cache_
+             .emplace(dt, std::make_unique<LuFactorization>(std::move(a)))
+             .first;
+  }
+  Vector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rise = celsius_[i] - ambient_;
+    rhs[i] = net_->capacitance(i) / dt * rise + power[i];
+  }
+  const Vector rise_next = it->second->solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_next[i];
+}
+
+Vector TransientSolver::derivative(const Vector& rise,
+                                   const Vector& power) const {
+  const std::size_t n = net_->size();
+  Vector flow = g_.multiply(rise);
+  Vector d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = (power[i] - flow[i]) / net_->capacitance(i);
+  }
+  return d;
+}
+
+void TransientSolver::step_rk4(const Vector& power, double dt) {
+  const std::size_t n = net_->size();
+  Vector rise(n);
+  for (std::size_t i = 0; i < n; ++i) rise[i] = celsius_[i] - ambient_;
+
+  const Vector k1 = derivative(rise, power);
+  Vector tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = rise[i] + dt / 2.0 * k1[i];
+  const Vector k2 = derivative(tmp, power);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = rise[i] + dt / 2.0 * k2[i];
+  const Vector k3 = derivative(tmp, power);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = rise[i] + dt * k3[i];
+  const Vector k4 = derivative(tmp, power);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    rise[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    celsius_[i] = ambient_ + rise[i];
+  }
+}
+
+}  // namespace hydra::thermal

@@ -1,0 +1,61 @@
+// Steady-state and transient solvers for thermal RC networks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "thermal/linalg.h"
+#include "thermal/rc_network.h"
+
+namespace hydra::thermal {
+
+/// Absolute steady-state temperatures [deg C] for the given per-node power
+/// vector [W] and ambient temperature [deg C]: T = ambient + G^{-1} P.
+Vector steady_state(const RcNetwork& net, const Vector& power,
+                    double ambient_celsius);
+
+/// Integration scheme for the transient solver.
+enum class Scheme {
+  kBackwardEuler,  ///< unconditionally stable; LU cached per time step
+  kRk4,            ///< explicit 4th-order; used for cross-validation
+};
+
+/// Time-stepping solver. Owns the current temperature state.
+///
+/// Backward Euler solves (C/dt + G) T' = (C/dt) T + P each step and caches
+/// the factorisation per distinct dt (DVS transitions change the wall-clock
+/// length of a 10k-cycle step, so a handful of distinct dts recur).
+class TransientSolver {
+ public:
+  TransientSolver(const RcNetwork& net, double ambient_celsius,
+                  Scheme scheme = Scheme::kBackwardEuler);
+
+  /// Set all node temperatures [deg C].
+  void set_temperatures(const Vector& celsius);
+  /// Initialise to the steady state for `power`.
+  void initialize_steady_state(const Vector& power);
+
+  /// Advance by dt seconds with constant per-node power [W].
+  void step(const Vector& power, double dt);
+
+  /// Current absolute temperatures [deg C].
+  const Vector& temperatures() const { return celsius_; }
+  double temperature(std::size_t node) const { return celsius_[node]; }
+  double ambient() const { return ambient_; }
+
+ private:
+  void step_backward_euler(const Vector& power, double dt);
+  void step_rk4(const Vector& power, double dt);
+  Vector derivative(const Vector& rise, const Vector& power) const;
+
+  const RcNetwork* net_;
+  double ambient_;
+  Scheme scheme_;
+  Matrix g_;
+  Vector celsius_;
+  // Cache of backward-Euler factorisations keyed by dt.
+  std::map<double, std::unique_ptr<LuFactorization>> lu_cache_;
+};
+
+}  // namespace hydra::thermal

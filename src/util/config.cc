@@ -1,0 +1,137 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace hydra::util {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Config Config::from_string(std::string_view text) {
+  Config cfg;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (!line.empty()) {
+      const std::size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument("config line " + std::to_string(line_no) +
+                                    ": expected key=value, got '" +
+                                    std::string(line) + "'");
+      }
+      const std::string_view key = trim(line.substr(0, eq));
+      const std::string_view value = trim(line.substr(eq + 1));
+      if (key.empty()) {
+        throw std::invalid_argument("config line " + std::to_string(line_no) +
+                                    ": empty key");
+      }
+      cfg.set(std::string(key), std::string(value));
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return cfg;
+}
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const auto& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value argument, got '" + arg +
+                                  "'");
+    }
+    cfg.set(std::string(trim(std::string_view(arg).substr(0, eq))),
+            std::string(trim(std::string_view(arg).substr(eq + 1))));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Config::find(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string fallback) const {
+  const auto v = find(key);
+  return v ? *v : std::move(fallback);
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument("trailing chars");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + std::string(key) +
+                                "': cannot parse '" + *v + "' as double");
+  }
+}
+
+long long Config::get_int(std::string_view key, long long fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  long long parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), parsed);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    throw std::invalid_argument("config key '" + std::string(key) +
+                                "': cannot parse '" + *v + "' as integer");
+  }
+  return parsed;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("config key '" + std::string(key) +
+                              "': cannot parse '" + *v + "' as bool");
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+}  // namespace hydra::util

@@ -1,0 +1,33 @@
+// CSV emission for benchmark harness output.
+//
+// Every bench binary prints the series behind a paper figure both as a
+// human-readable table and as machine-readable CSV so downstream plotting
+// is a one-liner. Fields containing separators/quotes are quoted per RFC
+// 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hydra::util {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Emit one row; strings are quoted when needed, doubles use max
+  /// round-trip precision.
+  void row(const std::vector<std::string>& cells);
+  void row_numeric(const std::vector<double>& cells);
+
+  /// Format helpers usable without a writer.
+  static std::string escape(const std::string& cell);
+  static std::string format_double(double v);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace hydra::util

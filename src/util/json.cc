@@ -1,0 +1,134 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace hydra::util {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline() {
+  *out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    for (int k = 0; k < indent_; ++k) *out_ << ' ';
+  }
+}
+
+void JsonWriter::prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": directly
+  }
+  if (stack_.empty()) return;
+  if (!stack_.back().first) *out_ << ',';
+  stack_.back().first = false;
+  newline();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  *out_ << '{';
+  stack_.push_back({true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline();
+  *out_ << '}';
+  if (stack_.empty()) *out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  *out_ << '[';
+  stack_.push_back({false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline();
+  *out_ << ']';
+  if (stack_.empty()) *out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  prefix();
+  *out_ << '"' << escape(k) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  prefix();
+  *out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix();
+  if (std::isfinite(v)) {
+    *out_ << CsvWriter::format_double(v);
+  } else {
+    *out_ << "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  prefix();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  prefix();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix();
+  *out_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace hydra::util

@@ -1,0 +1,64 @@
+// Minimal JSON emission (objects, arrays, scalars) for tool output.
+//
+// Write-only by design: experiment results flow out to dashboards and
+// scripts; nothing in the simulator consumes JSON.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hydra::util {
+
+/// Streaming JSON writer with automatic comma/indent management.
+/// Usage:
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("name").value("crafty");
+///   w.key("slowdown").value(1.05);
+///   w.key("list").begin_array();
+///   w.value(1.0); w.value(2.0);
+///   w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(&out), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(bool v);
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(const std::string& s);
+
+ private:
+  void prefix();   ///< commas/newline/indent before a new element
+  void newline();
+
+  std::ostream* out_;
+  int indent_;
+  struct Level {
+    bool is_object = false;
+    bool first = true;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hydra::util

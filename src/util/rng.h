@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic elements of the simulator (synthetic traces, sensor noise)
+// draw from explicitly seeded xoshiro256++ streams so every experiment is
+// bit-reproducible. std::mt19937 is avoided because its state is large and
+// its distributions are not stable across standard-library implementations;
+// here the distribution code is part of the generator and thus portable.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace hydra::util {
+
+/// xoshiro256++ generator (Blackman & Vigna). Deterministic, fast,
+/// 256-bit state, suitable for non-cryptographic simulation use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method: unbiased.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Geometric-like draw: number of failures before first success with
+  /// probability p per trial; clamped to [0, max].
+  int geometric(double p, int max) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return max;
+    const double g = std::log1p(-uniform()) / std::log1p(-p);
+    const int k = static_cast<int>(g);
+    return k > max ? max : k;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace hydra::util

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hydra::util {
+
+RunningStats::RunningStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  sum_ += other.sum_;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double paired_t_statistic(std::span<const double> a,
+                          std::span<const double> b) {
+  assert(a.size() == b.size());
+  assert(a.size() >= 2);
+  RunningStats diff;
+  for (std::size_t i = 0; i < a.size(); ++i) diff.add(a[i] - b[i]);
+  const double sd = diff.stddev();
+  if (sd == 0.0) return 0.0;
+  return diff.mean() / (sd / std::sqrt(static_cast<double>(diff.count())));
+}
+
+double t_critical_99(std::size_t degrees_of_freedom) {
+  // Two-sided 99 % critical values of Student's t distribution.
+  static constexpr double kTable[] = {
+      63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+      3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+      2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+  if (degrees_of_freedom == 0) return kTable[0];
+  if (degrees_of_freedom <= 30) return kTable[degrees_of_freedom - 1];
+  return 2.576;  // normal approximation
+}
+
+double confidence_half_width_99(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  const double se = s.stddev() / std::sqrt(static_cast<double>(s.count()));
+  return t_critical_99(s.count() - 1) * se;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long long>(std::floor((x - lo_) / width));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long long>(counts_.size())) {
+    idx = static_cast<long long>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::fraction_at_or_above(double x) const {
+  if (total_ == 0) return 0.0;
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_lo(i) >= x) above += counts_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+}  // namespace hydra::util

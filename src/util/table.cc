@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hydra::util {
+
+void AsciiTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void AsciiTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << cell;
+      if (i + 1 < widths.size()) {
+        out << std::string(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace hydra::util

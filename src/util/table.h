@@ -1,0 +1,29 @@
+// Fixed-width ASCII table printing for bench/example output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hydra::util {
+
+/// Collects rows of string cells and prints them aligned in columns.
+/// The first row added is treated as the header and underlined.
+class AsciiTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` decimal places.
+  static std::string num(double v, int precision = 3);
+  /// Format as a percentage with `precision` decimals ("12.3%").
+  static std::string percent(double fraction, int precision = 1);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hydra::util

@@ -1,0 +1,40 @@
+// Physical unit helpers.
+//
+// The simulator mixes electrical, thermal and timing quantities; keeping
+// conversions in one place avoids the classic Celsius/Kelvin and
+// cycles/seconds mix-ups. Quantities are plain doubles in SI units (seconds,
+// watts, volts, hertz, metres); temperatures are degrees Celsius throughout
+// the public API because every threshold in the paper is quoted in Celsius.
+#pragma once
+
+namespace hydra::util {
+
+inline constexpr double kKelvinOffset = 273.15;
+
+/// Convert degrees Celsius to Kelvin (needed by leakage physics).
+constexpr double celsius_to_kelvin(double c) { return c + kKelvinOffset; }
+
+/// Convert Kelvin to degrees Celsius.
+constexpr double kelvin_to_celsius(double k) { return k - kKelvinOffset; }
+
+/// Convenience multipliers for readable literals: `3.0 * kGiga` Hz.
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+/// Seconds for `cycles` ticks of a clock running at `hz`.
+constexpr double cycles_to_seconds(double cycles, double hz) {
+  return cycles / hz;
+}
+
+/// Whole cycles (rounded up) covering `seconds` at clock `hz`.
+constexpr long long seconds_to_cycles(double seconds, double hz) {
+  const double c = seconds * hz;
+  const auto floor_c = static_cast<long long>(c);
+  return (static_cast<double>(floor_c) < c) ? floor_c + 1 : floor_c;
+}
+
+}  // namespace hydra::util

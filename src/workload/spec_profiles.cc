@@ -1,0 +1,178 @@
+#include "workload/spec_profiles.h"
+
+#include <stdexcept>
+
+namespace hydra::workload {
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+WorkloadProfile base_int(const char* name, std::uint64_t seed) {
+  WorkloadProfile p;
+  p.name = name;
+  p.seed = seed;
+  p.frac_int_alu = 0.46;
+  p.frac_int_mul = 0.01;
+  p.frac_fp_add = 0.01;
+  p.frac_fp_mul = 0.01;
+  p.frac_load = 0.26;
+  p.frac_store = 0.11;
+  p.frac_branch = 0.14;
+  return p;
+}
+
+WorkloadProfile base_fp(const char* name, std::uint64_t seed) {
+  WorkloadProfile p;
+  p.name = name;
+  p.seed = seed;
+  p.frac_int_alu = 0.30;
+  p.frac_int_mul = 0.01;
+  p.frac_fp_add = 0.16;
+  p.frac_fp_mul = 0.12;
+  p.frac_load = 0.26;
+  p.frac_store = 0.08;
+  p.frac_branch = 0.07;
+  return p;
+}
+
+}  // namespace
+
+std::vector<WorkloadProfile> spec2000_hot_profiles() {
+  std::vector<WorkloadProfile> out;
+
+  {
+    // mesa: software 3D rendering; FP with good ILP, small kernels.
+    WorkloadProfile p = base_fp("mesa", 101);
+    p.mean_dep_distance = 8.0;
+    p.hard_branch_fraction = 0.03;
+    p.inst_footprint = 32 * kKiB;
+    p.data_hot_footprint = 32 * kKiB;
+    p.warm_access_fraction = 0.04;
+    p.phases = {{500'000, 1.15, 0.8}, {350'000, 0.85, 1.3}};
+    out.push_back(p);
+  }
+  {
+    // perlbmk: interpreter loop; branchy, hot, compact working set.
+    WorkloadProfile p = base_int("perlbmk", 102);
+    p.mean_dep_distance = 7.0;
+    p.hard_branch_fraction = 0.06;
+    p.inst_footprint = 56 * kKiB;
+    p.data_hot_footprint = 24 * kKiB;
+    p.warm_access_fraction = 0.03;
+    p.phases = {{600'000, 1.1, 1.0}, {400'000, 0.9, 1.1}};
+    out.push_back(p);
+  }
+  {
+    // gzip: compression; load-heavy with tight dictionaries.
+    WorkloadProfile p = base_int("gzip", 103);
+    p.frac_load = 0.30;
+    p.frac_int_alu = 0.44;
+    p.frac_branch = 0.12;
+    p.mean_dep_distance = 7.5;
+    p.hard_branch_fraction = 0.05;
+    p.data_hot_footprint = 48 * kKiB;
+    p.warm_access_fraction = 0.05;
+    p.phases = {{550'000, 1.05, 1.0}, {300'000, 0.95, 1.4}};
+    out.push_back(p);
+  }
+  {
+    // bzip2: block-sorting compression; larger data, phased behaviour.
+    WorkloadProfile p = base_int("bzip2", 104);
+    p.frac_load = 0.28;
+    p.frac_int_alu = 0.45;
+    p.frac_branch = 0.13;
+    p.mean_dep_distance = 7.0;
+    p.hard_branch_fraction = 0.06;
+    p.data_hot_footprint = 40 * kKiB;
+    p.data_warm_footprint = 160 * kKiB;
+    p.warm_access_fraction = 0.06;
+    p.phases = {{400'000, 1.1, 0.7}, {400'000, 0.9, 1.5}};
+    out.push_back(p);
+  }
+  {
+    // eon: C++ ray tracer; mixed int/FP, very regular and hot.
+    WorkloadProfile p = base_fp("eon", 105);
+    p.frac_int_alu = 0.40;
+    p.frac_fp_add = 0.10;
+    p.frac_fp_mul = 0.08;
+    p.mean_dep_distance = 9.0;
+    p.hard_branch_fraction = 0.02;
+    p.inst_footprint = 64 * kKiB;
+    p.data_hot_footprint = 28 * kKiB;
+    p.warm_access_fraction = 0.03;
+    out.push_back(p);
+  }
+  {
+    // crafty: chess search; integer-dense with excellent ILP, hottest
+    // integer register file pressure.
+    WorkloadProfile p = base_int("crafty", 106);
+    p.frac_int_alu = 0.47;
+    p.frac_load = 0.24;
+    p.frac_store = 0.13;
+    p.frac_branch = 0.13;
+    p.mean_dep_distance = 6.5;
+    p.hard_branch_fraction = 0.04;
+    p.inst_footprint = 48 * kKiB;
+    p.data_hot_footprint = 32 * kKiB;
+    p.warm_access_fraction = 0.04;
+    p.phases = {{700'000, 1.1, 1.0}, {300'000, 0.95, 1.0}};
+    out.push_back(p);
+  }
+  {
+    // vortex: OO database; larger instruction footprint, store traffic.
+    WorkloadProfile p = base_int("vortex", 107);
+    p.frac_store = 0.15;
+    p.frac_int_alu = 0.42;
+    p.mean_dep_distance = 7.5;
+    p.hard_branch_fraction = 0.04;
+    p.inst_footprint = 64 * kKiB;
+    p.data_hot_footprint = 40 * kKiB;
+    p.warm_access_fraction = 0.04;
+    out.push_back(p);
+  }
+  {
+    // gcc: compiler; big footprints, branchy, phased, moderate IPC.
+    WorkloadProfile p = base_int("gcc", 108);
+    p.frac_branch = 0.16;
+    p.frac_int_alu = 0.44;
+    p.data_warm_footprint = 192 * kKiB;
+    p.mean_dep_distance = 7.0;
+    p.hard_branch_fraction = 0.05;
+    p.inst_footprint = 64 * kKiB;
+    p.data_hot_footprint = 48 * kKiB;
+    p.warm_access_fraction = 0.05;
+    p.phases = {{300'000, 1.15, 0.9}, {300'000, 0.85, 1.3},
+                {350'000, 1.0, 1.0}};
+    out.push_back(p);
+  }
+  {
+    // art: neural-net image recognition; FP-heavy with an L1-busting
+    // data set that still fits in L2 — extreme thermal demand in the
+    // paper's characterisation.
+    WorkloadProfile p = base_fp("art", 109);
+    p.frac_fp_add = 0.17;
+    p.frac_fp_mul = 0.11;
+    p.frac_int_alu = 0.30;
+    p.data_warm_footprint = 256 * kKiB;
+    p.stream_access_fraction = 0.002;
+    p.mean_dep_distance = 10.0;
+    p.hard_branch_fraction = 0.015;
+    p.inst_footprint = 24 * kKiB;
+    p.data_hot_footprint = 48 * kKiB;
+    p.warm_access_fraction = 0.08;
+    p.phases = {{600'000, 1.1, 1.0}, {450'000, 1.0, 1.2}};
+    out.push_back(p);
+  }
+
+  return out;
+}
+
+WorkloadProfile spec2000_profile(const std::string& name) {
+  for (WorkloadProfile& p : spec2000_hot_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown benchmark profile '" + name + "'");
+}
+
+}  // namespace hydra::workload

@@ -1,0 +1,23 @@
+// Profiles for the paper's nine hottest SPECcpu2000 benchmarks.
+//
+// The paper evaluates mesa, perlbmk, gzip, bzip2, eon, crafty, vortex,
+// gcc and art — "a mixture of integer and floating-point programs with
+// intermediate and extreme thermal demands", all of which run above the
+// 81.8 C trigger most of the time on the low-cost package. Each profile
+// below is a synthetic stand-in tuned to the published character of the
+// benchmark (mix, ILP, footprints, phase behaviour); see DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "workload/synthetic_trace.h"
+
+namespace hydra::workload {
+
+/// All nine benchmark profiles, in the paper's order.
+std::vector<WorkloadProfile> spec2000_hot_profiles();
+
+/// Look up one profile by name; throws std::invalid_argument if unknown.
+WorkloadProfile spec2000_profile(const std::string& name);
+
+}  // namespace hydra::workload

@@ -1,0 +1,110 @@
+#include "workload/trace_io.h"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace hydra::workload {
+namespace {
+
+constexpr char kMagic[4] = {'H', 'Y', 'D', 'T'};
+
+struct Record {
+  std::uint8_t cls;
+  std::uint8_t num_srcs;
+  std::uint8_t taken;
+  std::uint8_t pad;
+  std::int16_t src_dist[2];
+  std::uint32_t pc_offset;
+  std::uint64_t mem_addr;
+};
+static_assert(sizeof(Record) == 24, "trace record must be 24 bytes");
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, arch::TraceSource& source,
+                 std::uint64_t count) {
+  out.write(kMagic, 4);
+  write_pod(out, kTraceFormatVersion);
+  write_pod(out, count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const arch::MicroOp op = source.next();
+    if (op.pc < kTraceTextBase ||
+        op.pc - kTraceTextBase > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("trace pc outside representable range");
+    }
+    Record rec{};
+    rec.cls = static_cast<std::uint8_t>(op.cls);
+    rec.num_srcs = op.num_srcs;
+    rec.taken = op.branch_taken ? 1 : 0;
+    for (int s = 0; s < 2; ++s) {
+      if (op.src_dist[s] > std::numeric_limits<std::int16_t>::max()) {
+        throw std::invalid_argument("dependency distance exceeds 16 bits");
+      }
+      rec.src_dist[s] = static_cast<std::int16_t>(op.src_dist[s]);
+    }
+    rec.pc_offset = static_cast<std::uint32_t>(op.pc - kTraceTextBase);
+    rec.mem_addr = op.mem_addr;
+    write_pod(out, rec);
+  }
+  if (!out) throw std::runtime_error("trace write failed");
+}
+
+RecordedTrace::RecordedTrace(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::invalid_argument("not a hydra trace (bad magic)");
+  }
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!read_pod(in, &version) || version != kTraceFormatVersion) {
+    throw std::invalid_argument("unsupported trace format version");
+  }
+  if (!read_pod(in, &count) || count == 0) {
+    throw std::invalid_argument("empty or truncated trace header");
+  }
+  ops_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record rec{};
+    if (!read_pod(in, &rec)) {
+      throw std::invalid_argument("truncated trace payload");
+    }
+    if (rec.cls >= arch::kNumOpClasses || rec.num_srcs > 2) {
+      throw std::invalid_argument("corrupt trace record");
+    }
+    arch::MicroOp op;
+    op.cls = static_cast<arch::OpClass>(rec.cls);
+    op.num_srcs = rec.num_srcs;
+    op.branch_taken = rec.taken != 0;
+    op.src_dist[0] = rec.src_dist[0];
+    op.src_dist[1] = rec.src_dist[1];
+    op.pc = kTraceTextBase + rec.pc_offset;
+    op.mem_addr = rec.mem_addr;
+    ops_.push_back(op);
+  }
+}
+
+arch::MicroOp RecordedTrace::next() {
+  const arch::MicroOp op = ops_[cursor_];
+  if (++cursor_ >= ops_.size()) {
+    cursor_ = 0;
+    ++loops_;
+  }
+  return op;
+}
+
+}  // namespace hydra::workload

@@ -1,0 +1,59 @@
+// Binary trace recording and replay.
+//
+// The paper's methodology is trace-driven simulation; this module gives
+// the synthetic traces a durable on-disk form so runs can be (a) bit-
+// reproduced without the generator, (b) exchanged with other tools, and
+// (c) inspected offline. The format is a fixed 24-byte little-endian
+// record per micro-op behind a versioned header:
+//
+//   header: magic "HYDT", u32 version, u64 count
+//   record: u8 cls | u8 num_srcs | u8 taken | u8 pad
+//           | i16 src_dist[2] | u32 pc_offset | u64 mem_addr
+//
+// pc is stored as a 32-bit offset from the fixed text base to keep
+// records compact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "arch/isa.h"
+
+namespace hydra::workload {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint64_t kTraceTextBase = 0x12000000;
+
+/// Serialise `count` micro-ops pulled from `source` to `out`.
+/// Throws std::runtime_error on write failure and std::invalid_argument
+/// if an op cannot be represented (pc below the text base, distance
+/// out of the 16-bit range).
+void write_trace(std::ostream& out, arch::TraceSource& source,
+                 std::uint64_t count);
+
+/// In-memory trace loaded from the binary format; replays the recorded
+/// ops and then loops back to the beginning (traces are finite, the
+/// simulator's appetite is not — looping matches SimPoint-style
+/// representative-sample semantics).
+class RecordedTrace final : public arch::TraceSource {
+ public:
+  /// Parse a binary trace. Throws std::invalid_argument on a bad header
+  /// or truncated payload.
+  explicit RecordedTrace(std::istream& in);
+
+  arch::MicroOp next() override;
+
+  std::uint64_t size() const { return ops_.size(); }
+  std::uint64_t position() const { return cursor_; }
+  /// Number of times the trace has wrapped around.
+  std::uint64_t loops() const { return loops_; }
+
+ private:
+  std::vector<arch::MicroOp> ops_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t loops_ = 0;
+};
+
+}  // namespace hydra::workload

@@ -1,0 +1,136 @@
+// Tests for the thermal-aware floorplan annealer.
+#include <gtest/gtest.h>
+
+#include "floorplan/annealer.h"
+#include "floorplan/ev7.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+
+namespace hydra::floorplan {
+namespace {
+
+std::vector<double> test_power() {
+  // A plausible per-block power vector (BlockId order): hot integer
+  // cluster, warm caches, cool FP.
+  std::vector<double> w(kNumBlocks, 0.3);
+  w[static_cast<std::size_t>(BlockId::kIntReg)] = 4.0;
+  w[static_cast<std::size_t>(BlockId::kIntExec)] = 2.5;
+  w[static_cast<std::size_t>(BlockId::kIntMap)] = 1.5;
+  w[static_cast<std::size_t>(BlockId::kIntQ)] = 1.2;
+  w[static_cast<std::size_t>(BlockId::kICache)] = 2.5;
+  w[static_cast<std::size_t>(BlockId::kDCache)] = 2.5;
+  w[static_cast<std::size_t>(BlockId::kBPred)] = 1.0;
+  w[static_cast<std::size_t>(BlockId::kL2)] = 2.0;
+  w[static_cast<std::size_t>(BlockId::kL2Left)] = 0.5;
+  w[static_cast<std::size_t>(BlockId::kL2Right)] = 0.5;
+  return w;
+}
+
+AnnealerConfig quick_config() {
+  AnnealerConfig cfg;
+  cfg.iterations = 400;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Annealer, Ev7SpecsExcludeL2Ring) {
+  const auto specs = ev7_core_block_specs(test_power());
+  EXPECT_EQ(specs.size(), kNumBlocks - 3);
+  for (const auto& s : specs) {
+    EXPECT_NE(s.name, block_name(BlockId::kL2));
+    EXPECT_GT(s.area, 0.0);
+  }
+  EXPECT_THROW(ev7_core_block_specs(std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(Annealer, AssembleDieTilesExactly) {
+  Floorplan core;
+  core.add({"a", 0, 0, 3e-3, 2e-3});
+  core.add({"b", 3e-3, 0, 3e-3, 2e-3});
+  const Floorplan die = assemble_die(core, 16e-3);
+  EXPECT_TRUE(die.covers_die(1e-9));
+  EXPECT_NEAR(die.die_width(), 16e-3, 1e-12);
+  // Core sits flush with the top edge, centred.
+  const Block& a = die.block(*die.index_of("a"));
+  EXPECT_NEAR(a.y + a.height, 16e-3, 1e-12);
+  EXPECT_THROW(assemble_die(core, 4e-3), std::invalid_argument);
+}
+
+TEST(Annealer, ResultTilesDieAndPreservesAreas) {
+  const auto specs = ev7_core_block_specs(test_power());
+  const AnnealResult r =
+      anneal_core_floorplan(specs, thermal::Package{}, quick_config());
+  EXPECT_TRUE(r.floorplan.covers_die(1e-6));
+  for (const auto& spec : specs) {
+    const auto idx = r.floorplan.index_of(spec.name);
+    ASSERT_TRUE(idx.has_value()) << spec.name;
+    EXPECT_NEAR(r.floorplan.block(*idx).area(), spec.area,
+                spec.area * 1e-6);
+  }
+}
+
+TEST(Annealer, NeverWorseThanStart) {
+  const auto specs = ev7_core_block_specs(test_power());
+  const AnnealResult r =
+      anneal_core_floorplan(specs, thermal::Package{}, quick_config());
+  EXPECT_LE(r.peak_celsius, r.initial_peak_celsius + 1e-9);
+  EXPECT_GT(r.accepted_moves, 0);
+  EXPECT_GT(r.evaluated_moves, 0);
+}
+
+TEST(Annealer, ImprovesOverBalancedStart) {
+  const auto specs = ev7_core_block_specs(test_power());
+  AnnealerConfig cfg = quick_config();
+  cfg.iterations = 1200;
+  const AnnealResult r =
+      anneal_core_floorplan(specs, thermal::Package{}, cfg);
+  // With the hot integer cluster spreadable, annealing should shave a
+  // measurable margin off the starting hotspot.
+  EXPECT_LT(r.peak_celsius, r.initial_peak_celsius - 0.1);
+}
+
+TEST(Annealer, DeterministicForSeed) {
+  const auto specs = ev7_core_block_specs(test_power());
+  const AnnealResult a =
+      anneal_core_floorplan(specs, thermal::Package{}, quick_config());
+  const AnnealResult b =
+      anneal_core_floorplan(specs, thermal::Package{}, quick_config());
+  EXPECT_DOUBLE_EQ(a.peak_celsius, b.peak_celsius);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+}
+
+TEST(Annealer, AspectPenaltyKeepsBlocksUsable) {
+  const auto specs = ev7_core_block_specs(test_power());
+  AnnealerConfig cfg = quick_config();
+  cfg.iterations = 1000;
+  cfg.aspect_limit = 4.0;
+  cfg.aspect_penalty_weight = 2.0;
+  const AnnealResult r =
+      anneal_core_floorplan(specs, thermal::Package{}, cfg);
+  EXPECT_LT(r.max_aspect, 12.0);  // soft limit: bounded, not hard-capped
+}
+
+TEST(Annealer, RejectsBadInput) {
+  EXPECT_THROW(anneal_core_floorplan({}, thermal::Package{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      anneal_core_floorplan({{"x", -1.0, 1.0}}, thermal::Package{}),
+      std::invalid_argument);
+}
+
+TEST(Annealer, AnnealedLayoutWorksInThermalModel) {
+  const auto specs = ev7_core_block_specs(test_power());
+  const AnnealResult r =
+      anneal_core_floorplan(specs, thermal::Package{}, quick_config());
+  // The produced die must be consumable by the standard model builder.
+  const auto model =
+      thermal::build_thermal_model(r.floorplan, thermal::Package{});
+  thermal::Vector p(r.floorplan.size(), 1.0);
+  const thermal::Vector t =
+      thermal::steady_state(model.network, model.expand_power(p), 45.0);
+  EXPECT_EQ(t.size(), model.network.size());
+}
+
+}  // namespace
+}  // namespace hydra::floorplan

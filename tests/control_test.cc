@@ -1,0 +1,137 @@
+// Unit tests for src/control: PI controller and filters.
+#include <gtest/gtest.h>
+
+#include "control/low_pass.h"
+#include "control/pi_controller.h"
+
+namespace hydra::control {
+namespace {
+
+TEST(PiController, ProportionalOnly) {
+  PiController pi(2.0, 0.0, -10.0, 10.0);
+  EXPECT_DOUBLE_EQ(pi.update(3.0, 0.1), 6.0);
+  EXPECT_DOUBLE_EQ(pi.update(-1.0, 0.1), -2.0);
+}
+
+TEST(PiController, IntegralAccumulates) {
+  PiController pi(0.0, 1.0, -10.0, 10.0);
+  EXPECT_DOUBLE_EQ(pi.update(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pi.update(1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(pi.update(-2.0, 1.0), 0.0);
+}
+
+TEST(PiController, OutputClamped) {
+  PiController pi(0.0, 1.0, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) pi.update(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(pi.last_output(), 1.0);
+}
+
+TEST(PiController, AntiWindupReleasesImmediately) {
+  PiController pi(0.0, 1.0, 0.0, 1.0);
+  // Drive hard into saturation.
+  for (int i = 0; i < 1000; ++i) pi.update(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(pi.last_output(), 1.0);
+  // A single step of negative error must start reducing the output —
+  // a wound-up integrator would stay pinned for many steps.
+  const double out = pi.update(-0.5, 1.0);
+  EXPECT_LT(out, 1.0);
+}
+
+TEST(PiController, LastUnclampedExceedsRangeInSaturation) {
+  PiController pi(1.0, 1.0, 0.0, 1.0);
+  pi.update(5.0, 1.0);
+  EXPECT_GT(pi.last_unclamped(), 1.0);
+  EXPECT_DOUBLE_EQ(pi.last_output(), 1.0);
+}
+
+TEST(PiController, SetIntegratorWarmStart) {
+  PiController pi(0.0, 1.0, 0.0, 1.0);
+  pi.set_integrator(0.5);
+  EXPECT_DOUBLE_EQ(pi.update(0.0, 1.0), 0.5);
+}
+
+TEST(PiController, ConvergesOnFirstOrderPlant) {
+  // Plant: x' = -x + u ; target x = 1. PI should settle near u = 1.
+  PiController pi(0.5, 2.0, 0.0, 5.0);
+  double x = 0.0;
+  const double dt = 0.01;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = pi.update(1.0 - x, dt);
+    x += dt * (-x + u);
+  }
+  EXPECT_NEAR(x, 1.0, 0.01);
+}
+
+TEST(PiController, RejectsBadArguments) {
+  EXPECT_THROW(PiController(1.0, 1.0, 1.0, 1.0), std::invalid_argument);
+  PiController pi(1.0, 1.0, 0.0, 1.0);
+  EXPECT_THROW(pi.update(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(pi.update(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(PiController, ResetClearsState) {
+  PiController pi(0.0, 1.0, 0.0, 10.0);
+  pi.update(3.0, 1.0);
+  pi.reset();
+  EXPECT_DOUBLE_EQ(pi.integrator(), 0.0);
+  EXPECT_DOUBLE_EQ(pi.update(1.0, 1.0), 1.0);
+}
+
+TEST(FirstOrderLowPass, PrimesOnFirstSample) {
+  FirstOrderLowPass lp(0.1);
+  EXPECT_DOUBLE_EQ(lp.update(5.0), 5.0);
+}
+
+TEST(FirstOrderLowPass, ConvergesToConstantInput) {
+  FirstOrderLowPass lp(0.2);
+  lp.update(0.0);
+  for (int i = 0; i < 100; ++i) lp.update(1.0);
+  EXPECT_NEAR(lp.value(), 1.0, 1e-6);
+}
+
+TEST(FirstOrderLowPass, AttenuatesAlternatingInput) {
+  FirstOrderLowPass lp(0.1);
+  lp.update(0.0);
+  double max_dev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    lp.update(i % 2 == 0 ? 1.0 : -1.0);
+    if (i > 100) max_dev = std::max(max_dev, std::abs(lp.value()));
+  }
+  EXPECT_LT(max_dev, 0.2);
+}
+
+TEST(FirstOrderLowPass, RejectsBadAlpha) {
+  EXPECT_THROW(FirstOrderLowPass(0.0), std::invalid_argument);
+  EXPECT_THROW(FirstOrderLowPass(1.5), std::invalid_argument);
+}
+
+TEST(ConsecutiveDebounce, RequiresConsecutiveTrues) {
+  ConsecutiveDebounce d(3);
+  EXPECT_FALSE(d.update(true));
+  EXPECT_FALSE(d.update(true));
+  EXPECT_TRUE(d.update(true));
+  EXPECT_TRUE(d.update(true));  // stays asserted
+}
+
+TEST(ConsecutiveDebounce, FalseResets) {
+  ConsecutiveDebounce d(3);
+  d.update(true);
+  d.update(true);
+  EXPECT_FALSE(d.update(false));
+  EXPECT_FALSE(d.update(true));
+  EXPECT_FALSE(d.update(true));
+  EXPECT_TRUE(d.update(true));
+}
+
+TEST(ConsecutiveDebounce, ThresholdOneActsImmediately) {
+  ConsecutiveDebounce d(1);
+  EXPECT_TRUE(d.update(true));
+  EXPECT_FALSE(d.update(false));
+}
+
+TEST(ConsecutiveDebounce, RejectsZeroThreshold) {
+  EXPECT_THROW(ConsecutiveDebounce(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hydra::control

@@ -1,0 +1,160 @@
+// Tests for the grid-mode thermal model, including cross-validation
+// against the block-level model.
+#include <gtest/gtest.h>
+
+#include "floorplan/ev7.h"
+#include "thermal/grid_model.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+
+namespace hydra::thermal {
+namespace {
+
+using floorplan::BlockId;
+
+class GridModelTest : public ::testing::Test {
+ protected:
+  floorplan::Floorplan fp_ = floorplan::ev7_floorplan();
+  Package pkg_{};
+};
+
+TEST_F(GridModelTest, NodeCount) {
+  const GridThermalModel grid(fp_, pkg_, {8, 8});
+  EXPECT_EQ(grid.num_cells(), 64u);
+  EXPECT_EQ(grid.network().size(), 64u + 10u);  // + spreader/sink
+}
+
+TEST_F(GridModelTest, RejectsBadConfigs) {
+  EXPECT_THROW(GridThermalModel(fp_, pkg_, {1, 8}), std::invalid_argument);
+  floorplan::Floorplan gap;
+  gap.add({"a", 0, 0, 1e-3, 1e-3});
+  gap.add({"b", 2e-3, 0, 1e-3, 1e-3});
+  EXPECT_THROW(GridThermalModel(gap, pkg_, {4, 4}), std::invalid_argument);
+}
+
+TEST_F(GridModelTest, OverlapFractionsPartitionEachCell) {
+  const GridThermalModel grid(fp_, pkg_, {8, 8});
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      double total = 0.0;
+      for (std::size_t b = 0; b < fp_.size(); ++b) {
+        total += grid.overlap_fraction(r, c, b);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);  // floorplan tiles the die
+    }
+  }
+}
+
+TEST_F(GridModelTest, ExpandPowerConservesWatts) {
+  const GridThermalModel grid(fp_, pkg_, {12, 12});
+  Vector p(fp_.size(), 0.0);
+  p[static_cast<std::size_t>(BlockId::kIntReg)] = 5.0;
+  p[static_cast<std::size_t>(BlockId::kL2)] = 10.0;
+  const Vector full = grid.expand_power(p);
+  double total = 0.0;
+  for (double w : full) total += w;
+  EXPECT_NEAR(total, 15.0, 1e-9);
+}
+
+TEST_F(GridModelTest, SteadyStateConservesHeat) {
+  const GridThermalModel grid(fp_, pkg_, {8, 8});
+  Vector p(fp_.size(), 1.0);
+  const Vector t =
+      steady_state(grid.network(), grid.expand_power(p), 45.0);
+  Vector rise(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) rise[i] = t[i] - 45.0;
+  const Vector flow = grid.network().conductance_matrix().multiply(rise);
+  double out = 0.0;
+  for (double f : flow) out += f;
+  EXPECT_NEAR(out, static_cast<double>(fp_.size()), 1e-7);
+}
+
+TEST_F(GridModelTest, HotBlockIsHottestRegion) {
+  const GridThermalModel grid(fp_, pkg_, {16, 16});
+  Vector p(fp_.size(), 0.0);
+  const std::size_t reg = static_cast<std::size_t>(BlockId::kIntReg);
+  p[reg] = 8.0;
+  const Vector t =
+      steady_state(grid.network(), grid.expand_power(p), 45.0);
+  const Vector per_block = grid.block_temperatures(t);
+  for (std::size_t b = 0; b < fp_.size(); ++b) {
+    if (b != reg) {
+      EXPECT_GE(per_block[reg], per_block[b]) << fp_.block(b).name;
+    }
+  }
+  // The global peak is inside the powered block's cells.
+  EXPECT_NEAR(grid.max_cell_temperature(t), per_block[reg],
+              (grid.max_cell_temperature(t) - 45.0) * 0.5);
+}
+
+TEST_F(GridModelTest, AgreesWithBlockModelOnBlockAverages) {
+  // Same power map through both models: per-block means should agree to
+  // within a couple of degrees (the models differ in lateral detail).
+  const GridThermalModel grid(fp_, pkg_, {16, 16});
+  const ThermalModel block = build_thermal_model(fp_, pkg_);
+  Vector p(fp_.size(), 0.0);
+  for (std::size_t b = 0; b < fp_.size(); ++b) {
+    p[b] = 25.0 * fp_.block(b).area() / fp_.die_area();
+  }
+  p[static_cast<std::size_t>(BlockId::kIntReg)] += 4.0;
+
+  const Vector tg = steady_state(grid.network(), grid.expand_power(p), 45.0);
+  const Vector tb =
+      steady_state(block.network, block.expand_power(p), 45.0);
+  const Vector per_block = grid.block_temperatures(tg);
+  for (std::size_t b = 0; b < fp_.size(); ++b) {
+    EXPECT_NEAR(per_block[b], tb[b], 3.0) << fp_.block(b).name;
+  }
+}
+
+TEST_F(GridModelTest, FinerGridResolvesHotterPeak) {
+  // Intra-block gradients: a finer grid never reports a cooler hotspot.
+  Vector p(fp_.size(), 0.0);
+  p[static_cast<std::size_t>(BlockId::kIntReg)] = 8.0;
+  const GridThermalModel coarse(fp_, pkg_, {8, 8});
+  const GridThermalModel fine(fp_, pkg_, {24, 24});
+  const double peak_coarse = coarse.max_cell_temperature(
+      steady_state(coarse.network(), coarse.expand_power(p), 45.0));
+  const double peak_fine = fine.max_cell_temperature(
+      steady_state(fine.network(), fine.expand_power(p), 45.0));
+  EXPECT_GE(peak_fine, peak_coarse - 0.2);
+}
+
+TEST_F(GridModelTest, ResolutionConvergence) {
+  // Successive refinement changes the peak less and less.
+  Vector p(fp_.size(), 0.0);
+  p[static_cast<std::size_t>(BlockId::kIntReg)] = 6.0;
+  auto peak = [&](std::size_t n) {
+    const GridThermalModel g(fp_, pkg_, {n, n});
+    return g.max_cell_temperature(
+        steady_state(g.network(), g.expand_power(p), 45.0));
+  };
+  const double p8 = peak(8);
+  const double p16 = peak(16);
+  const double p24 = peak(24);
+  EXPECT_GT(std::abs(p16 - p8) + 1e-9, std::abs(p24 - p16));
+}
+
+TEST_F(GridModelTest, TransientMatchesSteadyStateEventually) {
+  const GridThermalModel grid(fp_, pkg_, {8, 8});
+  Vector p(fp_.size(), 1.5);
+  const Vector full = grid.expand_power(p);
+  const Vector ss = steady_state(grid.network(), full, 45.0);
+  TransientSolver solver(grid.network(), 45.0);
+  // March far past every block time constant (sink excepted: start there).
+  solver.set_temperatures(ss);
+  for (int i = 0; i < 500; ++i) solver.step(full, 1e-3);
+  for (std::size_t i = 0; i < ss.size(); ++i) {
+    EXPECT_NEAR(solver.temperature(i), ss[i], 1e-6);
+  }
+}
+
+TEST_F(GridModelTest, BlockTemperatureValidation) {
+  const GridThermalModel grid(fp_, pkg_, {8, 8});
+  EXPECT_THROW(grid.block_temperatures(Vector(3, 50.0)),
+               std::invalid_argument);
+  EXPECT_THROW(grid.expand_power(Vector(3, 1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hydra::thermal

@@ -1,0 +1,94 @@
+// Tests for sensor placement optimisation.
+#include <gtest/gtest.h>
+
+#include "sensor/placement.h"
+#include "util/rng.h"
+
+namespace hydra::sensor {
+namespace {
+
+TEST(Placement, WorstErrorZeroWhenHotspotInstrumented) {
+  // Block 2 is always hottest.
+  const TemperatureTrace trace = {{80, 81, 85}, {79, 82, 86}, {81, 80, 84}};
+  EXPECT_DOUBLE_EQ(placement_worst_error(trace, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(placement_worst_error(trace, {0, 2}), 0.0);
+}
+
+TEST(Placement, WorstErrorMeasuresUnderRead) {
+  const TemperatureTrace trace = {{80, 85}, {84, 82}};
+  // Instrumenting only block 0: misses 5 at t0, exact at t1.
+  EXPECT_DOUBLE_EQ(placement_worst_error(trace, {0}), 5.0);
+  EXPECT_DOUBLE_EQ(placement_worst_error(trace, {1}), 2.0);
+}
+
+TEST(Placement, GreedyPicksAlwaysHotBlockFirst) {
+  const TemperatureTrace trace = {{80, 81, 85}, {79, 82, 86}, {81, 80, 84}};
+  const PlacementResult r = greedy_placement(trace, 1);
+  ASSERT_EQ(r.blocks.size(), 1u);
+  EXPECT_EQ(r.blocks[0], 2u);
+  EXPECT_DOUBLE_EQ(r.worst_error, 0.0);
+}
+
+TEST(Placement, GreedyCoverAlternatingHotspots) {
+  // Hotspot alternates between blocks 0 and 3: two sensors needed.
+  const TemperatureTrace trace = {
+      {90, 70, 70, 80}, {80, 70, 70, 90}, {91, 72, 71, 82}, {81, 70, 71, 89}};
+  const PlacementResult one = greedy_placement(trace, 1);
+  EXPECT_GT(one.worst_error, 5.0);
+  const PlacementResult two = greedy_placement(trace, 2);
+  EXPECT_DOUBLE_EQ(two.worst_error, 0.0);
+  EXPECT_EQ(two.blocks, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(Placement, GreedyStopsEarlyWhenExact) {
+  const TemperatureTrace trace = {{90, 70}, {91, 71}};
+  const PlacementResult r = greedy_placement(trace, 2);
+  EXPECT_EQ(r.blocks.size(), 1u);  // one sensor already exact
+}
+
+TEST(Placement, ExhaustiveMatchesOrBeatsGreedy) {
+  util::Rng rng(99);
+  TemperatureTrace trace;
+  for (int t = 0; t < 40; ++t) {
+    std::vector<double> row;
+    for (int b = 0; b < 8; ++b) row.push_back(rng.uniform(70.0, 90.0));
+    trace.push_back(row);
+  }
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const PlacementResult g = greedy_placement(trace, k);
+    const PlacementResult e = exhaustive_placement(trace, k);
+    EXPECT_LE(e.worst_error, g.worst_error + 1e-12) << "k=" << k;
+    EXPECT_EQ(e.blocks.size(), k);
+  }
+}
+
+TEST(Placement, ExhaustiveSingleSensorIsArgminOfWorstError) {
+  const TemperatureTrace trace = {{80, 85, 83}, {84, 82, 83}, {81, 83, 85}};
+  const PlacementResult e = exhaustive_placement(trace, 1);
+  double best = 1e9;
+  std::size_t best_b = 0;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const double err = placement_worst_error(trace, {b});
+    if (err < best) {
+      best = err;
+      best_b = b;
+    }
+  }
+  EXPECT_EQ(e.blocks[0], best_b);
+  EXPECT_DOUBLE_EQ(e.worst_error, best);
+}
+
+TEST(Placement, Validation) {
+  const TemperatureTrace good = {{1.0, 2.0}};
+  EXPECT_THROW(placement_worst_error({}, {0}), std::invalid_argument);
+  EXPECT_THROW(placement_worst_error(good, {}), std::invalid_argument);
+  EXPECT_THROW(placement_worst_error(good, {5}), std::invalid_argument);
+  EXPECT_THROW(placement_worst_error({{1.0, 2.0}, {1.0}}, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(greedy_placement(good, 0), std::invalid_argument);
+  EXPECT_THROW(greedy_placement(good, 5), std::invalid_argument);
+  EXPECT_THROW(exhaustive_placement(good, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hydra::sensor

@@ -1,0 +1,386 @@
+// Unit tests for src/core DTM policies, driven with synthetic sensor
+// samples (no simulator in the loop).
+#include <gtest/gtest.h>
+
+#include "core/clock_gating_policy.h"
+#include "core/dvs_policy.h"
+#include "core/fetch_gating_policy.h"
+#include "core/hybrid_policy.h"
+#include "core/proactive_policy.h"
+#include "power/voltage_freq.h"
+
+namespace hydra::core {
+namespace {
+
+constexpr double kTrigger = 81.8;
+constexpr std::size_t kBlocks = 18;
+
+power::DvsLadder binary_ladder() {
+  return power::DvsLadder(power::VoltageFrequencyCurve{}, 2, 0.85);
+}
+
+ThermalSample at(double max_temp, double t_seconds) {
+  ThermalSample s;
+  s.sensed_celsius.assign(kBlocks, max_temp - 2.0);
+  s.sensed_celsius[13] = max_temp;  // IntReg-ish slot
+  s.max_sensed = max_temp;
+  s.time_seconds = t_seconds;
+  return s;
+}
+
+// --------------------------------------------------------------- binary DVS
+TEST(DvsPolicy, BinaryDropsAtTrigger) {
+  DvsPolicy policy(binary_ladder(), DtmThresholds{}, DvsPolicyConfig{});
+  EXPECT_EQ(policy.update(at(kTrigger - 1.0, 0.0)).dvs_level, 0u);
+  EXPECT_EQ(policy.update(at(kTrigger, 1e-4)).dvs_level, 1u);
+  EXPECT_EQ(policy.update(at(kTrigger + 3.0, 2e-4)).dvs_level, 1u);
+}
+
+TEST(DvsPolicy, LoweringIsImmediateRaisingIsFiltered) {
+  DvsPolicyConfig cfg;
+  cfg.raise_filter_samples = 3;
+  DvsPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  EXPECT_EQ(policy.update(at(kTrigger + 1.0, t += 1e-4)).dvs_level, 1u);
+  // Now cool: needs 3 consecutive cool samples before raising.
+  EXPECT_EQ(policy.update(at(kTrigger - 2.0, t += 1e-4)).dvs_level, 1u);
+  EXPECT_EQ(policy.update(at(kTrigger - 2.0, t += 1e-4)).dvs_level, 1u);
+  EXPECT_EQ(policy.update(at(kTrigger - 2.0, t += 1e-4)).dvs_level, 0u);
+}
+
+TEST(DvsPolicy, NoiseSpikeDoesNotRaiseVoltage) {
+  DvsPolicyConfig cfg;
+  cfg.raise_filter_samples = 3;
+  DvsPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 1.0, t += 1e-4));
+  policy.update(at(kTrigger - 2.0, t += 1e-4));
+  policy.update(at(kTrigger - 2.0, t += 1e-4));
+  // One hot sample resets the filter.
+  EXPECT_EQ(policy.update(at(kTrigger + 0.5, t += 1e-4)).dvs_level, 1u);
+  EXPECT_EQ(policy.update(at(kTrigger - 2.0, t += 1e-4)).dvs_level, 1u);
+}
+
+TEST(DvsPolicy, HysteresisBlocksRaiseNearTrigger) {
+  DvsPolicyConfig cfg;
+  cfg.raise_filter_samples = 1;
+  cfg.hysteresis = 0.3;
+  DvsPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 1.0, t += 1e-4));
+  // Just below trigger but inside the hysteresis band: stay low.
+  EXPECT_EQ(policy.update(at(kTrigger - 0.1, t += 1e-4)).dvs_level, 1u);
+  EXPECT_EQ(policy.update(at(kTrigger - 0.5, t += 1e-4)).dvs_level, 0u);
+}
+
+TEST(DvsPolicy, NeverCommandsFetchGatingOrClockGating) {
+  DvsPolicy policy(binary_ladder(), DtmThresholds{}, DvsPolicyConfig{});
+  const DtmCommand cmd = policy.update(at(kTrigger + 2.0, 0.0));
+  EXPECT_DOUBLE_EQ(cmd.fetch_gate_fraction, 0.0);
+  EXPECT_FALSE(cmd.clock_gate);
+}
+
+TEST(DvsPolicy, ResetReturnsToNominal) {
+  DvsPolicy policy(binary_ladder(), DtmThresholds{}, DvsPolicyConfig{});
+  policy.update(at(kTrigger + 2.0, 0.0));
+  EXPECT_EQ(policy.current_level(), 1u);
+  policy.reset();
+  EXPECT_EQ(policy.current_level(), 0u);
+}
+
+// ------------------------------------------------------------ stepped DVS
+TEST(DvsPolicy, SteppedUsesIntermediateLevels) {
+  const power::DvsLadder ladder(power::VoltageFrequencyCurve{}, 5, 0.85);
+  DvsPolicyConfig cfg;
+  cfg.mode = DvsPolicyConfig::Mode::kStepped;
+  DvsPolicy policy(ladder, DtmThresholds{}, cfg);
+  // Small sustained error: controller should choose a level between
+  // nominal and the floor.
+  double t = 0.0;
+  std::size_t level = 0;
+  for (int i = 0; i < 4; ++i) {
+    level = policy.update(at(kTrigger + 0.3, t += 1e-4)).dvs_level;
+  }
+  EXPECT_GT(level, 0u);
+  EXPECT_LE(level, ladder.lowest_level());
+}
+
+TEST(DvsPolicy, SteppedSaturatesUnderSevereStress) {
+  const power::DvsLadder ladder(power::VoltageFrequencyCurve{}, 5, 0.85);
+  DvsPolicyConfig cfg;
+  cfg.mode = DvsPolicyConfig::Mode::kStepped;
+  DvsPolicy policy(ladder, DtmThresholds{}, cfg);
+  double t = 0.0;
+  std::size_t level = 0;
+  for (int i = 0; i < 50; ++i) {
+    level = policy.update(at(kTrigger + 5.0, t += 1e-4)).dvs_level;
+  }
+  EXPECT_EQ(level, ladder.lowest_level());
+}
+
+// ------------------------------------------------------------ fetch gating
+TEST(FetchGatingPolicy, IntegralRampsUpUnderStress) {
+  FetchGatingPolicy policy(DtmThresholds{}, FetchGatingConfig{});
+  double t = 0.0;
+  double prev = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double g =
+        policy.update(at(kTrigger + 2.0, t += 1e-4)).fetch_gate_fraction;
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(FetchGatingPolicy, IntegralDecaysWhenCool) {
+  FetchGatingConfig cfg;
+  cfg.ki = 60000.0;
+  FetchGatingPolicy policy(DtmThresholds{}, cfg);
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) policy.update(at(kTrigger + 2.0, t += 1e-4));
+  const double high = policy.current_gate_fraction();
+  for (int i = 0; i < 20; ++i) policy.update(at(kTrigger - 2.0, t += 1e-4));
+  EXPECT_LT(policy.current_gate_fraction(), high);
+}
+
+TEST(FetchGatingPolicy, SaturatesAtCap) {
+  FetchGatingConfig cfg;
+  cfg.ki = 1e6;
+  cfg.max_gate_fraction = 0.75;
+  FetchGatingPolicy policy(DtmThresholds{}, cfg);
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) policy.update(at(kTrigger + 5.0, t += 1e-4));
+  EXPECT_DOUBLE_EQ(policy.current_gate_fraction(), 0.75);
+}
+
+TEST(FetchGatingPolicy, FixedModeIsComparator) {
+  FetchGatingConfig cfg;
+  cfg.mode = FetchGatingConfig::Mode::kFixed;
+  cfg.fixed_gate_fraction = 0.4;
+  FetchGatingPolicy policy(DtmThresholds{}, cfg);
+  EXPECT_DOUBLE_EQ(
+      policy.update(at(kTrigger - 0.5, 0.0)).fetch_gate_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(
+      policy.update(at(kTrigger + 0.5, 1e-4)).fetch_gate_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(
+      policy.update(at(kTrigger - 0.5, 2e-4)).fetch_gate_fraction, 0.0);
+}
+
+TEST(FetchGatingPolicy, NeverCommandsDvs) {
+  FetchGatingPolicy policy(DtmThresholds{}, FetchGatingConfig{});
+  const DtmCommand cmd = policy.update(at(kTrigger + 5.0, 0.0));
+  EXPECT_EQ(cmd.dvs_level, 0u);
+  EXPECT_FALSE(cmd.clock_gate);
+}
+
+// ------------------------------------------------------------ clock gating
+TEST(ClockGatingPolicy, EngagesAtTriggerWithHysteresis) {
+  ClockGatingPolicy policy(DtmThresholds{}, ClockGatingConfig{});
+  EXPECT_FALSE(policy.update(at(kTrigger - 1.0, 0.0)).clock_gate);
+  EXPECT_TRUE(policy.update(at(kTrigger + 0.1, 1e-4)).clock_gate);
+  // Inside the hysteresis band: stays engaged.
+  EXPECT_TRUE(policy.update(at(kTrigger - 0.1, 2e-4)).clock_gate);
+  EXPECT_FALSE(policy.update(at(kTrigger - 1.0, 3e-4)).clock_gate);
+}
+
+// ----------------------------------------------------------------- PI-Hyb
+TEST(PiHybridPolicy, UsesFetchGatingForMildStress) {
+  PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, HybridConfig{});
+  double t = 0.0;
+  DtmCommand cmd;
+  for (int i = 0; i < 3; ++i) {
+    cmd = policy.update(at(kTrigger + 0.3, t += 1e-4));
+  }
+  EXPECT_GT(cmd.fetch_gate_fraction, 0.0);
+  EXPECT_LE(cmd.fetch_gate_fraction, 1.0 / 3.0 + 1e-12);
+  EXPECT_EQ(cmd.dvs_level, 0u);
+  EXPECT_FALSE(policy.dvs_engaged());
+}
+
+TEST(PiHybridPolicy, CrossesOverToDvsUnderSevereStress) {
+  HybridConfig cfg;
+  cfg.ki = 60000.0;
+  PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  DtmCommand cmd;
+  for (int i = 0; i < 40 && !policy.dvs_engaged(); ++i) {
+    cmd = policy.update(at(kTrigger + 4.0, t += 1e-4));
+  }
+  EXPECT_TRUE(policy.dvs_engaged());
+  EXPECT_EQ(cmd.dvs_level, 1u);
+  EXPECT_DOUBLE_EQ(cmd.fetch_gate_fraction, 0.0);
+}
+
+TEST(PiHybridPolicy, ReturnsToFetchGatingAfterCooling) {
+  HybridConfig cfg;
+  cfg.ki = 60000.0;
+  cfg.release_filter_samples = 2;
+  PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) policy.update(at(kTrigger + 4.0, t += 1e-4));
+  ASSERT_TRUE(policy.dvs_engaged());
+  policy.update(at(kTrigger - 2.0, t += 1e-4));
+  const DtmCommand cmd = policy.update(at(kTrigger - 2.0, t += 1e-4));
+  EXPECT_FALSE(policy.dvs_engaged());
+  EXPECT_EQ(cmd.dvs_level, 0u);
+}
+
+TEST(PiHybridPolicy, GateNeverExceedsCrossover) {
+  HybridConfig cfg;
+  cfg.ki = 60000.0;
+  cfg.crossover_gate_fraction = 0.25;
+  cfg.crossover_margin = 1e9;  // never cross over: pure capped FG
+  PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const DtmCommand cmd = policy.update(at(kTrigger + 5.0, t += 1e-4));
+    EXPECT_LE(cmd.fetch_gate_fraction, 0.25 + 1e-12);
+  }
+}
+
+// -------------------------------------------------------------------- Hyb
+TEST(HybridPolicy, ThreeLevelEscalation) {
+  HybridConfig cfg;
+  cfg.dvs_threshold_offset = 1.1;
+  cfg.escalate_filter_samples = 1;
+  HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  // Below trigger: off.
+  DtmCommand cmd = policy.update(at(kTrigger - 0.5, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 0);
+  EXPECT_DOUBLE_EQ(cmd.fetch_gate_fraction, 0.0);
+  // In the FG band.
+  cmd = policy.update(at(kTrigger + 0.5, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 1);
+  EXPECT_NEAR(cmd.fetch_gate_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(cmd.dvs_level, 0u);
+  // Above the second threshold: DVS.
+  cmd = policy.update(at(kTrigger + 2.0, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 2);
+  EXPECT_EQ(cmd.dvs_level, 1u);
+  EXPECT_DOUBLE_EQ(cmd.fetch_gate_fraction, 0.0);
+}
+
+TEST(HybridPolicy, EscalationToDvsIsDebounced) {
+  HybridConfig cfg;
+  cfg.dvs_threshold_offset = 1.1;
+  cfg.escalate_filter_samples = 2;
+  HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 2.0, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 1);  // held at FG while pending
+  policy.update(at(kTrigger + 2.0, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 2);
+}
+
+TEST(HybridPolicy, NoiseSpikeDoesNotEngageDvs) {
+  HybridConfig cfg;
+  cfg.escalate_filter_samples = 2;
+  HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 2.0, t += 1e-4));  // spike
+  policy.update(at(kTrigger + 0.2, t += 1e-4));  // back in band
+  EXPECT_EQ(policy.escalation_level(), 1);
+  policy.update(at(kTrigger + 2.0, t += 1e-4));  // another isolated spike
+  EXPECT_EQ(policy.escalation_level(), 1);
+}
+
+TEST(HybridPolicy, FetchGatingReleasesFreely) {
+  HybridConfig cfg;
+  cfg.escalate_filter_samples = 1;
+  HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 0.3, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 1);
+  // Fetch gating has no switching cost: one cool sample releases it.
+  policy.update(at(kTrigger - 0.5, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 0);
+}
+
+TEST(HybridPolicy, DvsReleaseIsFilteredAndStepsToFg) {
+  HybridConfig cfg;
+  cfg.dvs_threshold_offset = 1.1;
+  cfg.escalate_filter_samples = 1;
+  cfg.release_filter_samples = 2;
+  cfg.hysteresis = 0.3;
+  HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 2.0, t += 1e-4));
+  ASSERT_EQ(policy.escalation_level(), 2);
+  // Cool below t2 - hysteresis (but above trigger): two samples to step
+  // down to the FG band — never straight to unthrottled.
+  policy.update(at(kTrigger + 0.4, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 2);
+  policy.update(at(kTrigger + 0.4, t += 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 1);
+}
+
+TEST(HybridPolicy, ResetClearsEverything) {
+  HybridConfig cfg;
+  cfg.escalate_filter_samples = 1;
+  HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  policy.update(at(kTrigger + 5.0, 1e-4));
+  EXPECT_EQ(policy.escalation_level(), 2);
+  policy.reset();
+  EXPECT_EQ(policy.escalation_level(), 0);
+}
+
+// ---------------------------------------------------------------- Pro-Hyb
+TEST(ProactiveHybridPolicy, ActsOnPredictedTemperature) {
+  ProactiveConfig cfg;
+  cfg.hybrid.escalate_filter_samples = 1;
+  cfg.horizon_seconds = 10e-4;  // 10 sample periods ahead
+  cfg.slope_filter_alpha = 1.0;  // no smoothing: deterministic test
+  ProactiveHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  // Rising 0.2 C/sample from 1.5 C below trigger: the extrapolation
+  // (+2 C at this horizon) crosses the trigger while the raw reading is
+  // still below it.
+  policy.update(at(kTrigger - 1.5, t += 1e-4));
+  const DtmCommand cmd = policy.update(at(kTrigger - 1.3, t += 1e-4));
+  EXPECT_GT(cmd.fetch_gate_fraction, 0.0);  // engaged early
+}
+
+TEST(ProactiveHybridPolicy, SteadyTemperatureBehavesLikeHyb) {
+  ProactiveConfig cfg;
+  cfg.hybrid.escalate_filter_samples = 1;
+  ProactiveHybridPolicy pro(binary_ladder(), DtmThresholds{}, cfg);
+  HybridPolicy hyb(binary_ladder(), DtmThresholds{}, cfg.hybrid);
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    t += 1e-4;
+    const DtmCommand a = pro.update(at(kTrigger + 0.5, t));
+    const DtmCommand b = hyb.update(at(kTrigger + 0.5, t));
+    EXPECT_DOUBLE_EQ(a.fetch_gate_fraction, b.fetch_gate_fraction);
+    EXPECT_EQ(a.dvs_level, b.dvs_level);
+  }
+}
+
+TEST(ProactiveHybridPolicy, FallingTemperatureReleasesEarlier) {
+  ProactiveConfig cfg;
+  cfg.hybrid.escalate_filter_samples = 1;
+  cfg.horizon_seconds = 10e-4;
+  cfg.slope_filter_alpha = 1.0;
+  ProactiveHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  double t = 0.0;
+  policy.update(at(kTrigger + 0.8, t += 1e-4));
+  policy.update(at(kTrigger + 0.8, t += 1e-4));
+  // Now falling 0.15 C/sample: reading still above trigger but the
+  // prediction is 1.5 C lower -> released.
+  const DtmCommand cmd = policy.update(at(kTrigger + 0.65, t += 1e-4));
+  EXPECT_DOUBLE_EQ(cmd.fetch_gate_fraction, 0.0);
+}
+
+TEST(ProactiveHybridPolicy, ResetClearsSlopeState) {
+  ProactiveConfig cfg;
+  cfg.slope_filter_alpha = 1.0;
+  ProactiveHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
+  policy.update(at(kTrigger - 3.0, 1e-4));
+  policy.update(at(kTrigger - 1.0, 2e-4));
+  EXPECT_GT(policy.slope(), 0.0);
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.slope(), 0.0);
+}
+
+}  // namespace
+}  // namespace hydra::core

@@ -1,0 +1,124 @@
+// Focused tests of the co-simulation's event mechanics: DVS switching
+// overhead, clock-gate quanta, sensor cadence, and config interactions.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace hydra::sim {
+namespace {
+
+SimConfig mech_config() {
+  SimConfig cfg;
+  cfg.time_scale = 150.0;
+  cfg.thermal_interval_cycles = 2'000;
+  cfg.warmup_instructions = 400'000;
+  cfg.run_instructions = 500'000;
+  return cfg;
+}
+
+workload::WorkloadProfile hot() { return workload::spec2000_profile("art"); }
+
+TEST(SystemMechanics, DvsStallIsNotFasterThanIdeal) {
+  SimConfig cfg = mech_config();
+  cfg.dvs_stall = true;
+  System stall_sys(hot(), cfg, make_policy(PolicyKind::kDvs, {}, cfg));
+  const RunResult stall = stall_sys.run();
+
+  cfg.dvs_stall = false;
+  System ideal_sys(hot(), cfg, make_policy(PolicyKind::kDvs, {}, cfg));
+  const RunResult ideal = ideal_sys.run();
+
+  // Stall pays 10 us of pipeline stall per switch that ideal does not;
+  // small trajectory divergence aside, it cannot be meaningfully faster.
+  EXPECT_GE(stall.wall_seconds, ideal.wall_seconds * 0.995);
+}
+
+TEST(SystemMechanics, TransitionsBoundedBySensorSamples) {
+  const SimConfig cfg = mech_config();
+  System system(hot(), cfg, make_policy(PolicyKind::kDvs, {}, cfg));
+  const RunResult r = system.run();
+  const double sensor_period =
+      1.0 / cfg.sensor.sample_rate_hz / cfg.time_scale;
+  const double samples = r.wall_seconds / sensor_period;
+  EXPECT_LE(static_cast<double>(r.dvs_transitions), samples + 1.0);
+}
+
+TEST(SystemMechanics, ClockGateDutyNeverExceedsHalfPlusQuantum) {
+  // The stop-go quantum mechanism alternates gated/running quanta while
+  // requested, so the gated fraction cannot exceed ~50 %.
+  const SimConfig cfg = mech_config();
+  System system(hot(), cfg, make_policy(PolicyKind::kClockGating, {}, cfg));
+  const RunResult r = system.run();
+  EXPECT_GT(r.clock_gated_fraction, 0.0);
+  EXPECT_LE(r.clock_gated_fraction, 0.55);
+}
+
+TEST(SystemMechanics, SteppedDvsIsSafeThroughTheSystem) {
+  SimConfig cfg = mech_config();
+  cfg.dvs_steps = 5;
+  PolicyParams params;
+  params.dvs.mode = core::DvsPolicyConfig::Mode::kStepped;
+  System system(hot(), cfg, make_policy(PolicyKind::kDvs, params, cfg));
+  const RunResult r = system.run();
+  EXPECT_DOUBLE_EQ(r.violation_fraction, 0.0);
+  EXPECT_GT(r.dvs_low_fraction, 0.0);
+}
+
+TEST(SystemMechanics, LowVoltageFractionScalesSlowdownFloor) {
+  // A deeper low voltage runs slower while engaged: with near-permanent
+  // engagement (art), slowdown ordering follows the voltage ordering.
+  SimConfig cfg = mech_config();
+  ExperimentRunner runner(cfg);
+  cfg.v_low_fraction = 0.85;
+  const double s085 = runner.run(hot(), PolicyKind::kDvs, {}, cfg).slowdown;
+  cfg.v_low_fraction = 0.75;
+  const double s075 = runner.run(hot(), PolicyKind::kDvs, {}, cfg).slowdown;
+  EXPECT_GT(s075, s085);
+}
+
+TEST(SystemMechanics, LocalTogglePolicyThroughTheSystem) {
+  const SimConfig cfg = mech_config();
+  System system(hot(), cfg, make_policy(PolicyKind::kLocalToggle, {}, cfg));
+  const RunResult r = system.run();
+  EXPECT_GT(r.mean_issue_gate_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_gate_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.violation_fraction, 0.0);
+}
+
+TEST(SystemMechanics, FallbackPolicyThroughTheSystem) {
+  const SimConfig cfg = mech_config();
+  System system(hot(), cfg, make_policy(PolicyKind::kFallback, {}, cfg));
+  const RunResult r = system.run();
+  EXPECT_DOUBLE_EQ(r.violation_fraction, 0.0);
+  EXPECT_GT(r.mean_gate_fraction, 0.0);  // rides fetch gating first
+}
+
+TEST(SystemMechanics, HigherTimeScaleStillRegulates) {
+  // The dimensionless design should keep policies safe across time
+  // compressions (gains rescale with time_scale in make_policy).
+  for (double ts : {100.0, 200.0}) {
+    SimConfig cfg = mech_config();
+    cfg.time_scale = ts;
+    cfg.thermal_interval_cycles = 1'500;
+    System system(hot(), cfg, make_policy(PolicyKind::kHybrid, {}, cfg));
+    const RunResult r = system.run();
+    EXPECT_DOUBLE_EQ(r.violation_fraction, 0.0) << "time_scale " << ts;
+  }
+}
+
+TEST(SystemMechanics, BaselineCacheSharedAcrossPolicyVariants) {
+  // fig4-style usage: one runner, stall and ideal variants — baselines
+  // must be computed once (same object) because the baseline never
+  // engages DVS.
+  ExperimentRunner runner(mech_config());
+  SimConfig ideal = mech_config();
+  ideal.dvs_stall = false;
+  const RunResult& b1 = runner.baseline(hot());
+  runner.run(hot(), PolicyKind::kDvs, {}, ideal);
+  const RunResult& b2 = runner.baseline(hot());
+  EXPECT_EQ(&b1, &b2);
+}
+
+}  // namespace
+}  // namespace hydra::sim

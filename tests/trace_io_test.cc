@@ -1,0 +1,137 @@
+// Tests for binary trace recording/replay and the JSON writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.h"
+#include "workload/spec_profiles.h"
+#include "workload/trace_io.h"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------- traces
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  auto profile = workload::spec2000_profile("gzip");
+  workload::SyntheticTrace original(profile);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  workload::write_trace(buf, original, 20'000);
+
+  workload::SyntheticTrace reference(profile);  // same seed: same stream
+  workload::RecordedTrace replay(buf);
+  ASSERT_EQ(replay.size(), 20'000u);
+  for (int i = 0; i < 20'000; ++i) {
+    const arch::MicroOp a = reference.next();
+    const arch::MicroOp b = replay.next();
+    ASSERT_EQ(static_cast<int>(a.cls), static_cast<int>(b.cls)) << i;
+    ASSERT_EQ(a.num_srcs, b.num_srcs);
+    ASSERT_EQ(a.src_dist[0], b.src_dist[0]);
+    ASSERT_EQ(a.src_dist[1], b.src_dist[1]);
+    ASSERT_EQ(a.pc, b.pc);
+    ASSERT_EQ(a.mem_addr, b.mem_addr);
+    ASSERT_EQ(a.branch_taken, b.branch_taken);
+  }
+}
+
+TEST(TraceIo, ReplayLoops) {
+  auto profile = workload::spec2000_profile("mesa");
+  workload::SyntheticTrace original(profile);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  workload::write_trace(buf, original, 100);
+  workload::RecordedTrace replay(buf);
+  std::vector<std::uint64_t> first_pass;
+  for (int i = 0; i < 100; ++i) first_pass.push_back(replay.next().pc);
+  EXPECT_EQ(replay.loops(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(replay.next().pc, first_pass[i]);
+  }
+  EXPECT_EQ(replay.loops(), 2u);
+}
+
+TEST(TraceIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  bad << "NOPE";
+  EXPECT_THROW(workload::RecordedTrace{bad}, std::invalid_argument);
+
+  auto profile = workload::spec2000_profile("mesa");
+  workload::SyntheticTrace original(profile);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  workload::write_trace(buf, original, 100);
+  const std::string full = buf.str();
+  std::stringstream truncated(
+      full.substr(0, full.size() - 10),
+      std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(workload::RecordedTrace{truncated}, std::invalid_argument);
+}
+
+TEST(TraceIo, RecordedTraceDrivesSyntheticStatistics) {
+  // The mix of a replayed trace matches the profile's (the trace is the
+  // stream, just frozen).
+  auto profile = workload::spec2000_profile("art");
+  workload::SyntheticTrace original(profile);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  workload::write_trace(buf, original, 100'000);
+  workload::RecordedTrace replay(buf);
+  long fp_ops = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const arch::MicroOp op = replay.next();
+    if (arch::is_fp(op.cls)) ++fp_ops;
+  }
+  EXPECT_NEAR(fp_ops / 100'000.0, profile.frac_fp_add + profile.frac_fp_mul,
+              0.05);
+}
+
+// ------------------------------------------------------------------ json
+TEST(Json, ScalarsAndNesting) {
+  std::ostringstream out;
+  util::JsonWriter w(out, 0);
+  w.begin_object();
+  w.key("name").value("crafty");
+  w.key("slowdown").value(1.5);
+  w.key("count").value(42);
+  w.key("safe").value(true);
+  w.key("tags").begin_array();
+  w.value("a");
+  w.value("b");
+  w.end_array();
+  w.end_object();
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"name\": \"crafty\""), std::string::npos);
+  EXPECT_NE(s.find("\"slowdown\": 1.5"), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(s.find("\"safe\": true"), std::string::npos);
+  EXPECT_NE(s.find("\"a\""), std::string::npos);
+}
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(util::JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(util::JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(util::JsonWriter::escape(std::string("a\x01") + "b"),
+            "a\\u0001b");
+}
+
+TEST(Json, CommasBetweenSiblingsOnly) {
+  std::ostringstream out;
+  util::JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(1.0);
+  w.value(2.0);
+  w.value(3.0);
+  w.end_array();
+  std::string s = out.str();
+  // Exactly two commas for three siblings.
+  EXPECT_EQ(std::count(s.begin(), s.end(), ','), 2);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  std::ostringstream out;
+  util::JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_NE(out.str().find("null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hydra

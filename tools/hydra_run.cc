@@ -1,0 +1,141 @@
+// hydra_run — scriptable experiment driver.
+//
+// Runs one DTM experiment (benchmark x policy) and emits the result as
+// human-readable text or JSON, making the simulator usable from shell
+// pipelines and dashboards without writing C++.
+//
+// Usage:
+//   hydra_run benchmark=<name|all> policy=<name> [key=value ...]
+//
+// Keys:
+//   benchmark     mesa|perlbmk|gzip|bzip2|eon|crafty|vortex|gcc|art|all
+//   policy        none|dvs|fg|fg-fixed|clockgate|pi-hyb|hyb|pro-hyb|
+//                 local-toggle|fallback
+//   format        text|json                      (default text)
+//   dvs_stall     true|false                     (default true)
+//   dvs_steps     >= 2                           (default 2)
+//   v_low_fraction(0,1)                          (default 0.85)
+//   run_instructions / warmup_instructions       (defaults as library)
+//   time_scale    > 0                            (default 40)
+//   crossover     hybrid crossover gate fraction (default 1/3)
+//   seed          sensor-noise seed
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/config.h"
+#include "util/json.h"
+#include "util/table.h"
+
+using namespace hydra;
+
+namespace {
+
+sim::PolicyKind parse_policy(const std::string& name) {
+  if (name == "none") return sim::PolicyKind::kNone;
+  if (name == "dvs") return sim::PolicyKind::kDvs;
+  if (name == "fg") return sim::PolicyKind::kFetchGating;
+  if (name == "fg-fixed") return sim::PolicyKind::kFixedFetchGating;
+  if (name == "clockgate") return sim::PolicyKind::kClockGating;
+  if (name == "pi-hyb") return sim::PolicyKind::kPiHybrid;
+  if (name == "hyb") return sim::PolicyKind::kHybrid;
+  if (name == "pro-hyb") return sim::PolicyKind::kProactiveHybrid;
+  if (name == "local-toggle") return sim::PolicyKind::kLocalToggle;
+  if (name == "fallback") return sim::PolicyKind::kFallback;
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+void emit_json(util::JsonWriter& w, const sim::ExperimentResult& r) {
+  w.begin_object();
+  w.key("benchmark").value(r.dtm.benchmark);
+  w.key("policy").value(r.dtm.policy);
+  w.key("slowdown").value(r.slowdown);
+  w.key("wall_seconds").value(r.dtm.wall_seconds);
+  w.key("ipc").value(r.dtm.ipc);
+  w.key("baseline_ipc").value(r.baseline.ipc);
+  w.key("max_true_celsius").value(r.dtm.max_true_celsius);
+  w.key("violation_fraction").value(r.dtm.violation_fraction);
+  w.key("above_trigger_fraction").value(r.dtm.above_trigger_fraction);
+  w.key("mean_gate_fraction").value(r.dtm.mean_gate_fraction);
+  w.key("mean_issue_gate_fraction").value(r.dtm.mean_issue_gate_fraction);
+  w.key("dvs_low_fraction").value(r.dtm.dvs_low_fraction);
+  w.key("clock_gated_fraction").value(r.dtm.clock_gated_fraction);
+  w.key("dvs_transitions").value(r.dtm.dvs_transitions);
+  w.key("mean_power_watts").value(r.dtm.mean_power_watts);
+  w.key("hottest_block").value(r.dtm.hottest_block);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Config cfg_args =
+        util::Config::from_args(std::vector<std::string>(argv + 1,
+                                                         argv + argc));
+    const std::string bench = cfg_args.get_string("benchmark", "crafty");
+    const std::string policy_name = cfg_args.get_string("policy", "hyb");
+    const std::string format = cfg_args.get_string("format", "text");
+
+    sim::SimConfig cfg = sim::default_sim_config();
+    cfg.dvs_stall = cfg_args.get_bool("dvs_stall", cfg.dvs_stall);
+    cfg.dvs_steps = static_cast<std::size_t>(
+        cfg_args.get_int("dvs_steps", static_cast<long long>(cfg.dvs_steps)));
+    cfg.v_low_fraction =
+        cfg_args.get_double("v_low_fraction", cfg.v_low_fraction);
+    cfg.time_scale = cfg_args.get_double("time_scale", cfg.time_scale);
+    cfg.run_instructions = static_cast<std::uint64_t>(cfg_args.get_int(
+        "run_instructions", static_cast<long long>(cfg.run_instructions)));
+    cfg.warmup_instructions = static_cast<std::uint64_t>(
+        cfg_args.get_int("warmup_instructions",
+                         static_cast<long long>(cfg.warmup_instructions)));
+    cfg.sensor.seed = static_cast<std::uint64_t>(
+        cfg_args.get_int("seed", static_cast<long long>(cfg.sensor.seed)));
+
+    sim::PolicyParams params;
+    params.hybrid.crossover_gate_fraction =
+        cfg_args.get_double("crossover",
+                            params.hybrid.crossover_gate_fraction);
+
+    const sim::PolicyKind kind = parse_policy(policy_name);
+    sim::ExperimentRunner runner(cfg);
+
+    std::vector<sim::ExperimentResult> results;
+    if (bench == "all") {
+      for (const auto& profile : workload::spec2000_hot_profiles()) {
+        results.push_back(runner.run(profile, kind, params, cfg));
+      }
+    } else {
+      results.push_back(
+          runner.run(workload::spec2000_profile(bench), kind, params, cfg));
+    }
+
+    if (format == "json") {
+      util::JsonWriter w(std::cout);
+      w.begin_array();
+      for (const auto& r : results) emit_json(w, r);
+      w.end_array();
+    } else if (format == "text") {
+      util::AsciiTable table;
+      table.header({"benchmark", "policy", "slowdown", "Tmax[C]", "safe",
+                    "gate", "Vlow time", "switches"});
+      for (const auto& r : results) {
+        table.row({r.dtm.benchmark, r.dtm.policy,
+                   util::AsciiTable::num(r.slowdown, 4),
+                   util::AsciiTable::num(r.dtm.max_true_celsius, 2),
+                   r.dtm.thermally_safe() ? "yes" : "NO",
+                   util::AsciiTable::percent(r.dtm.mean_gate_fraction, 1),
+                   util::AsciiTable::percent(r.dtm.dvs_low_fraction, 1),
+                   std::to_string(r.dtm.dvs_transitions)});
+      }
+      table.print(std::cout);
+    } else {
+      throw std::invalid_argument("unknown format '" + format + "'");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hydra_run: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+// hydra_trace — record, inspect and verify binary instruction traces.
+//
+// Usage:
+//   hydra_trace record benchmark=<name> count=<n> out=<file>
+//   hydra_trace info   in=<file>
+//
+// `record` materialises a synthetic benchmark's stream into the portable
+// binary trace format (workload/trace_io.h); `info` prints a summary
+// (instruction mix, branch statistics) of an existing trace.
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/config.h"
+#include "util/table.h"
+#include "workload/spec_profiles.h"
+#include "workload/trace_io.h"
+
+using namespace hydra;
+
+namespace {
+
+int cmd_record(const util::Config& args) {
+  const std::string bench = args.get_string("benchmark", "crafty");
+  const auto count =
+      static_cast<std::uint64_t>(args.get_int("count", 1'000'000));
+  const std::string out_path = args.get_string("out", bench + ".hydt");
+
+  workload::SyntheticTrace source(workload::spec2000_profile(bench));
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open '" << out_path << "' for writing\n";
+    return 1;
+  }
+  workload::write_trace(out, source, count);
+  std::cout << "wrote " << count << " ops of " << bench << " to "
+            << out_path << '\n';
+  return 0;
+}
+
+int cmd_info(const util::Config& args) {
+  const std::string in_path = args.get_string("in", "");
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open '" << in_path << "'\n";
+    return 1;
+  }
+  workload::RecordedTrace trace(in);
+
+  std::array<std::uint64_t, arch::kNumOpClasses> counts{};
+  std::uint64_t taken = 0;
+  const std::uint64_t n = trace.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const arch::MicroOp op = trace.next();
+    ++counts[static_cast<int>(op.cls)];
+    if (op.cls == arch::OpClass::kBranch && op.branch_taken) ++taken;
+  }
+
+  static const char* kNames[] = {"int_alu", "int_mul", "fp_add", "fp_mul",
+                                 "load",    "store",   "branch"};
+  util::AsciiTable table;
+  table.header({"class", "count", "fraction"});
+  for (int i = 0; i < arch::kNumOpClasses; ++i) {
+    table.row({kNames[i], std::to_string(counts[i]),
+               util::AsciiTable::percent(
+                   static_cast<double>(counts[i]) / static_cast<double>(n),
+                   1)});
+  }
+  std::cout << "trace: " << in_path << " (" << n << " ops)\n";
+  table.print(std::cout);
+  const auto branches = counts[static_cast<int>(arch::OpClass::kBranch)];
+  if (branches > 0) {
+    std::cout << "taken-branch fraction: "
+              << util::AsciiTable::percent(
+                     static_cast<double>(taken) /
+                         static_cast<double>(branches),
+                     1)
+              << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: hydra_trace record|info key=value...\n";
+    return 1;
+  }
+  try {
+    const std::string cmd = argv[1];
+    const util::Config args =
+        util::Config::from_args(std::vector<std::string>(argv + 2,
+                                                         argv + argc));
+    if (cmd == "record") return cmd_record(args);
+    if (cmd == "info") return cmd_info(args);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "hydra_trace: " << e.what() << '\n';
+    return 1;
+  }
+}
