@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fidelity.dir/abl_fidelity.cc.o"
+  "CMakeFiles/abl_fidelity.dir/abl_fidelity.cc.o.d"
+  "abl_fidelity"
+  "abl_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

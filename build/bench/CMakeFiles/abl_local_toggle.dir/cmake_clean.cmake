@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_local_toggle.dir/abl_local_toggle.cc.o"
+  "CMakeFiles/abl_local_toggle.dir/abl_local_toggle.cc.o.d"
+  "abl_local_toggle"
+  "abl_local_toggle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_local_toggle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

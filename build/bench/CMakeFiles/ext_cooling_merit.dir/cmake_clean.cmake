@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cooling_merit.dir/ext_cooling_merit.cc.o"
+  "CMakeFiles/ext_cooling_merit.dir/ext_cooling_merit.cc.o.d"
+  "ext_cooling_merit"
+  "ext_cooling_merit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cooling_merit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

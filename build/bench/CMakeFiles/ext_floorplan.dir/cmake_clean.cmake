@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_floorplan.dir/ext_floorplan.cc.o"
+  "CMakeFiles/ext_floorplan.dir/ext_floorplan.cc.o.d"
+  "ext_floorplan"
+  "ext_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

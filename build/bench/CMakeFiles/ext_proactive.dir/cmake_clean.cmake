@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_proactive.dir/ext_proactive.cc.o"
+  "CMakeFiles/ext_proactive.dir/ext_proactive.cc.o.d"
+  "ext_proactive"
+  "ext_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_hybrid_duty_sweep.dir/fig3a_hybrid_duty_sweep.cc.o"
+  "CMakeFiles/fig3a_hybrid_duty_sweep.dir/fig3a_hybrid_duty_sweep.cc.o.d"
+  "fig3a_hybrid_duty_sweep"
+  "fig3a_hybrid_duty_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_hybrid_duty_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3a_hybrid_duty_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_fg_vs_dvs.dir/fig3b_fg_vs_dvs.cc.o"
+  "CMakeFiles/fig3b_fg_vs_dvs.dir/fig3b_fg_vs_dvs.cc.o.d"
+  "fig3b_fg_vs_dvs"
+  "fig3b_fg_vs_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_fg_vs_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_fg_vs_dvs.
+# This may be replaced when dependencies are built.

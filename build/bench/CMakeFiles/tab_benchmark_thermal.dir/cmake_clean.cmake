@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_benchmark_thermal.dir/tab_benchmark_thermal.cc.o"
+  "CMakeFiles/tab_benchmark_thermal.dir/tab_benchmark_thermal.cc.o.d"
+  "tab_benchmark_thermal"
+  "tab_benchmark_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_benchmark_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

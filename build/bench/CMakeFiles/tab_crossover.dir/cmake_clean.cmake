@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_crossover.dir/tab_crossover.cc.o"
+  "CMakeFiles/tab_crossover.dir/tab_crossover.cc.o.d"
+  "tab_crossover"
+  "tab_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dvs_steps.dir/tab_dvs_steps.cc.o"
+  "CMakeFiles/tab_dvs_steps.dir/tab_dvs_steps.cc.o.d"
+  "tab_dvs_steps"
+  "tab_dvs_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dvs_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_dvs_steps.
+# This may be replaced when dependencies are built.

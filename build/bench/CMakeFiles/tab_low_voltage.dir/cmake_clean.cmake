@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_low_voltage.dir/tab_low_voltage.cc.o"
+  "CMakeFiles/tab_low_voltage.dir/tab_low_voltage.cc.o.d"
+  "tab_low_voltage"
+  "tab_low_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_low_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

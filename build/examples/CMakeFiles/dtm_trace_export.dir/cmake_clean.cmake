@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtm_trace_export.dir/dtm_trace_export.cpp.o"
+  "CMakeFiles/dtm_trace_export.dir/dtm_trace_export.cpp.o.d"
+  "dtm_trace_export"
+  "dtm_trace_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtm_trace_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

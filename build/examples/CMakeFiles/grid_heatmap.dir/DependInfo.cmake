@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/grid_heatmap.cpp" "examples/CMakeFiles/grid_heatmap.dir/grid_heatmap.cpp.o" "gcc" "examples/CMakeFiles/grid_heatmap.dir/grid_heatmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_floorplan_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_heatmap.dir/grid_heatmap.cpp.o"
+  "CMakeFiles/grid_heatmap.dir/grid_heatmap.cpp.o.d"
+  "grid_heatmap"
+  "grid_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/branch_predictor.cc" "src/CMakeFiles/hydra_arch.dir/arch/branch_predictor.cc.o" "gcc" "src/CMakeFiles/hydra_arch.dir/arch/branch_predictor.cc.o.d"
+  "/root/repo/src/arch/cache.cc" "src/CMakeFiles/hydra_arch.dir/arch/cache.cc.o" "gcc" "src/CMakeFiles/hydra_arch.dir/arch/cache.cc.o.d"
+  "/root/repo/src/arch/core.cc" "src/CMakeFiles/hydra_arch.dir/arch/core.cc.o" "gcc" "src/CMakeFiles/hydra_arch.dir/arch/core.cc.o.d"
+  "/root/repo/src/arch/tlb.cc" "src/CMakeFiles/hydra_arch.dir/arch/tlb.cc.o" "gcc" "src/CMakeFiles/hydra_arch.dir/arch/tlb.cc.o.d"
+  "/root/repo/src/arch/tournament_predictor.cc" "src/CMakeFiles/hydra_arch.dir/arch/tournament_predictor.cc.o" "gcc" "src/CMakeFiles/hydra_arch.dir/arch/tournament_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

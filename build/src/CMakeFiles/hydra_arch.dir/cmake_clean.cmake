@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_arch.dir/arch/branch_predictor.cc.o"
+  "CMakeFiles/hydra_arch.dir/arch/branch_predictor.cc.o.d"
+  "CMakeFiles/hydra_arch.dir/arch/cache.cc.o"
+  "CMakeFiles/hydra_arch.dir/arch/cache.cc.o.d"
+  "CMakeFiles/hydra_arch.dir/arch/core.cc.o"
+  "CMakeFiles/hydra_arch.dir/arch/core.cc.o.d"
+  "CMakeFiles/hydra_arch.dir/arch/tlb.cc.o"
+  "CMakeFiles/hydra_arch.dir/arch/tlb.cc.o.d"
+  "CMakeFiles/hydra_arch.dir/arch/tournament_predictor.cc.o"
+  "CMakeFiles/hydra_arch.dir/arch/tournament_predictor.cc.o.d"
+  "libhydra_arch.a"
+  "libhydra_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

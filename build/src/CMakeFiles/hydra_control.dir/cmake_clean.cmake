@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_control.dir/control/low_pass.cc.o"
+  "CMakeFiles/hydra_control.dir/control/low_pass.cc.o.d"
+  "CMakeFiles/hydra_control.dir/control/pi_controller.cc.o"
+  "CMakeFiles/hydra_control.dir/control/pi_controller.cc.o.d"
+  "libhydra_control.a"
+  "libhydra_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clock_gating_policy.cc" "src/CMakeFiles/hydra_core.dir/core/clock_gating_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/clock_gating_policy.cc.o.d"
+  "/root/repo/src/core/dvs_policy.cc" "src/CMakeFiles/hydra_core.dir/core/dvs_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/dvs_policy.cc.o.d"
+  "/root/repo/src/core/fallback_policy.cc" "src/CMakeFiles/hydra_core.dir/core/fallback_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/fallback_policy.cc.o.d"
+  "/root/repo/src/core/fetch_gating_policy.cc" "src/CMakeFiles/hydra_core.dir/core/fetch_gating_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/fetch_gating_policy.cc.o.d"
+  "/root/repo/src/core/hybrid_policy.cc" "src/CMakeFiles/hydra_core.dir/core/hybrid_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/hybrid_policy.cc.o.d"
+  "/root/repo/src/core/local_toggle_policy.cc" "src/CMakeFiles/hydra_core.dir/core/local_toggle_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/local_toggle_policy.cc.o.d"
+  "/root/repo/src/core/proactive_policy.cc" "src/CMakeFiles/hydra_core.dir/core/proactive_policy.cc.o" "gcc" "src/CMakeFiles/hydra_core.dir/core/proactive_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

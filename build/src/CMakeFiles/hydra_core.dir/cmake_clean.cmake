@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_core.dir/core/clock_gating_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/clock_gating_policy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/core/dvs_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/dvs_policy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/core/fallback_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/fallback_policy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/core/fetch_gating_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/fetch_gating_policy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/core/hybrid_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/hybrid_policy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/core/local_toggle_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/local_toggle_policy.cc.o.d"
+  "CMakeFiles/hydra_core.dir/core/proactive_policy.cc.o"
+  "CMakeFiles/hydra_core.dir/core/proactive_policy.cc.o.d"
+  "libhydra_core.a"
+  "libhydra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

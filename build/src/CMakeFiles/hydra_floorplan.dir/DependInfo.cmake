@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/ev7.cc" "src/CMakeFiles/hydra_floorplan.dir/floorplan/ev7.cc.o" "gcc" "src/CMakeFiles/hydra_floorplan.dir/floorplan/ev7.cc.o.d"
+  "/root/repo/src/floorplan/floorplan.cc" "src/CMakeFiles/hydra_floorplan.dir/floorplan/floorplan.cc.o" "gcc" "src/CMakeFiles/hydra_floorplan.dir/floorplan/floorplan.cc.o.d"
+  "/root/repo/src/floorplan/floorplan_io.cc" "src/CMakeFiles/hydra_floorplan.dir/floorplan/floorplan_io.cc.o" "gcc" "src/CMakeFiles/hydra_floorplan.dir/floorplan/floorplan_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

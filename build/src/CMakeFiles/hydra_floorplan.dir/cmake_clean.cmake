@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_floorplan.dir/floorplan/ev7.cc.o"
+  "CMakeFiles/hydra_floorplan.dir/floorplan/ev7.cc.o.d"
+  "CMakeFiles/hydra_floorplan.dir/floorplan/floorplan.cc.o"
+  "CMakeFiles/hydra_floorplan.dir/floorplan/floorplan.cc.o.d"
+  "CMakeFiles/hydra_floorplan.dir/floorplan/floorplan_io.cc.o"
+  "CMakeFiles/hydra_floorplan.dir/floorplan/floorplan_io.cc.o.d"
+  "libhydra_floorplan.a"
+  "libhydra_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

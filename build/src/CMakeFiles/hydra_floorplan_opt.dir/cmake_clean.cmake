@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_floorplan_opt.dir/floorplan/annealer.cc.o"
+  "CMakeFiles/hydra_floorplan_opt.dir/floorplan/annealer.cc.o.d"
+  "libhydra_floorplan_opt.a"
+  "libhydra_floorplan_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_floorplan_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

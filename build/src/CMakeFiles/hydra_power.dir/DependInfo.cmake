@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/array_energy.cc" "src/CMakeFiles/hydra_power.dir/power/array_energy.cc.o" "gcc" "src/CMakeFiles/hydra_power.dir/power/array_energy.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/hydra_power.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/hydra_power.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/power/leakage.cc" "src/CMakeFiles/hydra_power.dir/power/leakage.cc.o" "gcc" "src/CMakeFiles/hydra_power.dir/power/leakage.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/hydra_power.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/hydra_power.dir/power/power_model.cc.o.d"
+  "/root/repo/src/power/voltage_freq.cc" "src/CMakeFiles/hydra_power.dir/power/voltage_freq.cc.o" "gcc" "src/CMakeFiles/hydra_power.dir/power/voltage_freq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

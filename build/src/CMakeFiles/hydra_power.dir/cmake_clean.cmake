@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_power.dir/power/array_energy.cc.o"
+  "CMakeFiles/hydra_power.dir/power/array_energy.cc.o.d"
+  "CMakeFiles/hydra_power.dir/power/energy_model.cc.o"
+  "CMakeFiles/hydra_power.dir/power/energy_model.cc.o.d"
+  "CMakeFiles/hydra_power.dir/power/leakage.cc.o"
+  "CMakeFiles/hydra_power.dir/power/leakage.cc.o.d"
+  "CMakeFiles/hydra_power.dir/power/power_model.cc.o"
+  "CMakeFiles/hydra_power.dir/power/power_model.cc.o.d"
+  "CMakeFiles/hydra_power.dir/power/voltage_freq.cc.o"
+  "CMakeFiles/hydra_power.dir/power/voltage_freq.cc.o.d"
+  "libhydra_power.a"
+  "libhydra_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/placement.cc" "src/CMakeFiles/hydra_sensor.dir/sensor/placement.cc.o" "gcc" "src/CMakeFiles/hydra_sensor.dir/sensor/placement.cc.o.d"
+  "/root/repo/src/sensor/sensor.cc" "src/CMakeFiles/hydra_sensor.dir/sensor/sensor.cc.o" "gcc" "src/CMakeFiles/hydra_sensor.dir/sensor/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_sensor.dir/sensor/placement.cc.o"
+  "CMakeFiles/hydra_sensor.dir/sensor/placement.cc.o.d"
+  "CMakeFiles/hydra_sensor.dir/sensor/sensor.cc.o"
+  "CMakeFiles/hydra_sensor.dir/sensor/sensor.cc.o.d"
+  "libhydra_sensor.a"
+  "libhydra_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

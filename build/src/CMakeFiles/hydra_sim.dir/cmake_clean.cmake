@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/hydra_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/hydra_sim.dir/sim/system.cc.o"
+  "CMakeFiles/hydra_sim.dir/sim/system.cc.o.d"
+  "libhydra_sim.a"
+  "libhydra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/grid_model.cc" "src/CMakeFiles/hydra_thermal.dir/thermal/grid_model.cc.o" "gcc" "src/CMakeFiles/hydra_thermal.dir/thermal/grid_model.cc.o.d"
+  "/root/repo/src/thermal/linalg.cc" "src/CMakeFiles/hydra_thermal.dir/thermal/linalg.cc.o" "gcc" "src/CMakeFiles/hydra_thermal.dir/thermal/linalg.cc.o.d"
+  "/root/repo/src/thermal/model_builder.cc" "src/CMakeFiles/hydra_thermal.dir/thermal/model_builder.cc.o" "gcc" "src/CMakeFiles/hydra_thermal.dir/thermal/model_builder.cc.o.d"
+  "/root/repo/src/thermal/package_builder.cc" "src/CMakeFiles/hydra_thermal.dir/thermal/package_builder.cc.o" "gcc" "src/CMakeFiles/hydra_thermal.dir/thermal/package_builder.cc.o.d"
+  "/root/repo/src/thermal/rc_network.cc" "src/CMakeFiles/hydra_thermal.dir/thermal/rc_network.cc.o" "gcc" "src/CMakeFiles/hydra_thermal.dir/thermal/rc_network.cc.o.d"
+  "/root/repo/src/thermal/solver.cc" "src/CMakeFiles/hydra_thermal.dir/thermal/solver.cc.o" "gcc" "src/CMakeFiles/hydra_thermal.dir/thermal/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

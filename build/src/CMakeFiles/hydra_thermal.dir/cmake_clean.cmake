@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_thermal.dir/thermal/grid_model.cc.o"
+  "CMakeFiles/hydra_thermal.dir/thermal/grid_model.cc.o.d"
+  "CMakeFiles/hydra_thermal.dir/thermal/linalg.cc.o"
+  "CMakeFiles/hydra_thermal.dir/thermal/linalg.cc.o.d"
+  "CMakeFiles/hydra_thermal.dir/thermal/model_builder.cc.o"
+  "CMakeFiles/hydra_thermal.dir/thermal/model_builder.cc.o.d"
+  "CMakeFiles/hydra_thermal.dir/thermal/package_builder.cc.o"
+  "CMakeFiles/hydra_thermal.dir/thermal/package_builder.cc.o.d"
+  "CMakeFiles/hydra_thermal.dir/thermal/rc_network.cc.o"
+  "CMakeFiles/hydra_thermal.dir/thermal/rc_network.cc.o.d"
+  "CMakeFiles/hydra_thermal.dir/thermal/solver.cc.o"
+  "CMakeFiles/hydra_thermal.dir/thermal/solver.cc.o.d"
+  "libhydra_thermal.a"
+  "libhydra_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

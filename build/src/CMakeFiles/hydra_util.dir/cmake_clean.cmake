@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_util.dir/util/config.cc.o"
+  "CMakeFiles/hydra_util.dir/util/config.cc.o.d"
+  "CMakeFiles/hydra_util.dir/util/csv.cc.o"
+  "CMakeFiles/hydra_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/hydra_util.dir/util/json.cc.o"
+  "CMakeFiles/hydra_util.dir/util/json.cc.o.d"
+  "CMakeFiles/hydra_util.dir/util/stats.cc.o"
+  "CMakeFiles/hydra_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/hydra_util.dir/util/table.cc.o"
+  "CMakeFiles/hydra_util.dir/util/table.cc.o.d"
+  "libhydra_util.a"
+  "libhydra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

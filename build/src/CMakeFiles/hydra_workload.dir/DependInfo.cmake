@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/spec_profiles.cc" "src/CMakeFiles/hydra_workload.dir/workload/spec_profiles.cc.o" "gcc" "src/CMakeFiles/hydra_workload.dir/workload/spec_profiles.cc.o.d"
+  "/root/repo/src/workload/synthetic_trace.cc" "src/CMakeFiles/hydra_workload.dir/workload/synthetic_trace.cc.o" "gcc" "src/CMakeFiles/hydra_workload.dir/workload/synthetic_trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/hydra_workload.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/hydra_workload.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_workload.dir/workload/spec_profiles.cc.o"
+  "CMakeFiles/hydra_workload.dir/workload/spec_profiles.cc.o.d"
+  "CMakeFiles/hydra_workload.dir/workload/synthetic_trace.cc.o"
+  "CMakeFiles/hydra_workload.dir/workload/synthetic_trace.cc.o.d"
+  "CMakeFiles/hydra_workload.dir/workload/trace_io.cc.o"
+  "CMakeFiles/hydra_workload.dir/workload/trace_io.cc.o.d"
+  "libhydra_workload.a"
+  "libhydra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

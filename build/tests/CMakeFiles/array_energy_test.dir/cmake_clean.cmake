@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_energy_test.dir/array_energy_test.cc.o"
+  "CMakeFiles/array_energy_test.dir/array_energy_test.cc.o.d"
+  "array_energy_test"
+  "array_energy_test.pdb"
+  "array_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_builder_test.dir/package_builder_test.cc.o"
+  "CMakeFiles/package_builder_test.dir/package_builder_test.cc.o.d"
+  "package_builder_test"
+  "package_builder_test.pdb"
+  "package_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_run.dir/hydra_run.cc.o"
+  "CMakeFiles/hydra_run.dir/hydra_run.cc.o.d"
+  "hydra_run"
+  "hydra_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

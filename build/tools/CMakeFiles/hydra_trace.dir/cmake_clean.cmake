@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_trace.dir/hydra_trace.cc.o"
+  "CMakeFiles/hydra_trace.dir/hydra_trace.cc.o.d"
+  "hydra_trace"
+  "hydra_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
