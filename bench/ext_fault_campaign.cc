@@ -1,0 +1,105 @@
+// Extension (robustness): sensor-fault campaigns vs the fail-safe
+// supervisor.
+//
+// The paper's safety argument (Section 3) budgets for sensors that are
+// noisy and offset, not for sensors that fail. This bench injects the
+// classic failure modes — stuck-at-low, dead, slow drift, stale readings
+// — into the hottest block's sensor mid-run and compares each DTM policy
+// bare vs wrapped in core::GuardedPolicy: does the true temperature stay
+// inside the emergency envelope, and what does the supervision cost in
+// slowdown when nothing is wrong?
+//
+// Deterministic for a fixed campaign seed; honours HYDRA_RUN_INSTRUCTIONS.
+#include "bench_util.h"
+
+#include "fault/fault_campaign.h"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+namespace {
+
+struct FaultCase {
+  const char* name;
+  const char* campaign;  ///< empty = fault-free (supervision-cost row)
+};
+
+// All campaigns target IntReg, the hottest block under crafty. Times are
+// paper-seconds relative to the measured window.
+constexpr FaultCase kCases[] = {
+    {"none", ""},
+    {"stuck-low", "seed 42\nIntReg stuck_at 0.002 inf 40\n"},
+    {"dead", "seed 42\nIntReg dead 0.002 inf\n"},
+    {"drift", "seed 42\nIntReg drift 0.001 inf -500\n"},
+    {"stale", "seed 42\nIntReg stale 0.002 inf\n"},
+};
+
+constexpr sim::PolicyKind kPolicies[] = {
+    sim::PolicyKind::kPiHybrid,
+    sim::PolicyKind::kHybrid,
+    sim::PolicyKind::kDvs,
+    sim::PolicyKind::kFetchGating,
+};
+
+}  // namespace
+
+int main() {
+  banner("Extension: sensor-fault campaigns and fail-safe supervision",
+         "Single-sensor failures on the hottest block (crafty), each "
+         "policy bare vs guarded.");
+
+  const sim::SimConfig base = sim::default_sim_config();
+  sim::ExperimentRunner runner(base);
+  const workload::WorkloadProfile profile =
+      workload::spec2000_profile("crafty");
+
+  util::AsciiTable table;
+  table.header({"fault", "policy", "guard", "slowdown", "Tmax[C]",
+                "viol", "rejected", "failsafe"});
+  CsvBlock csv({"fault", "policy", "guard", "slowdown", "max_true_celsius",
+                "violation_fraction", "faulted_samples", "sensor_rejections",
+                "failsafe_fraction"});
+
+  for (const FaultCase& fc : kCases) {
+    sim::SimConfig cfg = base;
+    if (fc.campaign[0] != '\0') {
+      cfg.fault_campaign = fault::FaultCampaign::from_string(
+          fc.campaign, sim::sensor_names());
+    }
+    for (const sim::PolicyKind kind : kPolicies) {
+      for (const bool guarded : {false, true}) {
+        sim::PolicyParams params;
+        params.guarded = guarded;
+        const sim::ExperimentResult r =
+            runner.run(profile, kind, params, cfg);
+        table.row({fc.name, sim::policy_kind_name(kind),
+                   guarded ? "yes" : "no", fmt(r.slowdown),
+                   fmt(r.dtm.max_true_celsius, 2),
+                   util::AsciiTable::percent(r.dtm.violation_fraction, 2),
+                   std::to_string(r.dtm.sensor_rejections),
+                   util::AsciiTable::percent(r.dtm.failsafe_fraction, 1)});
+        csv.row({fc.name, sim::policy_kind_name(kind),
+                 guarded ? "1" : "0", fmt(r.slowdown, 5),
+                 fmt(r.dtm.max_true_celsius, 3),
+                 fmt(r.dtm.violation_fraction, 5),
+                 std::to_string(r.dtm.faulted_samples),
+                 std::to_string(r.dtm.sensor_rejections),
+                 fmt(r.dtm.failsafe_fraction, 4)});
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nWith the hottest sensor failed low, dead, or drifting, the bare\n"
+      "policies throttle for the wrong block: at full run length Hyb —\n"
+      "which runs closest to the emergency threshold — crosses it for a\n"
+      "large fraction of the fault window, and the others give up most\n"
+      "of their margin to neighbouring sensors. The guarded variants\n"
+      "quarantine the sensor and regulate the hidden block from its\n"
+      "floorplan neighbours, keeping violations at exactly zero for a\n"
+      "modest extra slowdown — the 'none' rows price that supervision\n"
+      "overhead (pessimism bias) in fault-free operation.\n");
+  return 0;
+}

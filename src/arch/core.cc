@@ -266,8 +266,9 @@ void Core::do_rename() {
     ++next_seq_;
     ++rob_count_;
     ++queue_count_[qc];
-    frontend_.pop_front();
+    // `fop` aliases frontend_.front(): account for it before popping.
     interval_.add(is_fp(fop.op.cls) ? BlockId::kFPMap : BlockId::kIntMap);
+    frontend_.pop_front();
   }
 }
 

@@ -1,6 +1,7 @@
 #include "floorplan/floorplan_io.h"
 
 #include <cctype>
+#include <cmath>
 #include <deque>
 #include <mutex>
 #include <sstream>
@@ -63,7 +64,20 @@ Floorplan from_flp(std::string_view text) {
                                   ": unexpected trailing field '" + extra +
                                   "'");
     }
-    fp.add(Block{intern(std::move(name)), x, y, w, h});
+    // Defence in depth: some standard libraries parse "nan"/"inf" via
+    // operator>>; geometry must be finite regardless.
+    if (!std::isfinite(w) || !std::isfinite(h) || !std::isfinite(x) ||
+        !std::isfinite(y)) {
+      throw std::invalid_argument("flp line " + std::to_string(line_no) +
+                                  ": non-finite geometry for block '" + name +
+                                  "'");
+    }
+    try {
+      fp.add(Block{intern(std::move(name)), x, y, w, h});
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("flp line " + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
   }
   return fp;
 }

@@ -9,8 +9,12 @@ namespace hydra::sensor {
 SensorBank::SensorBank(std::size_t count, const SensorConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed) {
   if (count == 0) throw std::invalid_argument("sensor bank needs sensors");
+  if (cfg.sample_rate_hz <= 0.0 || !std::isfinite(cfg.sample_rate_hz)) {
+    throw std::invalid_argument(
+        "sensor sample_rate_hz must be positive and finite");
+  }
   if (cfg.quantization < 0.0 || cfg.noise_sigma < 0.0 ||
-      cfg.max_offset < 0.0 || cfg.sample_rate_hz <= 0.0) {
+      cfg.max_offset < 0.0) {
     throw std::invalid_argument("bad sensor configuration");
   }
   offsets_.resize(count, 0.0);
@@ -25,16 +29,23 @@ std::vector<double> SensorBank::sample(const std::vector<double>& truth) {
   }
   std::vector<double> out(offsets_.size());
   for (std::size_t i = 0; i < offsets_.size(); ++i) {
-    double v = truth[i] + offsets_[i];
-    if (cfg_.enable_noise && cfg_.noise_sigma > 0.0) {
-      v += rng_.gaussian(0.0, cfg_.noise_sigma);
-    }
-    if (cfg_.quantization > 0.0) {
-      v = std::round(v / cfg_.quantization) * cfg_.quantization;
-    }
-    out[i] = v;
+    out[i] = sample_one(i, truth[i]);
   }
   return out;
+}
+
+double SensorBank::sample_one(std::size_t i, double truth) {
+  if (i >= offsets_.size()) {
+    throw std::out_of_range("sensor index out of range");
+  }
+  double v = truth + offsets_[i];
+  if (cfg_.enable_noise && cfg_.noise_sigma > 0.0) {
+    v += rng_.gaussian(0.0, cfg_.noise_sigma);
+  }
+  if (cfg_.quantization > 0.0) {
+    v = std::round(v / cfg_.quantization) * cfg_.quantization;
+  }
+  return v;
 }
 
 double SensorBank::sample_max(const std::vector<double>& truth) {

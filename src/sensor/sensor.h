@@ -41,6 +41,14 @@ class SensorBank {
   /// entries of `truth` are read, so a full thermal-node vector works).
   std::vector<double> sample(const std::vector<double>& truth);
 
+  /// Sample a single sensor against its true temperature. Draws from the
+  /// bank's shared noise stream, so calling sample_one for i = 0..count-1
+  /// in order is bit-identical to one sample() call. This is the entry
+  /// point fault injectors use to sample healthy sensors individually
+  /// while substituting faulted ones. Throws std::out_of_range on a bad
+  /// index.
+  double sample_one(std::size_t i, double truth);
+
   /// Convenience: maximum over sample().
   double sample_max(const std::vector<double>& truth);
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "floorplan/ev7.h"
 #include "util/stats.h"
 
 namespace hydra::sim {
@@ -39,9 +40,31 @@ power::DvsLadder make_ladder(const SimConfig& cfg) {
   return power::DvsLadder(curve, cfg.dvs_steps, cfg.v_low_fraction);
 }
 
-std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
-                                             const PolicyParams& params,
-                                             const SimConfig& cfg) {
+std::vector<std::vector<std::size_t>> sensor_adjacency() {
+  const floorplan::Floorplan fp = floorplan::ev7_floorplan();
+  std::vector<std::vector<std::size_t>> neighbors(fp.size());
+  for (const floorplan::Adjacency& adj : fp.adjacencies()) {
+    neighbors[adj.a].push_back(adj.b);
+    neighbors[adj.b].push_back(adj.a);
+  }
+  return neighbors;
+}
+
+std::vector<std::string_view> sensor_names() {
+  std::vector<std::string_view> names;
+  names.reserve(floorplan::kNumBlocks);
+  for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
+    names.push_back(
+        floorplan::block_name(static_cast<floorplan::BlockId>(i)));
+  }
+  return names;
+}
+
+namespace {
+
+std::unique_ptr<core::DtmPolicy> make_base_policy(PolicyKind kind,
+                                                  const PolicyParams& params,
+                                                  const SimConfig& cfg) {
   // Integral gains are specified in paper-time (deg C * s); under time
   // acceleration every thermal time constant shrinks by time_scale, so
   // the gains scale up by the same factor to keep the closed-loop
@@ -99,6 +122,25 @@ std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
     }
   }
   throw std::invalid_argument("unknown policy kind");
+}
+
+}  // namespace
+
+std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
+                                             const PolicyParams& params,
+                                             const SimConfig& cfg) {
+  std::unique_ptr<core::DtmPolicy> base = make_base_policy(kind, params, cfg);
+  if (!params.guarded) return base;
+  core::GuardedPolicyConfig guard = params.guard;
+  // Like controller gains, the rate limit is specified in paper-time.
+  guard.max_rate_celsius_per_s *= cfg.time_scale;
+  // Without sensor noise a steady temperature produces bit-identical
+  // readings, so the frozen-reading detector must stand down.
+  if (!cfg.sensor.enable_noise || cfg.sensor.noise_sigma <= 0.0) {
+    guard.frozen_samples = 0;
+  }
+  return std::make_unique<core::GuardedPolicy>(
+      std::move(base), cfg.thresholds, sensor_adjacency(), guard);
 }
 
 namespace {

@@ -6,11 +6,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/clock_gating_policy.h"
 #include "core/dvs_policy.h"
 #include "core/fetch_gating_policy.h"
+#include "core/guarded_policy.h"
 #include "core/hybrid_policy.h"
 #include "core/fallback_policy.h"
 #include "core/local_toggle_policy.h"
@@ -46,7 +48,20 @@ struct PolicyParams {
   core::ProactiveConfig proactive{};
   core::LocalToggleConfig local_toggle{};
   core::FallbackConfig fallback{};
+  /// When set, make_policy wraps the built policy in a GuardedPolicy
+  /// (fail-safe sensor-fault supervision); kNone then yields a pure
+  /// supervisor instead of nullptr.
+  bool guarded = false;
+  core::GuardedPolicyConfig guard{};
 };
+
+/// Per-sensor neighbour lists derived from the modelled floorplan's
+/// shared-edge adjacency (sensor i sits on block i).
+std::vector<std::vector<std::size_t>> sensor_adjacency();
+
+/// Sensor (= block) display names in index order, for parsing fault
+/// campaigns by block name.
+std::vector<std::string_view> sensor_names();
 
 /// Build the DVS ladder implied by a SimConfig.
 power::DvsLadder make_ladder(const SimConfig& cfg);

@@ -5,6 +5,7 @@
 
 #include "arch/core_config.h"
 #include "core/dtm_policy.h"
+#include "fault/fault_campaign.h"
 #include "sensor/sensor.h"
 #include "thermal/package.h"
 
@@ -46,6 +47,11 @@ struct SimConfig {
 
   // --- Sensors -------------------------------------------------------------
   sensor::SensorConfig sensor{};
+  /// Scheduled sensor faults (stuck-at, dead, drift, ...). Event times are
+  /// paper-time seconds relative to the start of the measured window. The
+  /// default empty campaign leaves the sensor path byte-identical to a
+  /// build without fault support.
+  fault::FaultCampaign fault_campaign{};
 
   // --- Core / run length ----------------------------------------------------
   arch::CoreConfig core{};

@@ -42,7 +42,12 @@ System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
       core_(cfg.core, trace_),
       sensors_(floorplan::kNumBlocks, cfg.sensor),
       policy_(std::move(policy)),
+      guard_(dynamic_cast<core::GuardedPolicy*>(policy_.get())),
       solver_(model_.network, cfg.package.ambient_celsius) {
+  if (!cfg_.fault_campaign.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        sensors_, cfg_.fault_campaign, cfg_.time_scale);
+  }
   sensor_period_ = 1.0 / cfg_.sensor.sample_rate_hz / cfg_.time_scale;
   switch_time_ = cfg_.dvs_switch_time / cfg_.time_scale;
   gate_quantum_ = cfg_.clock_gate_quantum / cfg_.time_scale;
@@ -96,7 +101,9 @@ void System::apply_dvs_level(std::size_t level) {
 void System::sensor_event(bool measure) {
   if (policy_) {
     core::ThermalSample sample;
-    sample.sensed_celsius = sensors_.sample(solver_.temperatures());
+    sample.sensed_celsius =
+        injector_ ? injector_->sample(solver_.temperatures(), t_)
+                  : sensors_.sample(solver_.temperatures());
     sample.max_sensed = *std::max_element(sample.sensed_celsius.begin(),
                                           sample.sensed_celsius.end());
     sample.time_seconds = t_;
@@ -145,6 +152,12 @@ void System::thermal_and_power_step(bool measure) {
   if (measure) {
     if (max_true > cfg_.thresholds.emergency_celsius) acc_.violation += dt;
     if (max_true > cfg_.thresholds.trigger_celsius) acc_.above_trigger += dt;
+    if (injector_ && injector_->any_active(t_)) {
+      acc_.fault_window += dt;
+      if (max_true > cfg_.thresholds.emergency_celsius) {
+        acc_.fault_violation += dt;
+      }
+    }
     acc_.gate_weighted += gate_fraction_ * dt;
     acc_.issue_gate_weighted += issue_gate_fraction_ * dt;
     acc_.energy += total_watts * dt;
@@ -207,6 +220,7 @@ void System::advance_until(std::uint64_t target_committed, bool measure) {
       acc_.wall += dt;
       if (dvs_level_ != 0) acc_.dvs_low += dt;
       if (clock_gate_on_) acc_.clock_gated += dt;
+      if (guard_ && guard_->failsafe_engaged()) acc_.failsafe += dt;
     }
 
     if (interval_cycles_ >= cfg_.thermal_interval_cycles) {
@@ -245,6 +259,9 @@ RunResult System::run() {
   acc_.block_temp_weighted.assign(floorplan::kNumBlocks, 0.0);
   acc_.start_committed = core_.committed();
   acc_.start_cycles = core_.cycles();
+  // Campaign times are relative to the measured window: arm the injector
+  // now that warm-up is done.
+  if (injector_) injector_->set_origin(t_);
 
   advance_until(acc_.start_committed + cfg_.run_instructions, true);
 
@@ -274,8 +291,16 @@ RunResult System::run() {
     }
     r.hottest_block = std::string(fp_.block(hottest).name);
     r.hottest_mean_celsius = acc_.block_temp_weighted[hottest] / acc_.wall;
+    r.failsafe_fraction = acc_.failsafe / acc_.wall;
+    r.fault_window_fraction = acc_.fault_window / acc_.wall;
+    r.fault_violation_fraction = acc_.fault_violation / acc_.wall;
   }
   r.dvs_transitions = acc_.transitions;
+  if (injector_) r.faulted_samples = injector_->counters().faulted_samples;
+  if (guard_) {
+    r.sensor_rejections = guard_->stats().rejected_readings;
+    r.quarantine_entries = guard_->stats().quarantine_entries;
+  }
   return r;
 }
 

@@ -16,6 +16,8 @@
 
 #include "arch/core.h"
 #include "core/dtm_policy.h"
+#include "core/guarded_policy.h"
+#include "fault/fault_injector.h"
 #include "floorplan/floorplan.h"
 #include "power/power_model.h"
 #include "power/voltage_freq.h"
@@ -48,6 +50,16 @@ struct RunResult {
   double mean_power_watts = 0.0;
   std::string hottest_block;            ///< block with highest mean temp
   double hottest_mean_celsius = 0.0;
+
+  // --- Sensor-fault / supervision metrics (zero without a campaign) ---
+  std::uint64_t faulted_samples = 0;     ///< sensor-samples corrupted
+  std::uint64_t sensor_rejections = 0;   ///< readings substituted by guard
+  std::uint64_t quarantine_entries = 0;  ///< healthy->quarantined edges
+  double failsafe_fraction = 0.0;        ///< time in fail-safe clock gating
+  double fault_window_fraction = 0.0;    ///< time with >=1 active fault
+  /// Time with T_true above emergency while a fault was active, as a
+  /// fraction of the whole measured window.
+  double fault_violation_fraction = 0.0;
 
   bool thermally_safe() const { return violation_fraction == 0.0; }
 };
@@ -103,6 +115,9 @@ class System {
   arch::Core core_;
   sensor::SensorBank sensors_;
   std::unique_ptr<core::DtmPolicy> policy_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  /// Non-owning view of policy_ when it is a GuardedPolicy (for stats).
+  core::GuardedPolicy* guard_ = nullptr;
   thermal::TransientSolver solver_;
 
   // Scaled event periods [s].
@@ -134,6 +149,9 @@ class System {
     double issue_gate_weighted = 0.0;
     double dvs_low = 0.0;
     double clock_gated = 0.0;
+    double failsafe = 0.0;
+    double fault_window = 0.0;
+    double fault_violation = 0.0;
     double energy = 0.0;
     double max_true = 0.0;
     std::vector<double> block_temp_weighted;

@@ -44,7 +44,8 @@ void write_trace(std::ostream& out, arch::TraceSource& source,
     const arch::MicroOp op = source.next();
     if (op.pc < kTraceTextBase ||
         op.pc - kTraceTextBase > std::numeric_limits<std::uint32_t>::max()) {
-      throw std::invalid_argument("trace pc outside representable range");
+      throw std::invalid_argument("trace op " + std::to_string(i) +
+                                  ": pc outside representable range");
     }
     Record rec{};
     rec.cls = static_cast<std::uint8_t>(op.cls);
@@ -52,7 +53,8 @@ void write_trace(std::ostream& out, arch::TraceSource& source,
     rec.taken = op.branch_taken ? 1 : 0;
     for (int s = 0; s < 2; ++s) {
       if (op.src_dist[s] > std::numeric_limits<std::int16_t>::max()) {
-        throw std::invalid_argument("dependency distance exceeds 16 bits");
+        throw std::invalid_argument("trace op " + std::to_string(i) +
+                                    ": dependency distance exceeds 16 bits");
       }
       rec.src_dist[s] = static_cast<std::int16_t>(op.src_dist[s]);
     }
@@ -77,14 +79,24 @@ RecordedTrace::RecordedTrace(std::istream& in) {
   if (!read_pod(in, &count) || count == 0) {
     throw std::invalid_argument("empty or truncated trace header");
   }
+  // Header is magic + version + count; records are fixed-size after it.
+  constexpr std::uint64_t kHeaderBytes =
+      4 + sizeof(kTraceFormatVersion) + sizeof(std::uint64_t);
   ops_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Record rec{};
     if (!read_pod(in, &rec)) {
-      throw std::invalid_argument("truncated trace payload");
+      throw std::invalid_argument(
+          "truncated trace payload at record " + std::to_string(i) + " of " +
+          std::to_string(count) + " (byte offset " +
+          std::to_string(kHeaderBytes + i * sizeof(Record)) + ")");
     }
     if (rec.cls >= arch::kNumOpClasses || rec.num_srcs > 2) {
-      throw std::invalid_argument("corrupt trace record");
+      throw std::invalid_argument(
+          "corrupt trace record " + std::to_string(i) + " (byte offset " +
+          std::to_string(kHeaderBytes + i * sizeof(Record)) + "): cls=" +
+          std::to_string(rec.cls) + " num_srcs=" +
+          std::to_string(rec.num_srcs));
     }
     arch::MicroOp op;
     op.cls = static_cast<arch::OpClass>(rec.cls);

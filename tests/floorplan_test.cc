@@ -171,5 +171,30 @@ TEST(FlpIo, RejectsMalformed) {
                std::invalid_argument);
 }
 
+TEST(FlpIo, RejectsNonFiniteGeometryWithLineContext) {
+  // Whether operator>> rejects "nan" itself (libstdc++) or parses it
+  // (other stdlibs, caught by the isfinite guard), the loader must throw
+  // and name the offending line.
+  const char* text = "a 0.001 0.002 0 0\nb nan 0.002 0.001 0\n";
+  try {
+    from_flp(text);
+    FAIL() << "expected non-finite geometry error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("flp line 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(from_flp("a inf 0.002 0 0\n"), std::invalid_argument);
+}
+
+TEST(FlpIo, BadGeometryErrorsCarryLineContext) {
+  try {
+    from_flp("a 0.001 0.002 0 0\nb -0.001 0.002 0.001 0\n");
+    FAIL() << "expected bad-geometry error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("flp line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace hydra::floorplan

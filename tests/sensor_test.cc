@@ -1,6 +1,8 @@
 // Unit tests for src/sensor.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sensor/sensor.h"
 #include "util/stats.h"
 
@@ -116,9 +118,33 @@ TEST(SensorBank, RejectsBadConfig) {
   cfg.sample_rate_hz = 0.0;
   EXPECT_THROW(SensorBank(1, cfg), std::invalid_argument);
   cfg = SensorConfig{};
+  cfg.sample_rate_hz = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(SensorBank(1, cfg), std::invalid_argument);
+  cfg = SensorConfig{};
   cfg.noise_sigma = -1.0;
   EXPECT_THROW(SensorBank(1, cfg), std::invalid_argument);
   EXPECT_THROW(SensorBank(0, SensorConfig{}), std::invalid_argument);
+}
+
+TEST(SensorBank, SampleOnePreservesSharedStreamOrder) {
+  // sample() is defined as sample_one() over every index in order, on
+  // one shared RNG stream: interleaving the calls by hand must replay
+  // bit-identically (the fault injector depends on this).
+  SensorConfig cfg;  // noise + offset + quantisation all on
+  SensorBank a(3, cfg);
+  SensorBank b(3, cfg);
+  const std::vector<double> truth = {80.0, 81.5, 83.25};
+  for (int k = 0; k < 50; ++k) {
+    const auto sa = a.sample(truth);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(b.sample_one(i, truth[i]), sa[i]);
+    }
+  }
+}
+
+TEST(SensorBank, SampleOneThrowsOnBadIndex) {
+  SensorBank bank(2, quiet());
+  EXPECT_THROW(bank.sample_one(2, 80.0), std::out_of_range);
 }
 
 }  // namespace

@@ -64,6 +64,47 @@ TEST(TraceIo, RejectsBadMagicAndTruncation) {
   EXPECT_THROW(workload::RecordedTrace{truncated}, std::invalid_argument);
 }
 
+TEST(TraceIo, TruncationErrorNamesRecordAndOffset) {
+  auto profile = workload::spec2000_profile("mesa");
+  workload::SyntheticTrace original(profile);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  workload::write_trace(buf, original, 100);
+  const std::string full = buf.str();
+  std::stringstream truncated(
+      full.substr(0, full.size() - 10),
+      std::ios::in | std::ios::out | std::ios::binary);
+  try {
+    workload::RecordedTrace trace{truncated};
+    FAIL() << "expected truncation error";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // The last record is the short one; the message locates it.
+    EXPECT_NE(msg.find("record 99 of 100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIo, CorruptRecordErrorNamesRecordAndFields) {
+  auto profile = workload::spec2000_profile("mesa");
+  workload::SyntheticTrace original(profile);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  workload::write_trace(buf, original, 10);
+  std::string full = buf.str();
+  // Stamp an impossible op class into record 3 (records are 24 bytes
+  // after the 16-byte header; cls is the record's first byte).
+  full[16 + 3 * 24] = static_cast<char>(0xFF);
+  std::stringstream corrupt(full,
+                            std::ios::in | std::ios::out | std::ios::binary);
+  try {
+    workload::RecordedTrace trace{corrupt};
+    FAIL() << "expected corrupt-record error";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("corrupt trace record 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cls=255"), std::string::npos) << msg;
+  }
+}
+
 TEST(TraceIo, RecordedTraceDrivesSyntheticStatistics) {
   // The mix of a replayed trace matches the profile's (the trace is the
   // stream, just frozen).

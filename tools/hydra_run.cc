@@ -19,9 +19,15 @@
 //   time_scale    > 0                            (default 40)
 //   crossover     hybrid crossover gate fraction (default 1/3)
 //   seed          sensor-noise seed
+//   fault_campaign  path to a sensor-fault schedule (see src/fault);
+//                   times are relative to the measured window
+//   guard         true|false — wrap the policy in the fail-safe
+//                 sensor-fault supervisor (default false)
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "fault/fault_campaign.h"
 
 #include "sim/experiment.h"
 #include "util/config.h"
@@ -64,6 +70,12 @@ void emit_json(util::JsonWriter& w, const sim::ExperimentResult& r) {
   w.key("dvs_transitions").value(r.dtm.dvs_transitions);
   w.key("mean_power_watts").value(r.dtm.mean_power_watts);
   w.key("hottest_block").value(r.dtm.hottest_block);
+  w.key("faulted_samples").value(r.dtm.faulted_samples);
+  w.key("sensor_rejections").value(r.dtm.sensor_rejections);
+  w.key("quarantine_entries").value(r.dtm.quarantine_entries);
+  w.key("failsafe_fraction").value(r.dtm.failsafe_fraction);
+  w.key("fault_window_fraction").value(r.dtm.fault_window_fraction);
+  w.key("fault_violation_fraction").value(r.dtm.fault_violation_fraction);
   w.end_object();
 }
 
@@ -92,11 +104,19 @@ int main(int argc, char** argv) {
                          static_cast<long long>(cfg.warmup_instructions)));
     cfg.sensor.seed = static_cast<std::uint64_t>(
         cfg_args.get_int("seed", static_cast<long long>(cfg.sensor.seed)));
+    const std::string campaign_path =
+        cfg_args.get_string("fault_campaign", "");
+    if (!campaign_path.empty()) {
+      cfg.fault_campaign =
+          fault::FaultCampaign::from_file(campaign_path,
+                                          sim::sensor_names());
+    }
 
     sim::PolicyParams params;
     params.hybrid.crossover_gate_fraction =
         cfg_args.get_double("crossover",
                             params.hybrid.crossover_gate_fraction);
+    params.guarded = cfg_args.get_bool("guard", false);
 
     const sim::PolicyKind kind = parse_policy(policy_name);
     sim::ExperimentRunner runner(cfg);
@@ -118,16 +138,33 @@ int main(int argc, char** argv) {
       w.end_array();
     } else if (format == "text") {
       util::AsciiTable table;
-      table.header({"benchmark", "policy", "slowdown", "Tmax[C]", "safe",
-                    "gate", "Vlow time", "switches"});
+      const bool with_faults = !campaign_path.empty();
+      std::vector<std::string> header = {"benchmark", "policy", "slowdown",
+                                         "Tmax[C]",   "safe",   "gate",
+                                         "Vlow time", "switches"};
+      if (with_faults) {
+        header.insert(header.end(),
+                      {"faulted", "rejected", "failsafe", "fault viol"});
+      }
+      table.header(header);
       for (const auto& r : results) {
-        table.row({r.dtm.benchmark, r.dtm.policy,
-                   util::AsciiTable::num(r.slowdown, 4),
-                   util::AsciiTable::num(r.dtm.max_true_celsius, 2),
-                   r.dtm.thermally_safe() ? "yes" : "NO",
-                   util::AsciiTable::percent(r.dtm.mean_gate_fraction, 1),
-                   util::AsciiTable::percent(r.dtm.dvs_low_fraction, 1),
-                   std::to_string(r.dtm.dvs_transitions)});
+        std::vector<std::string> row = {
+            r.dtm.benchmark, r.dtm.policy,
+            util::AsciiTable::num(r.slowdown, 4),
+            util::AsciiTable::num(r.dtm.max_true_celsius, 2),
+            r.dtm.thermally_safe() ? "yes" : "NO",
+            util::AsciiTable::percent(r.dtm.mean_gate_fraction, 1),
+            util::AsciiTable::percent(r.dtm.dvs_low_fraction, 1),
+            std::to_string(r.dtm.dvs_transitions)};
+        if (with_faults) {
+          row.insert(row.end(),
+                     {std::to_string(r.dtm.faulted_samples),
+                      std::to_string(r.dtm.sensor_rejections),
+                      util::AsciiTable::percent(r.dtm.failsafe_fraction, 1),
+                      util::AsciiTable::percent(
+                          r.dtm.fault_violation_fraction, 2)});
+        }
+        table.row(row);
       }
       table.print(std::cout);
     } else {
