@@ -23,6 +23,7 @@ int main() {
   sim::SimConfig cfg = sim::default_sim_config();
   cfg.dvs_stall = true;
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
 
   util::AsciiTable table;
   table.header({"policy", "mean slowdown", "violating benchmarks",
@@ -30,10 +31,18 @@ int main() {
   CsvBlock csv({"policy", "mean_slowdown", "violating_benchmarks",
                 "mean_gate_fraction", "dvs_low_fraction"});
 
-  for (sim::PolicyKind kind : {sim::PolicyKind::kHybrid,
-                               sim::PolicyKind::kFallback,
-                               sim::PolicyKind::kDvs}) {
-    const sim::SuiteResult suite = runner.run_suite(kind, {}, cfg);
+  const sim::PolicyKind kinds[] = {sim::PolicyKind::kHybrid,
+                                   sim::PolicyKind::kFallback,
+                                   sim::PolicyKind::kDvs};
+
+  // All three policy suites in one batch.
+  std::vector<sim::SuiteSpec> specs;
+  for (sim::PolicyKind kind : kinds) specs.push_back({kind, {}, cfg});
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
+
+  std::size_t spec_index = 0;
+  for (sim::PolicyKind kind : kinds) {
+    const sim::SuiteResult& suite = suites[spec_index++];
     int violating = 0;
     double gate = 0.0;
     double low = 0.0;

@@ -39,19 +39,28 @@ int main() {
   CsvBlock csv({"core_model", "dvs_slowdown", "pihyb_slowdown",
                 "hyb_slowdown", "overhead_reduction"});
 
+  // One runner covers every variant: the run cache keys on the full
+  // config (including the core model), so each variant gets its own
+  // baselines automatically. All 4x3 suites go out as one batch.
+  sim::ExperimentRunner runner(sim::default_sim_config());
+  engine_banner(runner);
+  const sim::PolicyKind kinds[] = {sim::PolicyKind::kDvs,
+                                   sim::PolicyKind::kPiHybrid,
+                                   sim::PolicyKind::kHybrid};
+  std::vector<sim::SuiteSpec> specs;
   for (const Variant& v : variants) {
     sim::SimConfig cfg = sim::default_sim_config();
     cfg.dvs_stall = true;
     v.apply(cfg.core);
-    // Each variant changes baseline timing, so it needs its own runner
-    // (and its own baselines).
-    sim::ExperimentRunner runner(cfg);
-    const double dvs =
-        runner.run_suite(sim::PolicyKind::kDvs, {}, cfg).mean_slowdown;
-    const double pihyb =
-        runner.run_suite(sim::PolicyKind::kPiHybrid, {}, cfg).mean_slowdown;
-    const double hyb =
-        runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg).mean_slowdown;
+    for (sim::PolicyKind kind : kinds) specs.push_back({kind, {}, cfg});
+  }
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
+
+  std::size_t spec_index = 0;
+  for (const Variant& v : variants) {
+    const double dvs = suites[spec_index++].mean_slowdown;
+    const double pihyb = suites[spec_index++].mean_slowdown;
+    const double hyb = suites[spec_index++].mean_slowdown;
     const double best = std::min(pihyb, hyb);
     const double reduction =
         dvs > 1.0 ? ((dvs - 1.0) - (best - 1.0)) / (dvs - 1.0) : 0.0;

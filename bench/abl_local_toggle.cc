@@ -17,6 +17,7 @@ int main() {
 
   sim::SimConfig cfg = sim::default_sim_config();
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
 
   util::AsciiTable table;
   table.header({"mechanism", "mean slowdown", "violating benchmarks",
@@ -28,10 +29,18 @@ int main() {
     sim::PolicyKind kind;
     const char* label;
   };
-  for (const Row& row : {Row{sim::PolicyKind::kFetchGating, "fetch gating"},
-                         Row{sim::PolicyKind::kLocalToggle, "local toggling"},
-                         Row{sim::PolicyKind::kClockGating, "clock gating"}}) {
-    const sim::SuiteResult suite = runner.run_suite(row.kind, {}, cfg);
+  const Row rows[] = {Row{sim::PolicyKind::kFetchGating, "fetch gating"},
+                      Row{sim::PolicyKind::kLocalToggle, "local toggling"},
+                      Row{sim::PolicyKind::kClockGating, "clock gating"}};
+
+  // All three mechanism suites in one batch.
+  std::vector<sim::SuiteSpec> specs;
+  for (const Row& row : rows) specs.push_back({row.kind, {}, cfg});
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
+
+  std::size_t spec_index = 0;
+  for (const Row& row : rows) {
+    const sim::SuiteResult& suite = suites[spec_index++];
     int violating = 0;
     double actuation = 0.0;
     for (const auto& r : suite.per_benchmark) {

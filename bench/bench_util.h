@@ -47,4 +47,14 @@ inline std::string overhead(double slowdown) {
   return util::AsciiTable::percent(slowdown - 1.0, 2);
 }
 
+/// Announce the parallel experiment engine under the banner. Every
+/// bench binary drives its sweep through one ExperimentRunner so points
+/// overlap on the HYDRA_THREADS-wide pool and repeated points (shared
+/// baselines, reference lines) are memoized; results are deterministic
+/// at any width.
+inline void engine_banner(const sim::ExperimentRunner& runner) {
+  std::printf("engine: %zu worker thread(s) [HYDRA_THREADS]\n",
+              runner.threads());
+}
+
 }  // namespace hydra::bench

@@ -16,6 +16,8 @@
 // merit.
 #include "bench_util.h"
 
+#include "util/thread_pool.h"
+
 using namespace hydra;
 using namespace hydra::bench;
 
@@ -47,9 +49,47 @@ int main() {
   const workload::WorkloadProfile profile =
       workload::spec2000_profile("crafty");
 
-  // Unmanaged reference.
-  sim::System base_system(profile, cfg, nullptr);
-  const sim::RunResult base = base_system.run();
+  // The constant-actuation sweep bypasses ExperimentRunner (custom
+  // policy objects), so it fans out on the shared pool directly. Each
+  // System is independent; results are joined in submission order.
+  util::ThreadPool& pool = util::ThreadPool::global();
+  std::printf("engine: %zu worker thread(s) [HYDRA_THREADS]\n", pool.size());
+
+  struct Case {
+    std::string technique;
+    std::string setting;
+    core::DtmCommand cmd;
+  };
+  std::vector<Case> cases;
+  for (double g : {0.1, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75}) {
+    core::DtmCommand cmd;
+    cmd.fetch_gate_fraction = g;
+    cases.push_back({"fetch gating", "g=" + fmt(g, 2), cmd});
+  }
+  {
+    core::DtmCommand cmd;
+    cmd.dvs_level = 1;  // binary low point (0.85 Vnom)
+    cases.push_back({"DVS", "Vlow=0.85Vn", cmd});
+  }
+  {
+    core::DtmCommand cmd;
+    cmd.clock_gate = true;
+    cases.push_back({"clock gating", "50% duty", cmd});
+  }
+
+  // Unmanaged reference plus every case, all in flight at once.
+  std::future<sim::RunResult> base_future = pool.async([&] {
+    return sim::System(profile, cfg, nullptr).run();
+  });
+  std::vector<std::future<sim::RunResult>> futures;
+  for (const Case& c : cases) {
+    futures.push_back(pool.async([&, cmd = c.cmd] {
+      return sim::System(profile, cfg,
+                         std::make_unique<ConstantPolicy>(cmd))
+          .run();
+    }));
+  }
+  const sim::RunResult base = base_future.get();
 
   util::AsciiTable table;
   table.header({"technique", "setting", "slowdown", "hotspot mean [C]",
@@ -57,40 +97,20 @@ int main() {
   CsvBlock csv({"technique", "setting", "slowdown", "hotspot_mean_c",
                 "cooling_c", "merit"});
 
-  auto run_constant = [&](const std::string& technique,
-                          const std::string& setting,
-                          core::DtmCommand cmd) {
-    sim::System system(profile, cfg,
-                       std::make_unique<ConstantPolicy>(cmd));
-    const sim::RunResult r = system.run();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const sim::RunResult r = futures[i].get();
     const double slowdown = r.wall_seconds / base.wall_seconds;
     const double cooling =
         base.hottest_mean_celsius - r.hottest_mean_celsius;
     const double pct = (slowdown - 1.0) * 100.0;
     const double merit = pct > 0.01 ? cooling / pct : 0.0;
-    table.row({technique, setting, fmt(slowdown),
+    table.row({cases[i].technique, cases[i].setting, fmt(slowdown),
                fmt(r.hottest_mean_celsius, 2), fmt(cooling, 2),
                pct > 0.01 ? fmt(merit, 2) : std::string("inf")});
-    csv.row({technique, setting, fmt(slowdown, 5),
+    csv.row({cases[i].technique, cases[i].setting, fmt(slowdown, 5),
              fmt(r.hottest_mean_celsius, 3), fmt(cooling, 3),
              fmt(merit, 3)});
     std::fflush(stdout);
-  };
-
-  for (double g : {0.1, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75}) {
-    core::DtmCommand cmd;
-    cmd.fetch_gate_fraction = g;
-    run_constant("fetch gating", "g=" + fmt(g, 2), cmd);
-  }
-  {
-    core::DtmCommand cmd;
-    cmd.dvs_level = 1;  // binary low point (0.85 Vnom)
-    run_constant("DVS", "Vlow=0.85Vn", cmd);
-  }
-  {
-    core::DtmCommand cmd;
-    cmd.clock_gate = true;
-    run_constant("clock gating", "50% duty", cmd);
   }
 
   table.print(std::cout);

@@ -50,6 +50,7 @@ int main() {
 
   const sim::SimConfig base = sim::default_sim_config();
   sim::ExperimentRunner runner(base);
+  engine_banner(runner);
   const workload::WorkloadProfile profile =
       workload::spec2000_profile("crafty");
 
@@ -60,6 +61,9 @@ int main() {
                 "violation_fraction", "faulted_samples", "sensor_rejections",
                 "failsafe_fraction"});
 
+  // The whole 5x4x2 campaign grid as one batch; the fault-free baseline
+  // is shared by every point.
+  std::vector<sim::PointSpec> points;
   for (const FaultCase& fc : kCases) {
     sim::SimConfig cfg = base;
     if (fc.campaign[0] != '\0') {
@@ -70,8 +74,17 @@ int main() {
       for (const bool guarded : {false, true}) {
         sim::PolicyParams params;
         params.guarded = guarded;
-        const sim::ExperimentResult r =
-            runner.run(profile, kind, params, cfg);
+        points.push_back({profile, kind, params, cfg});
+      }
+    }
+  }
+  const std::vector<sim::ExperimentResult> results = runner.run_points(points);
+
+  std::size_t point_index = 0;
+  for (const FaultCase& fc : kCases) {
+    for (const sim::PolicyKind kind : kPolicies) {
+      for (const bool guarded : {false, true}) {
+        const sim::ExperimentResult& r = results[point_index++];
         table.row({fc.name, sim::policy_kind_name(kind),
                    guarded ? "yes" : "no", fmt(r.slowdown),
                    fmt(r.dtm.max_true_celsius, 2),

@@ -20,6 +20,18 @@ int main() {
   sim::SimConfig cfg = sim::default_sim_config();
   cfg.dvs_stall = true;
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
+
+  // Reactive reference plus every horizon in one batch.
+  const double horizons_us[] = {100.0, 300.0, 600.0, 1200.0};
+  std::vector<sim::SuiteSpec> specs;
+  specs.push_back({sim::PolicyKind::kHybrid, {}, cfg});
+  for (double horizon_us : horizons_us) {
+    sim::PolicyParams params;
+    params.proactive.horizon_seconds = horizon_us * 1e-6;
+    specs.push_back({sim::PolicyKind::kProactiveHybrid, params, cfg});
+  }
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
 
   util::AsciiTable table;
   table.header({"policy", "horizon [us]", "mean slowdown",
@@ -43,14 +55,9 @@ int main() {
     std::fflush(stdout);
   };
 
-  report("Hyb (reactive)", -1.0,
-         runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg));
-
-  for (double horizon_us : {100.0, 300.0, 600.0, 1200.0}) {
-    sim::PolicyParams params;
-    params.proactive.horizon_seconds = horizon_us * 1e-6;
-    report("Pro-Hyb", horizon_us,
-           runner.run_suite(sim::PolicyKind::kProactiveHybrid, params, cfg));
+  report("Hyb (reactive)", -1.0, suites.front());
+  for (std::size_t i = 0; i < std::size(horizons_us); ++i) {
+    report("Pro-Hyb", horizons_us[i], suites[i + 1]);
   }
 
   table.print(std::cout);

@@ -24,6 +24,20 @@ int main() {
 
   sim::SimConfig cfg = sim::default_sim_config();
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
+
+  // Whole sweep in one batch: every (duty, stall/ideal) suite point runs
+  // concurrently and the nine baselines are shared across all of them.
+  std::vector<sim::SuiteSpec> specs;
+  for (double duty : duty_cycles) {
+    sim::PolicyParams params;
+    params.hybrid.crossover_gate_fraction = 1.0 / duty;
+    cfg.dvs_stall = true;
+    specs.push_back({sim::PolicyKind::kPiHybrid, params, cfg});
+    cfg.dvs_stall = false;
+    specs.push_back({sim::PolicyKind::kPiHybrid, params, cfg});
+  }
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
 
   util::AsciiTable table;
   table.header({"duty cycle", "gate fraction", "slowdown (DVS-stall)",
@@ -37,18 +51,10 @@ int main() {
   double best_ideal_duty = 0.0;
   std::vector<std::pair<double, double>> stall_curve;
 
+  std::size_t spec_index = 0;
   for (double duty : duty_cycles) {
-    sim::PolicyParams params;
-    params.hybrid.crossover_gate_fraction = 1.0 / duty;
-
-    cfg.dvs_stall = true;
-    const double stall =
-        runner.run_suite(sim::PolicyKind::kPiHybrid, params, cfg)
-            .mean_slowdown;
-    cfg.dvs_stall = false;
-    const double ideal =
-        runner.run_suite(sim::PolicyKind::kPiHybrid, params, cfg)
-            .mean_slowdown;
+    const double stall = suites[spec_index++].mean_slowdown;
+    const double ideal = suites[spec_index++].mean_slowdown;
 
     stall_curve.emplace_back(duty, stall);
     if (stall < best_stall) {

@@ -27,10 +27,18 @@ int main() {
   sim::SimConfig cfg = sim::default_sim_config();
   cfg.dvs_stall = true;
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
 
-  // DVS reference line.
-  const sim::SuiteResult dvs =
-      runner.run_suite(sim::PolicyKind::kDvs, {}, cfg);
+  // DVS reference line plus the whole gating sweep in one batch.
+  std::vector<sim::SuiteSpec> specs;
+  specs.push_back({sim::PolicyKind::kDvs, {}, cfg});
+  for (double g : fractions) {
+    sim::PolicyParams params;
+    params.fetch_gating.fixed_gate_fraction = g;
+    specs.push_back({sim::PolicyKind::kFixedFetchGating, params, cfg});
+  }
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
+  const sim::SuiteResult& dvs = suites.front();
 
   util::AsciiTable table;
   table.header({"duty cycle", "gate fraction", "FG slowdown",
@@ -38,11 +46,9 @@ int main() {
   CsvBlock csv({"duty_cycle", "gate_fraction", "fg_slowdown",
                 "violating_benchmarks", "dvs_slowdown"});
 
+  std::size_t spec_index = 1;
   for (double g : fractions) {
-    sim::PolicyParams params;
-    params.fetch_gating.fixed_gate_fraction = g;
-    const sim::SuiteResult fg =
-        runner.run_suite(sim::PolicyKind::kFixedFetchGating, params, cfg);
+    const sim::SuiteResult& fg = suites[spec_index++];
     int violating = 0;
     for (const auto& r : fg.per_benchmark) {
       if (r.dtm.violation_fraction > 0.0) ++violating;

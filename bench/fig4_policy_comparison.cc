@@ -22,23 +22,35 @@ int main() {
 
   sim::SimConfig cfg = sim::default_sim_config();
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
 
   const sim::PolicyKind kinds[] = {
       sim::PolicyKind::kFetchGating, sim::PolicyKind::kDvs,
       sim::PolicyKind::kPiHybrid, sim::PolicyKind::kHybrid};
 
+  // All eight (variant, policy) suites in one batch; the stall and ideal
+  // variants share the nine memoized baselines.
+  std::vector<sim::SuiteSpec> specs;
+  for (bool stall : {true, false}) {
+    cfg.dvs_stall = stall;
+    for (sim::PolicyKind kind : kinds) {
+      specs.push_back({kind, {}, cfg});
+    }
+  }
+  const std::vector<sim::SuiteResult> all_suites = runner.run_suites(specs);
+
   CsvBlock csv({"variant", "policy", "mean_slowdown", "ci99_half_width",
                 "t_vs_dvs", "t_crit_99", "overhead_reduction_vs_dvs"});
 
+  std::size_t spec_index = 0;
   for (bool stall : {true, false}) {
-    cfg.dvs_stall = stall;
     const char* variant = stall ? "DVS-stall" : "DVS-ideal";
     std::printf("\n--- Figure 4%s: %s ---\n", stall ? "a" : "b", variant);
 
-    std::vector<sim::SuiteResult> suites;
-    for (sim::PolicyKind kind : kinds) {
-      suites.push_back(runner.run_suite(kind, {}, cfg));
-    }
+    std::vector<sim::SuiteResult> suites(
+        all_suites.begin() + spec_index,
+        all_suites.begin() + spec_index + std::size(kinds));
+    spec_index += std::size(kinds);
     const std::vector<double> dvs_slowdowns = suites[1].slowdowns();
     const double dvs_overhead = suites[1].mean_slowdown - 1.0;
 

@@ -1,16 +1,41 @@
 // Infrastructure micro-benchmarks (google-benchmark): throughput of the
 // building blocks — core cycles/s, thermal solver steps, steady-state
-// solves, power evaluation, trace generation, sensor sampling. These
+// solves, power evaluation, trace generation, sensor sampling — plus
+// end-to-end System throughput and suite-level thread scaling. These
 // bound how long the figure-reproduction sweeps take.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include "arch/core.h"
 #include "floorplan/ev7.h"
 #include "power/power_model.h"
 #include "sensor/sensor.h"
+#include "sim/experiment.h"
 #include "thermal/model_builder.h"
 #include "thermal/solver.h"
+#include "util/thread_pool.h"
 #include "workload/spec_profiles.h"
+
+// Global allocation counter so the hot-path benchmarks can assert they
+// are allocation-free (see BM_ThermalBackwardEulerStep's allocs_per_step
+// counter — the engine's contract is that it stays at zero).
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -44,10 +69,19 @@ void BM_ThermalBackwardEulerStep(benchmark::State& state) {
   thermal::TransientSolver solver(model.network, 45.0);
   thermal::Vector power(model.network.size(), 0.0);
   for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
+  solver.step(power, 3.3e-6);  // warm: factorise the LU for this dt
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
     solver.step(power, 3.3e-6);
   }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
   state.SetItemsProcessed(state.iterations());
+  // Contract: the warmed per-step path is allocation-free (must be 0).
+  state.counters["allocs_per_step"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
 }
 BENCHMARK(BM_ThermalBackwardEulerStep);
 
@@ -103,6 +137,54 @@ void BM_SensorSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SensorSample);
+
+/// Short simulation config for the end-to-end benchmarks below.
+sim::SimConfig short_sim_config() {
+  sim::SimConfig cfg = sim::default_sim_config();
+  cfg.run_instructions = std::min<std::uint64_t>(cfg.run_instructions,
+                                                 120'000);
+  cfg.warmup_instructions =
+      std::min<std::uint64_t>(cfg.warmup_instructions, 40'000);
+  return cfg;
+}
+
+// End-to-end System throughput: one short no-DTM run per iteration,
+// reported as committed instructions/second.
+void BM_SystemRunShort(benchmark::State& state) {
+  const sim::SimConfig cfg = short_sim_config();
+  const workload::WorkloadProfile profile =
+      workload::spec2000_profile("gzip");
+  for (auto _ : state) {
+    sim::System system(profile, cfg, nullptr);
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.run_instructions));
+}
+BENCHMARK(BM_SystemRunShort)->Unit(benchmark::kMillisecond);
+
+// Suite-level thread scaling: a full hybrid suite through the engine on
+// a fixed-width pool. A fresh runner per iteration keeps memoization
+// from short-circuiting repeats; the argument is the pool width.
+void BM_SuiteParallel(benchmark::State& state) {
+  const sim::SimConfig cfg = short_sim_config();
+  const auto width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::ThreadPool pool(width);
+    sim::ExperimentRunner runner(cfg, &pool);
+    benchmark::DoNotOptimize(
+        runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 9);
+}
+BENCHMARK(BM_SuiteParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

@@ -26,6 +26,26 @@ int main() {
   sim::SimConfig cfg = sim::default_sim_config();
   cfg.dvs_stall = true;
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
+
+  // The whole 2x3x5x4 grid as one batch of points; the per-benchmark
+  // baselines are shared across every grid cell.
+  std::vector<sim::PointSpec> points;
+  for (sim::PolicyKind kind :
+       {sim::PolicyKind::kPiHybrid, sim::PolicyKind::kHybrid}) {
+    for (double v_low : v_lows) {
+      cfg.v_low_fraction = v_low;
+      for (double duty : duties) {
+        sim::PolicyParams params;
+        params.hybrid.crossover_gate_fraction = 1.0 / duty;
+        for (const char* bench : benches) {
+          points.push_back(
+              {workload::spec2000_profile(bench), kind, params, cfg});
+        }
+      }
+    }
+  }
+  const std::vector<sim::ExperimentResult> results = runner.run_points(points);
 
   // The optimum sits in a flat basin, so alongside the argmin we report
   // the *plateau*: every duty cycle within 0.3 % of the best. The
@@ -39,20 +59,15 @@ int main() {
   CsvBlock csv({"policy", "v_low_fraction", "best_duty", "best_slowdown",
                 "plateau_duties"});
 
+  std::size_t point_index = 0;
   for (sim::PolicyKind kind :
        {sim::PolicyKind::kPiHybrid, sim::PolicyKind::kHybrid}) {
     for (double v_low : v_lows) {
-      cfg.v_low_fraction = v_low;
       std::vector<std::pair<double, double>> curve;  // duty, slowdown
       for (double duty : duties) {
-        sim::PolicyParams params;
-        params.hybrid.crossover_gate_fraction = 1.0 / duty;
         double mean = 0.0;
-        for (const char* bench : benches) {
-          mean += runner
-                      .run(workload::spec2000_profile(bench), kind, params,
-                           cfg)
-                      .slowdown;
+        for (std::size_t b = 0; b < std::size(benches); ++b) {
+          mean += results[point_index++].slowdown;
         }
         curve.emplace_back(duty, mean / std::size(benches));
       }

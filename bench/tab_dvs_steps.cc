@@ -35,6 +35,18 @@ int main() {
 
   sim::SimConfig cfg = sim::default_sim_config();
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
+
+  // Both variants of every ladder size in one batch.
+  std::vector<sim::SuiteSpec> specs;
+  for (const StepCfg& c : configs) {
+    cfg.dvs_steps = c.steps;
+    cfg.dvs_stall = true;
+    specs.push_back({sim::PolicyKind::kDvs, c.params, cfg});
+    cfg.dvs_stall = false;
+    specs.push_back({sim::PolicyKind::kDvs, c.params, cfg});
+  }
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
 
   util::AsciiTable table;
   table.header({"steps", "mode", "slowdown (stall)", "slowdown (ideal)",
@@ -47,14 +59,10 @@ int main() {
   double min_ideal = 1e9;
   double max_ideal = 0.0;
 
+  std::size_t spec_index = 0;
   for (const StepCfg& c : configs) {
-    cfg.dvs_steps = c.steps;
-    cfg.dvs_stall = true;
-    const sim::SuiteResult stall =
-        runner.run_suite(sim::PolicyKind::kDvs, c.params, cfg);
-    cfg.dvs_stall = false;
-    const sim::SuiteResult ideal =
-        runner.run_suite(sim::PolicyKind::kDvs, c.params, cfg);
+    const sim::SuiteResult& stall = suites[spec_index++];
+    const sim::SuiteResult& ideal = suites[spec_index++];
 
     double max_viol = 0.0;
     for (const auto& r : stall.per_benchmark) {

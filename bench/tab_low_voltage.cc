@@ -20,6 +20,15 @@ int main() {
   sim::SimConfig cfg = sim::default_sim_config();
   cfg.dvs_stall = true;
   sim::ExperimentRunner runner(cfg);
+  engine_banner(runner);
+
+  // One suite per low-voltage setting, all in flight at once.
+  std::vector<sim::SuiteSpec> specs;
+  for (double frac : fractions) {
+    cfg.v_low_fraction = frac;
+    specs.push_back({sim::PolicyKind::kDvs, {}, cfg});
+  }
+  const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);
 
   util::AsciiTable table;
   table.header({"Vlow/Vnom", "Vlow [V]", "f(Vlow) [GHz]", "slowdown",
@@ -28,11 +37,11 @@ int main() {
                 "violating_benchmarks", "worst_violation_fraction"});
 
   double best_safe = 0.0;
+  std::size_t spec_index = 0;
   for (double frac : fractions) {
     cfg.v_low_fraction = frac;
     const power::DvsLadder ladder = sim::make_ladder(cfg);
-    const sim::SuiteResult suite =
-        runner.run_suite(sim::PolicyKind::kDvs, {}, cfg);
+    const sim::SuiteResult& suite = suites[spec_index++];
     int violating = 0;
     double worst = 0.0;
     for (const auto& r : suite.per_benchmark) {

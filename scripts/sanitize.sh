@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Run the concurrency-sensitive test labels (faults + perf) under the
+# sanitizers. ASan+UBSan catches lifetime/UB bugs in the engine's caches;
+# TSan catches data races in the thread pool, RunCache and LuCache.
+#
+# Usage: scripts/sanitize.sh [ADDRESS|THREAD|all]
+#
+# Abbreviated runs keep sanitized executions fast; override by exporting
+# HYDRA_RUN_INSTRUCTIONS / HYDRA_WARMUP_INSTRUCTIONS yourself.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+: "${HYDRA_RUN_INSTRUCTIONS:=60000}"
+: "${HYDRA_WARMUP_INSTRUCTIONS:=20000}"
+export HYDRA_RUN_INSTRUCTIONS HYDRA_WARMUP_INSTRUCTIONS
+
+run_one() {
+  mode="$1"
+  builddir="build-sanitize-$(echo "$mode" | tr '[:upper:]' '[:lower:]')"
+  echo "== HYDRA_SANITIZE=$mode -> $builddir =="
+  cmake -B "$builddir" -S . -DHYDRA_SANITIZE="$mode" >/dev/null
+  cmake --build "$builddir" -j "$(nproc)"
+  # Exercise the pool with more workers than cores so TSan sees real
+  # interleavings even on small CI machines.
+  HYDRA_THREADS="${HYDRA_THREADS:-8}" \
+    ctest --test-dir "$builddir" -L 'faults|perf' --output-on-failure
+}
+
+case "${1:-all}" in
+  ADDRESS|THREAD) run_one "$1" ;;
+  all)
+    run_one ADDRESS
+    run_one THREAD
+    ;;
+  *)
+    echo "usage: $0 [ADDRESS|THREAD|all]" >&2
+    exit 2
+    ;;
+esac

@@ -26,13 +26,20 @@ FaultInjector::FaultInjector(sensor::SensorBank& bank, FaultCampaign campaign,
 
 std::vector<double> FaultInjector::sample(const std::vector<double>& truth,
                                           double t) {
+  std::vector<double> out;
+  sample_into(truth, t, out);
+  return out;
+}
+
+void FaultInjector::sample_into(const std::vector<double>& truth, double t,
+                                std::vector<double>& out) {
   const std::size_t n = bank_.count();
   if (truth.size() < n) {
     throw std::invalid_argument("truth vector shorter than sensor bank");
   }
   const double ct = armed_ ? to_campaign_time(t)
                            : -std::numeric_limits<double>::infinity();
-  std::vector<double> out(n);
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     // First active event for this sensor wins; overlapping faults on one
     // sensor are not composed (the earliest-starting one is in effect).
@@ -84,7 +91,6 @@ std::vector<double> FaultInjector::sample(const std::vector<double>& truth,
   }
   last_output_ = out;
   have_last_ = true;
-  return out;
 }
 
 }  // namespace hydra::fault

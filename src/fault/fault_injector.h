@@ -51,6 +51,11 @@ class FaultInjector {
   /// convention as SensorBank::sample (per-block prefix is read).
   std::vector<double> sample(const std::vector<double>& truth, double t);
 
+  /// sample() into a caller-provided buffer (resized to the bank size);
+  /// the allocation-free hot-path variant, bit-identical to sample().
+  void sample_into(const std::vector<double>& truth, double t,
+                   std::vector<double>& out);
+
   /// True when at least one fault is active at scaled time `t`.
   bool any_active(double t) const {
     return armed_ && campaign_.any_active(to_campaign_time(t));

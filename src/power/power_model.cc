@@ -10,16 +10,24 @@ PowerModel::PowerModel(const floorplan::Floorplan& fp, EnergyModel energy)
 std::vector<double> PowerModel::block_power(
     const arch::ActivityFrame& frame, double voltage, double frequency,
     const std::vector<double>& celsius) const {
+  std::vector<double> watts;
+  block_power_into(frame, voltage, frequency, celsius, watts);
+  return watts;
+}
+
+void PowerModel::block_power_into(const arch::ActivityFrame& frame,
+                                  double voltage, double frequency,
+                                  const std::vector<double>& celsius,
+                                  std::vector<double>& watts) const {
   if (celsius.size() < floorplan::kNumBlocks) {
     throw std::invalid_argument("temperature vector too short");
   }
-  std::vector<double> watts(floorplan::kNumBlocks, 0.0);
+  watts.resize(floorplan::kNumBlocks);
   for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
     const auto id = static_cast<floorplan::BlockId>(i);
     watts[i] = energy_.dynamic_power(frame, id, voltage, frequency) +
                leakage_.power(id, celsius[i], voltage);
   }
-  return watts;
 }
 
 double PowerModel::total_power(const arch::ActivityFrame& frame,

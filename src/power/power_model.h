@@ -29,6 +29,12 @@ class PowerModel {
                                   double voltage, double frequency,
                                   const std::vector<double>& celsius) const;
 
+  /// block_power into a caller-provided buffer (resized to kNumBlocks);
+  /// the allocation-free hot-path variant.
+  void block_power_into(const arch::ActivityFrame& frame, double voltage,
+                        double frequency, const std::vector<double>& celsius,
+                        std::vector<double>& watts) const;
+
   /// Total of block_power().
   double total_power(const arch::ActivityFrame& frame, double voltage,
                      double frequency,

@@ -24,14 +24,20 @@ SensorBank::SensorBank(std::size_t count, const SensorConfig& cfg)
 }
 
 std::vector<double> SensorBank::sample(const std::vector<double>& truth) {
+  std::vector<double> out;
+  sample_into(truth, out);
+  return out;
+}
+
+void SensorBank::sample_into(const std::vector<double>& truth,
+                             std::vector<double>& out) {
   if (truth.size() < offsets_.size()) {
     throw std::invalid_argument("truth vector shorter than sensor bank");
   }
-  std::vector<double> out(offsets_.size());
+  out.resize(offsets_.size());
   for (std::size_t i = 0; i < offsets_.size(); ++i) {
     out[i] = sample_one(i, truth[i]);
   }
-  return out;
 }
 
 double SensorBank::sample_one(std::size_t i, double truth) {

@@ -41,6 +41,11 @@ class SensorBank {
   /// entries of `truth` are read, so a full thermal-node vector works).
   std::vector<double> sample(const std::vector<double>& truth);
 
+  /// sample() into a caller-provided buffer (resized to count()); the
+  /// allocation-free hot-path variant, bit-identical to sample().
+  void sample_into(const std::vector<double>& truth,
+                   std::vector<double>& out);
+
   /// Sample a single sensor against its true temperature. Draws from the
   /// bank's shared noise stream, so calling sample_one for i = 0..count-1
   /// in order is bit-identical to one sample() call. This is the entry

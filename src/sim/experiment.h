@@ -1,9 +1,16 @@
 // Experiment harness: policy construction, baseline caching, slowdown
 // measurement, and benchmark-suite aggregation — the machinery behind
 // every figure and table reproduction (see DESIGN.md experiment index).
+//
+// The runner is a parallel engine: every (profile, policy, config)
+// point — including the shared no-DTM baselines — is an independent job
+// on a work-stealing thread pool, memoized in a RunCache keyed by a
+// content hash of its full inputs. Results are joined in submission
+// order, never completion order, and each System run is internally
+// deterministic, so any thread count produces bit-identical output.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -17,7 +24,9 @@
 #include "core/fallback_policy.h"
 #include "core/local_toggle_policy.h"
 #include "core/proactive_policy.h"
+#include "sim/run_cache.h"
 #include "sim/system.h"
+#include "util/thread_pool.h"
 #include "workload/spec_profiles.h"
 
 namespace hydra::sim {
@@ -76,6 +85,23 @@ std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
 /// variables so CI can run abbreviated sweeps.
 SimConfig default_sim_config();
 
+/// Content hash of every field of a SimConfig (including the core,
+/// sensor, package and fault-campaign sub-configs).
+std::uint64_t config_hash(const SimConfig& cfg);
+
+/// The config a no-DTM baseline effectively runs under: `cfg` with the
+/// DTM-only knobs (DVS ladder shape, switch behaviour, clock-gating
+/// quantum) reset to defaults, since without a policy they cannot
+/// influence the run. Baselines are cached under the hash of this
+/// normalised config, so DTM-side sweeps share one baseline per profile
+/// while thermal/core/sensor changes get their own.
+SimConfig baseline_config(const SimConfig& cfg);
+
+/// Cache key of one run: content hash of (profile, kind, params, cfg).
+std::uint64_t run_point_key(const workload::WorkloadProfile& profile,
+                            PolicyKind kind, const PolicyParams& params,
+                            const SimConfig& cfg);
+
 /// One DTM run paired with its baseline.
 struct ExperimentResult {
   RunResult dtm;
@@ -94,18 +120,42 @@ struct SuiteResult {
   std::vector<double> slowdowns() const;
 };
 
-/// Runs experiments, caching one baseline per benchmark. The cache is
-/// keyed by benchmark name: per-run SimConfig overrides passed to run()
-/// must only change DTM-side parameters (DVS ladder, switch behaviour,
-/// policy thresholds), which do not affect the DTM-free baseline.
+/// One sweep point for the batched entry points.
+struct PointSpec {
+  workload::WorkloadProfile profile;
+  PolicyKind kind = PolicyKind::kNone;
+  PolicyParams params{};
+  SimConfig cfg{};
+};
+
+/// One full nine-benchmark suite for run_suites().
+struct SuiteSpec {
+  PolicyKind kind = PolicyKind::kNone;
+  PolicyParams params{};
+  SimConfig cfg{};
+};
+
+/// Runs experiments on a thread pool, memoizing every point (and the
+/// per-benchmark baselines) in a RunCache. All entry points are safe to
+/// call from one thread while workers execute runs; results and their
+/// ordering are independent of the pool width.
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(SimConfig base_cfg);
+  /// `pool` defaults to the process-wide HYDRA_THREADS-sized pool; tests
+  /// inject fixed-width pools to compare widths in one process. The pool
+  /// must outlive the runner.
+  explicit ExperimentRunner(SimConfig base_cfg,
+                            util::ThreadPool* pool = nullptr);
 
   const SimConfig& base_config() const { return base_cfg_; }
+  std::size_t threads() const { return pool_->size(); }
 
-  /// Baseline (no-DTM) run for a benchmark, cached.
+  /// Baseline (no-DTM) run for a benchmark under the runner's base
+  /// config (or `cfg`), cached by the hash of baseline_config(cfg). The
+  /// returned reference stays valid for the runner's lifetime.
   const RunResult& baseline(const workload::WorkloadProfile& profile);
+  const RunResult& baseline(const workload::WorkloadProfile& profile,
+                            const SimConfig& cfg);
 
   /// Run `kind` under `cfg` and pair it with the cached baseline.
   ExperimentResult run(const workload::WorkloadProfile& profile,
@@ -115,14 +165,34 @@ class ExperimentRunner {
   ExperimentResult run(const workload::WorkloadProfile& profile,
                        PolicyKind kind, const PolicyParams& params = {});
 
+  /// Run a batch of points concurrently. Results are returned in input
+  /// order regardless of completion order; duplicate points (and shared
+  /// baselines) are computed once.
+  std::vector<ExperimentResult> run_points(
+      const std::vector<PointSpec>& points);
+
   /// Run the whole nine-benchmark suite.
   SuiteResult run_suite(PolicyKind kind, const PolicyParams& params,
                         const SimConfig& cfg);
   SuiteResult run_suite(PolicyKind kind, const PolicyParams& params = {});
 
+  /// Run many suites with all points in flight at once — the batched
+  /// entry point the sweep benches use.
+  std::vector<SuiteResult> run_suites(const std::vector<SuiteSpec>& specs);
+
+  /// Memoization counters (for tests/diagnostics).
+  RunCache::Stats cache_stats() const { return cache_.stats(); }
+
  private:
+  RunCache::Future submit_run(const workload::WorkloadProfile& profile,
+                              PolicyKind kind, const PolicyParams& params,
+                              const SimConfig& cfg);
+  RunCache::Future submit_baseline(const workload::WorkloadProfile& profile,
+                                   const SimConfig& cfg);
+
   SimConfig base_cfg_;
-  std::map<std::string, RunResult> baseline_cache_;
+  util::ThreadPool* pool_;
+  RunCache cache_;
 };
 
 }  // namespace hydra::sim

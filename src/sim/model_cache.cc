@@ -1,0 +1,61 @@
+#include "sim/model_cache.h"
+
+#include <stdexcept>
+
+#include "floorplan/ev7.h"
+#include "util/hash.h"
+
+namespace hydra::sim {
+
+std::uint64_t model_key(const SimConfig& cfg) {
+  util::HashSink h;
+  const thermal::Package& p = cfg.package;
+  h.f64(p.die_thickness)
+      .f64(p.k_silicon)
+      .f64(p.c_silicon)
+      .f64(p.tim_thickness)
+      .f64(p.k_tim)
+      .f64(p.spreader_side)
+      .f64(p.spreader_thickness)
+      .f64(p.k_copper)
+      .f64(p.c_copper)
+      .f64(p.sink_side)
+      .f64(p.sink_thickness)
+      .f64(p.k_sink)
+      .f64(p.c_sink)
+      .f64(p.r_convec)
+      .f64(p.ambient_celsius)
+      .f64(cfg.time_scale);
+  return h.digest();
+}
+
+std::shared_ptr<const SharedModel> ModelCache::get(const SimConfig& cfg) {
+  if (cfg.time_scale <= 0.0) {
+    throw std::invalid_argument("time_scale must be positive");
+  }
+  const std::uint64_t key = model_key(cfg);
+  const std::scoped_lock lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto shared = std::make_shared<SharedModel>();
+    shared->fp = floorplan::ev7_floorplan();
+    shared->model = thermal::build_thermal_model(shared->fp, cfg.package);
+    shared->model.network.scale_capacitances(cfg.time_scale);
+    shared->lu_cache =
+        std::make_shared<const thermal::LuCache>(shared->model.network);
+    it = cache_.emplace(key, std::move(shared)).first;
+  }
+  return it->second;
+}
+
+std::size_t ModelCache::size() const {
+  const std::scoped_lock lock(mu_);
+  return cache_.size();
+}
+
+ModelCache& ModelCache::global() {
+  static ModelCache cache;
+  return cache;
+}
+
+}  // namespace hydra::sim

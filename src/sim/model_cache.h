@@ -1,0 +1,53 @@
+// Shared immutable model state for the parallel experiment engine.
+//
+// Every System over the same (package, time_scale) pair builds exactly
+// the same floorplan, RC network, steady-state LU and backward-Euler
+// factorisations. The ModelCache hoists that state out of the per-System
+// constructors: the first System for a given key builds it, every later
+// one — on any thread — gets a shared_ptr to the same read-only object.
+// All shared pieces are immutable after construction (the LuCache
+// synchronises its lazy factorisations internally), so concurrent
+// Systems never contend beyond the cache-lookup mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "floorplan/floorplan.h"
+#include "sim/sim_config.h"
+#include "thermal/model_builder.h"
+#include "thermal/solver.h"
+
+namespace hydra::sim {
+
+/// Immutable per-(package, time_scale) state shared across Systems.
+struct SharedModel {
+  floorplan::Floorplan fp;
+  thermal::ThermalModel model;  ///< capacitances scaled by time_scale
+  std::shared_ptr<const thermal::LuCache> lu_cache;
+};
+
+/// Hash of the fields SharedModel depends on (Package + time_scale).
+std::uint64_t model_key(const SimConfig& cfg);
+
+class ModelCache {
+ public:
+  /// The shared model for `cfg`, building it on first use. Thread-safe.
+  /// Throws std::invalid_argument when time_scale is not positive.
+  std::shared_ptr<const SharedModel> get(const SimConfig& cfg);
+
+  /// Number of distinct models built so far (for tests/diagnostics).
+  std::size_t size() const;
+
+  /// Process-wide instance used by System.
+  static ModelCache& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const SharedModel>>
+      cache_;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,45 @@
+#include "sim/run_cache.h"
+
+#include <utility>
+
+namespace hydra::sim {
+
+RunCache::Future RunCache::submit(std::uint64_t key, util::ThreadPool& pool,
+                                  std::function<RunResult()> compute) {
+  Future future;
+  {
+    const std::scoped_lock lock(mu_);
+    auto it = runs_.find(key);
+    if (it != runs_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+    auto promise = std::make_shared<std::promise<ResultPtr>>();
+    future = promise->get_future().share();
+    runs_.emplace(key, future);
+    // Enqueue outside the map insertion but inside this scope so the
+    // promise shared_ptr moves into the job.
+    pool.submit([promise = std::move(promise),
+                 compute = std::move(compute)]() mutable {
+      try {
+        promise->set_value(std::make_shared<const RunResult>(compute()));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+  }
+  return future;
+}
+
+RunCache::Stats RunCache::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t RunCache::size() const {
+  const std::scoped_lock lock(mu_);
+  return runs_.size();
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,51 @@
+// Thread-safe memoization of completed simulation runs.
+//
+// The experiment engine keys every (profile, policy kind, params,
+// SimConfig) point by a content hash (see experiment.h) and computes it
+// at most once per process: the first submission enqueues the run on the
+// thread pool and publishes a shared future; later submissions — from
+// any thread, any bench target — get the same future. Results are held
+// as shared_ptr<const RunResult>, so callers that need stable addresses
+// (ExperimentRunner::baseline returns references) can rely on entries
+// never being evicted or reallocated for the cache's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/system.h"
+#include "util/thread_pool.h"
+
+namespace hydra::sim {
+
+class RunCache {
+ public:
+  using ResultPtr = std::shared_ptr<const RunResult>;
+  using Future = std::shared_future<ResultPtr>;
+
+  struct Stats {
+    std::uint64_t hits = 0;    ///< submissions served from the cache
+    std::uint64_t misses = 0;  ///< submissions that enqueued a run
+  };
+
+  /// Future for the run keyed by `key`. On a miss `compute` is enqueued
+  /// on `pool` and the (shared) future is published before returning, so
+  /// concurrent submitters of the same key join one run. Exceptions from
+  /// `compute` are rethrown from the future's get().
+  Future submit(std::uint64_t key, util::ThreadPool& pool,
+                std::function<RunResult()> compute);
+
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Future> runs_;
+  Stats stats_;
+};
+
+}  // namespace hydra::sim

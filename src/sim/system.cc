@@ -4,23 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "floorplan/ev7.h"
 #include "thermal/solver.h"
 
 namespace hydra::sim {
 namespace {
 
 constexpr double kEps = 1e-12;
-
-thermal::ThermalModel make_model(const floorplan::Floorplan& fp,
-                                 const SimConfig& cfg) {
-  if (cfg.time_scale <= 0.0) {
-    throw std::invalid_argument("time_scale must be positive");
-  }
-  thermal::ThermalModel m = thermal::build_thermal_model(fp, cfg.package);
-  m.network.scale_capacitances(cfg.time_scale);
-  return m;
-}
 
 double max_block_temp(const thermal::Vector& temps, std::size_t blocks) {
   double m = temps[0];
@@ -33,8 +22,9 @@ double max_block_temp(const thermal::Vector& temps, std::size_t blocks) {
 System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
                std::unique_ptr<core::DtmPolicy> policy)
     : cfg_(cfg),
-      fp_(floorplan::ev7_floorplan()),
-      model_(make_model(fp_, cfg)),
+      shared_(ModelCache::global().get(cfg)),
+      fp_(shared_->fp),
+      model_(shared_->model),
       vf_curve_(cfg.v_nominal, cfg.f_nominal, cfg.v_threshold, cfg.vf_alpha),
       ladder_(vf_curve_, cfg.dvs_steps, cfg.v_low_fraction),
       power_(fp_, power::EnergyModel()),
@@ -43,7 +33,8 @@ System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
       sensors_(floorplan::kNumBlocks, cfg.sensor),
       policy_(std::move(policy)),
       guard_(dynamic_cast<core::GuardedPolicy*>(policy_.get())),
-      solver_(model_.network, cfg.package.ambient_celsius) {
+      solver_(model_.network, cfg.package.ambient_celsius,
+              thermal::Scheme::kBackwardEuler, shared_->lu_cache) {
   if (!cfg_.fault_campaign.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(
         sensors_, cfg_.fault_campaign, cfg_.time_scale);
@@ -51,6 +42,10 @@ System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
   sensor_period_ = 1.0 / cfg_.sensor.sample_rate_hz / cfg_.time_scale;
   switch_time_ = cfg_.dvs_switch_time / cfg_.time_scale;
   gate_quantum_ = cfg_.clock_gate_quantum / cfg_.time_scale;
+  freq_ = ladder_.point(0).frequency;
+  watts_.resize(floorplan::kNumBlocks);
+  expanded_.resize(model_.network.size());
+  sample_.sensed_celsius.reserve(floorplan::kNumBlocks);
   acc_.block_temp_weighted.assign(floorplan::kNumBlocks, 0.0);
   benchmark_name_ = profile.name;
   probe_auto_instructions_ = 0;
@@ -76,14 +71,16 @@ void System::initialize_thermal_state() {
   const arch::ActivityFrame frame = core_.take_interval_activity();
 
   // Power <-> temperature fixed point (leakage depends on temperature).
+  // The shared steady-state factorisation of G replaces a fresh LU per
+  // iteration; same matrix, so the result is bit-identical.
   const double ambient = cfg_.package.ambient_celsius;
   thermal::Vector temps(model_.network.size(), ambient + 30.0);
   const auto& nominal = ladder_.point(0);
+  const thermal::LuFactorization& g_lu = shared_->lu_cache->steady();
   for (int iter = 0; iter < 10; ++iter) {
-    const std::vector<double> watts = power_.block_power(
-        frame, nominal.voltage, nominal.frequency, temps);
-    temps = thermal::steady_state(model_.network, model_.expand_power(watts),
-                                  ambient);
+    power_.block_power_into(frame, nominal.voltage, nominal.frequency, temps,
+                            watts_);
+    temps = thermal::steady_state(g_lu, model_.expand_power(watts_), ambient);
   }
   solver_.set_temperatures(temps);
 
@@ -95,19 +92,22 @@ void System::initialize_thermal_state() {
 
 void System::apply_dvs_level(std::size_t level) {
   dvs_level_ = level;
-  core_.set_frequency(ladder_.point(level).frequency);
+  freq_ = ladder_.point(level).frequency;
+  core_.set_frequency(freq_);
 }
 
 void System::sensor_event(bool measure) {
   if (policy_) {
-    core::ThermalSample sample;
-    sample.sensed_celsius =
-        injector_ ? injector_->sample(solver_.temperatures(), t_)
-                  : sensors_.sample(solver_.temperatures());
-    sample.max_sensed = *std::max_element(sample.sensed_celsius.begin(),
-                                          sample.sensed_celsius.end());
-    sample.time_seconds = t_;
-    const core::DtmCommand cmd = policy_->update(sample);
+    if (injector_) {
+      injector_->sample_into(solver_.temperatures(), t_,
+                             sample_.sensed_celsius);
+    } else {
+      sensors_.sample_into(solver_.temperatures(), sample_.sensed_celsius);
+    }
+    sample_.max_sensed = *std::max_element(sample_.sensed_celsius.begin(),
+                                           sample_.sensed_celsius.end());
+    sample_.time_seconds = t_;
+    const core::DtmCommand cmd = policy_->update(sample_);
 
     gate_fraction_ = cmd.fetch_gate_fraction;
     core_.set_fetch_gate_fraction(gate_fraction_);
@@ -138,16 +138,16 @@ void System::sensor_event(bool measure) {
 void System::thermal_and_power_step(bool measure) {
   const arch::ActivityFrame frame = core_.take_interval_activity();
   const auto& op = ladder_.point(dvs_level_);
-  const std::vector<double> watts =
-      power_.block_power(frame, op.voltage, op.frequency,
-                         solver_.temperatures());
+  power_.block_power_into(frame, op.voltage, op.frequency,
+                          solver_.temperatures(), watts_);
   const double dt = interval_wall_;
-  solver_.step(model_.expand_power(watts), dt);
+  model_.expand_power_into(watts_, expanded_);
+  solver_.step(expanded_, dt);
 
   const thermal::Vector& temps = solver_.temperatures();
   const double max_true = max_block_temp(temps, floorplan::kNumBlocks);
   double total_watts = 0.0;
-  for (double w : watts) total_watts += w;
+  for (double w : watts_) total_watts += w;
 
   if (measure) {
     if (max_true > cfg_.thresholds.emergency_celsius) acc_.violation += dt;
@@ -184,20 +184,26 @@ void System::thermal_and_power_step(bool measure) {
   interval_wall_ = 0.0;
 }
 
-void System::advance_until(std::uint64_t target_committed, bool measure) {
-  while (core_.committed() < target_committed) {
-    // Next scheduled event.
-    double next_event = next_sensor_t_;
-    if (transition_active_) {
-      next_event = std::min(next_event, transition_end_t_);
-    }
-    if (clock_gate_on_ || clock_gate_requested_) {
-      next_event = std::min(next_event, quantum_end_t_);
-    }
+double System::next_event_time() const {
+  double next_event = next_sensor_t_;
+  if (transition_active_) {
+    next_event = std::min(next_event, transition_end_t_);
+  }
+  if (clock_gate_on_ || clock_gate_requested_) {
+    next_event = std::min(next_event, quantum_end_t_);
+  }
+  return next_event;
+}
 
-    const double freq = ladder_.point(dvs_level_).frequency;
+void System::advance_until(std::uint64_t target_committed, bool measure) {
+  // The next scheduled event and the applied clock are loop invariants
+  // between event firings, so both are hoisted out of the per-chunk loop:
+  // next_event is recomputed only after a handler fires and freq_ is a
+  // member updated by apply_dvs_level.
+  double next_event = next_event_time();
+  while (core_.committed() < target_committed) {
     long long cycles_to_event =
-        static_cast<long long>(std::ceil((next_event - t_) * freq));
+        static_cast<long long>(std::ceil((next_event - t_) * freq_));
     if (cycles_to_event < 1) cycles_to_event = 1;
     long long n = std::min<long long>(
         cycles_to_event, cfg_.thermal_interval_cycles - interval_cycles_);
@@ -212,7 +218,7 @@ void System::advance_until(std::uint64_t target_committed, bool measure) {
       for (long long i = 0; i < n; ++i) core_.cycle();
     }
 
-    const double dt = static_cast<double>(n) / freq;
+    const double dt = static_cast<double>(n) / freq_;
     t_ += dt;
     interval_cycles_ += n;
     interval_wall_ += dt;
@@ -226,9 +232,11 @@ void System::advance_until(std::uint64_t target_committed, bool measure) {
     if (interval_cycles_ >= cfg_.thermal_interval_cycles) {
       thermal_and_power_step(measure);
     }
+    bool events_changed = false;
     if (transition_active_ && t_ >= transition_end_t_ - kEps) {
       transition_active_ = false;
       apply_dvs_level(pending_level_);
+      events_changed = true;
     }
     if ((clock_gate_on_ || clock_gate_requested_) &&
         t_ >= quantum_end_t_ - kEps) {
@@ -236,10 +244,13 @@ void System::advance_until(std::uint64_t target_committed, bool measure) {
       // (Pentium-4-style stop-go at the quantum granularity).
       clock_gate_on_ = !clock_gate_on_ && clock_gate_requested_;
       quantum_end_t_ = t_ + gate_quantum_;
+      events_changed = true;
     }
     if (t_ >= next_sensor_t_ - kEps) {
       sensor_event(measure);
+      events_changed = true;
     }
+    if (events_changed) next_event = next_event_time();
   }
 }
 

@@ -22,6 +22,7 @@
 #include "power/power_model.h"
 #include "power/voltage_freq.h"
 #include "sensor/sensor.h"
+#include "sim/model_cache.h"
 #include "sim/sim_config.h"
 #include "thermal/model_builder.h"
 #include "thermal/solver.h"
@@ -103,11 +104,18 @@ class System {
   void thermal_and_power_step(bool measure);
   void sensor_event(bool measure);
   void apply_dvs_level(std::size_t level);
+  /// Earliest pending scheduled event (sensor tick, DVS-transition end,
+  /// clock-gate quantum boundary). Invariant between events, so
+  /// advance_until recomputes it only after one fires.
+  double next_event_time() const;
 
-  // Configuration-derived state.
+  // Configuration-derived state. Floorplan, thermal model and LU
+  // factorisations are shared read-only across all Systems with the same
+  // (package, time_scale) via the process-wide ModelCache.
   SimConfig cfg_;
-  floorplan::Floorplan fp_;
-  thermal::ThermalModel model_;
+  std::shared_ptr<const SharedModel> shared_;
+  const floorplan::Floorplan& fp_;
+  const thermal::ThermalModel& model_;
   power::VoltageFrequencyCurve vf_curve_;
   power::DvsLadder ladder_;
   power::PowerModel power_;
@@ -128,6 +136,7 @@ class System {
   // Dynamic state.
   double t_ = 0.0;             ///< simulation time [s]
   double next_sensor_t_ = 0.0;
+  double freq_ = 0.0;          ///< clock at the applied DVS level [Hz]
   std::size_t dvs_level_ = 0;  ///< applied DVS level
   std::size_t pending_level_ = 0;
   bool transition_active_ = false;
@@ -163,6 +172,11 @@ class System {
   std::function<void(const StepTrace&)> trace_cb_;
   std::string benchmark_name_;
   std::uint64_t probe_auto_instructions_ = 300'000;
+
+  // Preallocated scratch so the per-step hot path never allocates.
+  std::vector<double> watts_;       ///< per-block power
+  thermal::Vector expanded_;        ///< per-node power
+  core::ThermalSample sample_;      ///< reused sensor-event sample
 };
 
 }  // namespace hydra::sim

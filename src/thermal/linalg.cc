@@ -13,15 +13,20 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Vector Matrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply_into(x, y);
+  return y;
+}
+
+void Matrix::multiply_into(const Vector& x, Vector& y) const {
   assert(x.size() == cols_);
-  Vector y(rows_, 0.0);
+  y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     const double* row = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
   }
-  return y;
 }
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
@@ -65,11 +70,17 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuFactorization::solve_into(const Vector& b, Vector& x) const {
   const std::size_t n = size();
   if (b.size() != n) {
     throw std::invalid_argument("rhs size mismatch in LU solve");
   }
-  Vector x(n);
+  x.resize(n);
   // Forward substitution with the permuted rhs.
   for (std::size_t r = 0; r < n; ++r) {
     double acc = b[perm_[r]];
@@ -82,7 +93,6 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
     x[ri] = acc / lu_(ri, ri);
   }
-  return x;
 }
 
 Vector solve_linear(Matrix a, const Vector& b) {

@@ -34,6 +34,10 @@ class Matrix {
   /// y = A x. Requires x.size() == cols().
   Vector multiply(const Vector& x) const;
 
+  /// y = A x into a caller-provided buffer (resized to rows()); the
+  /// allocation-free hot-path variant. `y` must not alias `x`.
+  void multiply_into(const Vector& x, Vector& y) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -53,6 +57,12 @@ class LuFactorization {
 
   /// Solve A x = b.
   Vector solve(const Vector& b) const;
+
+  /// Solve A x = b into a caller-provided buffer (resized to size());
+  /// the allocation-free hot-path variant. Bit-identical to solve().
+  /// `x` must not alias `b`. Thread-safe: solving is read-only, so one
+  /// factorisation may serve many threads concurrently.
+  void solve_into(const Vector& b, Vector& x) const;
 
  private:
   Matrix lu_;

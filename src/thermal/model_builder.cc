@@ -27,12 +27,18 @@ double lateral_resistance(const Block& a, const Block& b, double shared_len,
 }  // namespace
 
 Vector ThermalModel::expand_power(const Vector& block_power) const {
+  Vector full;
+  expand_power_into(block_power, full);
+  return full;
+}
+
+void ThermalModel::expand_power_into(const Vector& block_power,
+                                     Vector& full) const {
   if (block_power.size() != num_blocks) {
     throw std::invalid_argument("block power vector has wrong size");
   }
-  Vector full(network.size(), 0.0);
+  full.assign(network.size(), 0.0);
   for (std::size_t i = 0; i < num_blocks; ++i) full[i] = block_power[i];
-  return full;
 }
 
 ThermalModel build_thermal_model(const Floorplan& fp, const Package& pkg) {

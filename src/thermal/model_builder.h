@@ -30,6 +30,10 @@ struct ThermalModel {
   /// Expand a per-block power vector to a full per-node vector (package
   /// nodes dissipate nothing).
   Vector expand_power(const Vector& block_power) const;
+
+  /// expand_power into a caller-provided buffer (resized to the node
+  /// count); the allocation-free hot-path variant.
+  void expand_power_into(const Vector& block_power, Vector& full) const;
 };
 
 /// Build the model. Throws std::invalid_argument if the floorplan is

@@ -15,13 +15,64 @@ Vector steady_state(const RcNetwork& net, const Vector& power,
   return rise;
 }
 
+Vector steady_state(const LuFactorization& g_lu, const Vector& power,
+                    double ambient_celsius) {
+  if (power.size() != g_lu.size()) {
+    throw std::invalid_argument("power vector size mismatch");
+  }
+  Vector rise = g_lu.solve(power);
+  for (double& t : rise) t += ambient_celsius;
+  return rise;
+}
+
+LuCache::LuCache(const RcNetwork& net)
+    : g_(net.conductance_matrix()), capacitance_(net.size()) {
+  for (std::size_t i = 0; i < capacitance_.size(); ++i) {
+    capacitance_[i] = net.capacitance(i);
+  }
+}
+
+const LuFactorization& LuCache::steady() const {
+  const std::scoped_lock lock(mu_);
+  if (!steady_lu_) {
+    steady_lu_ = std::make_unique<LuFactorization>(g_);
+  }
+  return *steady_lu_;
+}
+
+const LuFactorization& LuCache::backward_euler(double dt) const {
+  const std::scoped_lock lock(mu_);
+  auto it = be_cache_.find(dt);
+  if (it == be_cache_.end()) {
+    Matrix a = g_;
+    for (std::size_t i = 0; i < capacitance_.size(); ++i) {
+      a(i, i) += capacitance_[i] / dt;
+    }
+    it = be_cache_
+             .emplace(dt, std::make_unique<LuFactorization>(std::move(a)))
+             .first;
+  }
+  return *it->second;
+}
+
 TransientSolver::TransientSolver(const RcNetwork& net, double ambient_celsius,
-                                 Scheme scheme)
+                                 Scheme scheme,
+                                 std::shared_ptr<const LuCache> lu_cache)
     : net_(&net),
       ambient_(ambient_celsius),
       scheme_(scheme),
       g_(net.conductance_matrix()),
-      celsius_(net.size(), ambient_celsius) {}
+      celsius_(net.size(), ambient_celsius),
+      lu_cache_(lu_cache ? std::move(lu_cache)
+                         : std::make_shared<const LuCache>(net)),
+      rhs_(net.size()),
+      rise_(net.size()),
+      k1_(net.size()),
+      k2_(net.size()),
+      k3_(net.size()),
+      k4_(net.size()),
+      tmp_(net.size()),
+      flow_(net.size()) {}
 
 void TransientSolver::set_temperatures(const Vector& celsius) {
   if (celsius.size() != net_->size()) {
@@ -31,7 +82,7 @@ void TransientSolver::set_temperatures(const Vector& celsius) {
 }
 
 void TransientSolver::initialize_steady_state(const Vector& power) {
-  celsius_ = steady_state(*net_, power, ambient_);
+  celsius_ = steady_state(lu_cache_->steady(), power, ambient_);
 }
 
 void TransientSolver::step(const Vector& power, double dt) {
@@ -57,53 +108,43 @@ void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   // step-length error, negligible against the ms-scale time constants).
   const double mag = std::pow(10.0, std::floor(std::log10(dt)) - 2.0);
   dt = std::round(dt / mag) * mag;
-  auto it = lu_cache_.find(dt);
-  if (it == lu_cache_.end()) {
-    Matrix a = g_;
-    for (std::size_t i = 0; i < n; ++i) {
-      a(i, i) += net_->capacitance(i) / dt;
-    }
-    it = lu_cache_
-             .emplace(dt, std::make_unique<LuFactorization>(std::move(a)))
-             .first;
+  if (last_lu_ == nullptr || dt != last_dt_) {
+    last_lu_ = &lu_cache_->backward_euler(dt);
+    last_dt_ = dt;
   }
-  Vector rhs(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double rise = celsius_[i] - ambient_;
-    rhs[i] = net_->capacitance(i) / dt * rise + power[i];
+    rhs_[i] = net_->capacitance(i) / dt * rise + power[i];
   }
-  const Vector rise_next = it->second->solve(rhs);
-  for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_next[i];
+  last_lu_->solve_into(rhs_, rise_);
+  for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_[i];
 }
 
-Vector TransientSolver::derivative(const Vector& rise,
-                                   const Vector& power) const {
+void TransientSolver::derivative_into(const Vector& rise, const Vector& power,
+                                      Vector& d) {
   const std::size_t n = net_->size();
-  Vector flow = g_.multiply(rise);
-  Vector d(n);
+  g_.multiply_into(rise, flow_);
+  d.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    d[i] = (power[i] - flow[i]) / net_->capacitance(i);
+    d[i] = (power[i] - flow_[i]) / net_->capacitance(i);
   }
-  return d;
 }
 
 void TransientSolver::step_rk4(const Vector& power, double dt) {
   const std::size_t n = net_->size();
-  Vector rise(n);
-  for (std::size_t i = 0; i < n; ++i) rise[i] = celsius_[i] - ambient_;
+  for (std::size_t i = 0; i < n; ++i) rise_[i] = celsius_[i] - ambient_;
 
-  const Vector k1 = derivative(rise, power);
-  Vector tmp(n);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = rise[i] + dt / 2.0 * k1[i];
-  const Vector k2 = derivative(tmp, power);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = rise[i] + dt / 2.0 * k2[i];
-  const Vector k3 = derivative(tmp, power);
-  for (std::size_t i = 0; i < n; ++i) tmp[i] = rise[i] + dt * k3[i];
-  const Vector k4 = derivative(tmp, power);
+  derivative_into(rise_, power, k1_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = rise_[i] + dt / 2.0 * k1_[i];
+  derivative_into(tmp_, power, k2_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = rise_[i] + dt / 2.0 * k2_[i];
+  derivative_into(tmp_, power, k3_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = rise_[i] + dt * k3_[i];
+  derivative_into(tmp_, power, k4_);
 
   for (std::size_t i = 0; i < n; ++i) {
-    rise[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-    celsius_[i] = ambient_ + rise[i];
+    rise_[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    celsius_[i] = ambient_ + rise_[i];
   }
 }
 

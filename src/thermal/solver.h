@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "thermal/linalg.h"
@@ -15,21 +16,59 @@ namespace hydra::thermal {
 Vector steady_state(const RcNetwork& net, const Vector& power,
                     double ambient_celsius);
 
+/// Same computation against a prebuilt factorisation of the conductance
+/// matrix G (bit-identical to the overload above when `g_lu` was built
+/// from `net.conductance_matrix()`).
+Vector steady_state(const LuFactorization& g_lu, const Vector& power,
+                    double ambient_celsius);
+
 /// Integration scheme for the transient solver.
 enum class Scheme {
   kBackwardEuler,  ///< unconditionally stable; LU cached per time step
   kRk4,            ///< explicit 4th-order; used for cross-validation
 };
 
+/// Thread-safe cache of the factorisations a thermal network needs:
+/// the steady-state LU of G and one backward-Euler LU of (C/dt + G) per
+/// distinct (rounded) time step. One instance can be shared by every
+/// System built over the same (package, time_scale) — solving against a
+/// factorisation is read-only, so concurrent solvers are safe; only the
+/// first builder of a given dt pays the factorisation cost.
+class LuCache {
+ public:
+  explicit LuCache(const RcNetwork& net);
+
+  std::size_t size() const { return capacitance_.size(); }
+
+  /// Factorisation of G for steady-state solves.
+  const LuFactorization& steady() const;
+
+  /// Factorisation of (C/dt + G) for the given *already rounded* dt.
+  const LuFactorization& backward_euler(double dt) const;
+
+ private:
+  Matrix g_;
+  Vector capacitance_;
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<LuFactorization> steady_lu_;
+  mutable std::map<double, std::unique_ptr<LuFactorization>> be_cache_;
+};
+
 /// Time-stepping solver. Owns the current temperature state.
 ///
 /// Backward Euler solves (C/dt + G) T' = (C/dt) T + P each step and caches
 /// the factorisation per distinct dt (DVS transitions change the wall-clock
-/// length of a 10k-cycle step, so a handful of distinct dts recur).
+/// length of a 10k-cycle step, so a handful of distinct dts recur). The
+/// factorisations live in an LuCache that may be shared across solvers;
+/// a per-solver memo of the last dt keeps the steady-state hot path free
+/// of both locking and map lookups.
 class TransientSolver {
  public:
+  /// `lu_cache` may be shared across solvers over the same network; when
+  /// null a private cache is created.
   TransientSolver(const RcNetwork& net, double ambient_celsius,
-                  Scheme scheme = Scheme::kBackwardEuler);
+                  Scheme scheme = Scheme::kBackwardEuler,
+                  std::shared_ptr<const LuCache> lu_cache = nullptr);
 
   /// Set all node temperatures [deg C].
   void set_temperatures(const Vector& celsius);
@@ -47,15 +86,22 @@ class TransientSolver {
  private:
   void step_backward_euler(const Vector& power, double dt);
   void step_rk4(const Vector& power, double dt);
-  Vector derivative(const Vector& rise, const Vector& power) const;
+  void derivative_into(const Vector& rise, const Vector& power, Vector& d);
 
   const RcNetwork* net_;
   double ambient_;
   Scheme scheme_;
   Matrix g_;
   Vector celsius_;
-  // Cache of backward-Euler factorisations keyed by dt.
-  std::map<double, std::unique_ptr<LuFactorization>> lu_cache_;
+  std::shared_ptr<const LuCache> lu_cache_;
+  // Last-used factorisation memo: the common case is a constant dt, so
+  // the per-step path touches neither the cache mutex nor the map.
+  double last_dt_ = 0.0;
+  const LuFactorization* last_lu_ = nullptr;
+  // Preallocated scratch so the per-step hot path never allocates.
+  Vector rhs_;
+  Vector rise_;
+  Vector k1_, k2_, k3_, k4_, tmp_, flow_;
 };
 
 }  // namespace hydra::thermal

@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace hydra::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  {
+    // Pair the flag with the sleep mutex so no worker can re-check the
+    // predicate and block between our store and the notify.
+    const std::scoped_lock lock(sleep_mu_);
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    const std::scoped_lock lock(queues_[q]->mu);
+    queues_[q]->jobs.push_back(std::move(job));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& job) {
+  // Own deque first (front = submission order)...
+  {
+    Queue& own = *queues_[self];
+    const std::scoped_lock lock(own.mu);
+    if (!own.jobs.empty()) {
+      job = std::move(own.jobs.front());
+      own.jobs.pop_front();
+      return true;
+    }
+  }
+  // ...then steal from the back of a sibling's.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = *queues_[(self + k) % queues_.size()];
+    const std::scoped_lock lock(victim.mu);
+    if (!victim.jobs.empty()) {
+      job = std::move(victim.jobs.back());
+      victim.jobs.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    std::function<void()> job;
+    if (try_pop(self, job)) {
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      job();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    wake_.wait(lock, [this] {
+      return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load() && pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+std::size_t ThreadPool::configured_width() {
+  if (const char* env = std::getenv("HYDRA_THREADS");
+      env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(configured_width());
+  return pool;
+}
+
+}  // namespace hydra::util

@@ -1,0 +1,81 @@
+// Work-stealing thread pool for the parallel experiment engine.
+//
+// Every figure/table in the paper is a sweep of independent
+// (benchmark x policy x config) simulations; the pool lets the
+// ExperimentRunner execute them concurrently while keeping results
+// deterministic (determinism comes from keying results by submission
+// order, never completion order — see sim/experiment.h).
+//
+// Design: one deque per worker, each guarded by its own mutex. submit()
+// distributes jobs round-robin across the deques; a worker pops from the
+// front of its own deque and, when that is empty, steals from the back
+// of its siblings'. Idle workers sleep on a shared condition variable.
+// Jobs must not throw (wrap work in std::packaged_task — async() below
+// does this — so exceptions travel through the future instead).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hydra::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a job. Must not throw; use async() for work that can.
+  void submit(std::function<void()> job);
+
+  /// Enqueue `f` and return a future for its result. Exceptions thrown
+  /// by `f` are captured and rethrown from the future.
+  template <typename F>
+  auto async(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Process-wide pool sized by the HYDRA_THREADS environment variable
+  /// (default: hardware_concurrency). Created on first use.
+  static ThreadPool& global();
+
+  /// The width HYDRA_THREADS requests (>= 1), without creating the pool.
+  static std::size_t configured_width();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& job);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mu_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hydra::util

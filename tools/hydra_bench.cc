@@ -1,0 +1,144 @@
+// hydra_bench — parallel-engine benchmark driver.
+//
+// Measures the two performance properties the experiment engine is built
+// around and emits them as JSON (default: BENCH_engine.json):
+//
+//   * thermal solver throughput — backward-Euler steps/second on the
+//     EV7-like network, the per-step hot path every simulation spends
+//     most of its time in (allocation-free, cached LU);
+//   * suite scaling — wall time of a nine-benchmark hybrid-DTM suite on
+//     a 1-thread pool vs an N-thread pool, and the resulting speedup.
+//     Both runs produce bit-identical results; only wall time differs.
+//
+// Usage:
+//   hydra_bench [out=BENCH_engine.json] [threads=N] [solver_steps=K]
+//               [run_instructions=I] [warmup_instructions=W]
+//
+// `threads` defaults to the HYDRA_THREADS width (hardware concurrency).
+// The suite runs are shortened by default so the tool doubles as a CI
+// smoke benchmark; pass larger run_instructions for real measurements.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/model_cache.h"
+#include "thermal/solver.h"
+#include "util/config.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+using namespace hydra;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Backward-Euler steps/second on the shared thermal model.
+double solver_steps_per_second(const sim::SimConfig& cfg, long long steps) {
+  const auto shared = sim::ModelCache::global().get(cfg);
+  thermal::TransientSolver solver(shared->model.network,
+                                  cfg.package.ambient_celsius,
+                                  thermal::Scheme::kBackwardEuler,
+                                  shared->lu_cache);
+  std::vector<double> watts(floorplan::kNumBlocks, 2.0);
+  const thermal::Vector power = shared->model.expand_power(watts);
+  solver.initialize_steady_state(power);
+  const double dt = 1e-4;
+  // Warm the dt memo (first step factorises the LU for this dt).
+  solver.step(power, dt);
+  const auto start = std::chrono::steady_clock::now();
+  for (long long i = 0; i < steps; ++i) solver.step(power, dt);
+  const double elapsed = seconds_since(start);
+  return elapsed > 0.0 ? static_cast<double>(steps) / elapsed : 0.0;
+}
+
+/// Wall time of a hybrid-DTM suite on a pool of the given width. A fresh
+/// runner (fresh caches) per call keeps the comparison fair.
+double suite_wall_seconds(const sim::SimConfig& cfg, std::size_t width) {
+  util::ThreadPool pool(width);
+  sim::ExperimentRunner runner(cfg, &pool);
+  const auto start = std::chrono::steady_clock::now();
+  const sim::SuiteResult suite =
+      runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg);
+  const double elapsed = seconds_since(start);
+  if (suite.per_benchmark.empty()) {
+    throw std::runtime_error("suite produced no results");
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Config args = util::Config::from_args(
+        std::vector<std::string>(argv + 1, argv + argc));
+    const std::string out_path = args.get_string("out", "BENCH_engine.json");
+    const std::size_t threads = static_cast<std::size_t>(args.get_int(
+        "threads",
+        static_cast<long long>(util::ThreadPool::configured_width())));
+    const long long solver_steps = args.get_int("solver_steps", 20000);
+
+    sim::SimConfig cfg = sim::default_sim_config();
+    // Short suite by default: this is a smoke/scaling benchmark, not a
+    // paper reproduction. HYDRA_RUN_INSTRUCTIONS and the explicit keys
+    // below both override.
+    cfg.run_instructions = static_cast<std::uint64_t>(args.get_int(
+        "run_instructions",
+        static_cast<long long>(
+            std::min<std::uint64_t>(cfg.run_instructions, 400'000))));
+    cfg.warmup_instructions = static_cast<std::uint64_t>(args.get_int(
+        "warmup_instructions",
+        static_cast<long long>(
+            std::min<std::uint64_t>(cfg.warmup_instructions, 100'000))));
+
+    std::printf("hydra_bench: solver throughput (%lld steps)...\n",
+                solver_steps);
+    const double steps_per_sec = solver_steps_per_second(cfg, solver_steps);
+    std::printf("  %.0f backward-Euler steps/sec\n", steps_per_sec);
+
+    std::printf("hydra_bench: suite wall time, 1 thread...\n");
+    const double wall_1 = suite_wall_seconds(cfg, 1);
+    std::printf("  %.3f s\n", wall_1);
+
+    double wall_n = wall_1;
+    if (threads > 1) {
+      std::printf("hydra_bench: suite wall time, %zu threads...\n", threads);
+      wall_n = suite_wall_seconds(cfg, threads);
+      std::printf("  %.3f s\n", wall_n);
+    }
+    const double speedup = wall_n > 0.0 ? wall_1 / wall_n : 1.0;
+    std::printf("  speedup at %zu threads: %.2fx\n", threads, speedup);
+
+    std::ofstream out(out_path);
+    if (!out) {
+      throw std::runtime_error("cannot open '" + out_path + "' for write");
+    }
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.key("solver_steps_per_second").value(steps_per_sec);
+    w.key("solver_steps_measured").value(solver_steps);
+    w.key("suite_policy").value("hyb");
+    w.key("suite_run_instructions")
+        .value(static_cast<unsigned long long>(cfg.run_instructions));
+    w.key("suite_wall_seconds_1_thread").value(wall_1);
+    w.key("suite_wall_seconds_n_threads").value(wall_n);
+    w.key("threads").value(threads);
+    w.key("speedup").value(speedup);
+    w.end_object();
+    out << '\n';
+    std::printf("hydra_bench: wrote %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hydra_bench: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -121,15 +121,16 @@ int main(int argc, char** argv) {
     const sim::PolicyKind kind = parse_policy(policy_name);
     sim::ExperimentRunner runner(cfg);
 
-    std::vector<sim::ExperimentResult> results;
+    std::vector<sim::PointSpec> points;
     if (bench == "all") {
       for (const auto& profile : workload::spec2000_hot_profiles()) {
-        results.push_back(runner.run(profile, kind, params, cfg));
+        points.push_back({profile, kind, params, cfg});
       }
     } else {
-      results.push_back(
-          runner.run(workload::spec2000_profile(bench), kind, params, cfg));
+      points.push_back({workload::spec2000_profile(bench), kind, params, cfg});
     }
+    const std::vector<sim::ExperimentResult> results =
+        runner.run_points(points);
 
     if (format == "json") {
       util::JsonWriter w(std::cout);
