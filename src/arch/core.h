@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "arch/activity.h"
@@ -153,8 +152,12 @@ class Core {
 
   int memory_latency_cycles_;
 
-  // Front end.
-  std::deque<FrontendOp> frontend_;
+  // Front end, as a fixed-capacity ring bounded by frontend_entries —
+  // the per-cycle fetch path must stay allocation-free (a deque here
+  // allocated a node every few pushes).
+  std::vector<FrontendOp> frontend_;
+  std::size_t frontend_head_ = 0;
+  std::size_t frontend_count_ = 0;
   bool fetch_halted_ = false;           ///< waiting on mispredict redirect
   std::int64_t redirect_cycle_ = -1;    ///< cycle fetch may resume (-1: unknown)
   std::int64_t icache_ready_cycle_ = 0; ///< fetch stalled until (miss)

@@ -5,10 +5,22 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace hydra::core {
 namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Sim-time DTM event on the current System's trace lane (no-op when
+/// tracing is off or no run is active on this thread).
+void guard_event(const char* name, double time_seconds, double sensor) {
+  obs::Tracer& tracer = obs::tracer();
+  const std::uint32_t lane = obs::SimLaneScope::current();
+  if (!tracer.enabled() || lane == obs::SimLaneScope::kNoLane) return;
+  tracer.instant(lane, obs::TimeDomain::kSim, "guard", name,
+                 time_seconds * 1e6, "sensor", sensor);
+}
 
 double median(std::vector<double>& xs) {
   const std::size_t mid = xs.size() / 2;
@@ -189,6 +201,11 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
       st.quarantined = true;
       st.recovery_count = 0;
       stats_.quarantine_entries += 1;
+      static const obs::Counter entries =
+          obs::metrics().counter("guard.quarantine_entries");
+      entries.add();
+      guard_event("quarantine_enter", sample.time_seconds,
+                  static_cast<double>(i));
     }
     const double med = neighbor_median(i, raw);
     if (std::isfinite(med)) {
@@ -206,6 +223,8 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
           st.smoothed_primed = false;
           st.backoff = std::min(st.backoff * 2, cfg_.backoff_max_factor);
           sanitized[i] = raw[i];
+          guard_event("quarantine_exit", sample.time_seconds,
+                      static_cast<double>(i));
         }
       } else {
         st.recovery_count = 0;
@@ -232,6 +251,11 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
     if (!failsafe_) {
       failsafe_ = true;
       stats_.failsafe_entries += 1;
+      static const obs::Counter entries =
+          obs::metrics().counter("guard.failsafe_entries");
+      entries.add();
+      guard_event("failsafe_engage", sample.time_seconds,
+                  static_cast<double>(quarantined));
     }
     failsafe_ok_count_ = 0;
   } else if (failsafe_) {
@@ -241,6 +265,8 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
       failsafe_ = false;
       failsafe_backoff_ =
           std::min(failsafe_backoff_ * 2, cfg_.backoff_max_factor);
+      guard_event("failsafe_release", sample.time_seconds,
+                  static_cast<double>(quarantined));
     }
   }
   if (failsafe_) stats_.failsafe_samples += 1;

@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace hydra::core {
+namespace {
+
+/// Escalation/release edge on the current System's sim lane.
+void hybrid_event(const char* name, double time_seconds, double from,
+                  double to) {
+  obs::Tracer& tracer = obs::tracer();
+  const std::uint32_t lane = obs::SimLaneScope::current();
+  if (!tracer.enabled() || lane == obs::SimLaneScope::kNoLane) return;
+  tracer.instant(lane, obs::TimeDomain::kSim, "policy", name,
+                 time_seconds * 1e6, "from", from, "to", to);
+}
+
+}  // namespace
 
 PiHybridPolicy::PiHybridPolicy(const power::DvsLadder& ladder,
                                DtmThresholds thresholds, HybridConfig cfg)
@@ -41,6 +56,11 @@ DtmCommand PiHybridPolicy::update(const ThermalSample& sample) {
       release_filter_.reset();
       cmd.fetch_gate_fraction = 0.0;
       cmd.dvs_level = ladder_.lowest_level();
+      static const obs::Counter escalations =
+          obs::metrics().counter("policy.dvs_escalations");
+      escalations.add();
+      hybrid_event("pi_hybrid_dvs_engage", sample.time_seconds, demand,
+                   static_cast<double>(cmd.dvs_level));
     } else {
       cmd.fetch_gate_fraction = gate;
     }
@@ -55,6 +75,8 @@ DtmCommand PiHybridPolicy::update(const ThermalSample& sample) {
       pi_.set_integrator(0.8 * cfg_.crossover_gate_fraction);
       release_filter_.reset();
       cmd.fetch_gate_fraction = pi_.update(error, dt);
+      hybrid_event("pi_hybrid_dvs_release", sample.time_seconds,
+                   sample.max_sensed, cmd.fetch_gate_fraction);
     } else {
       cmd.dvs_level = ladder_.lowest_level();
     }
@@ -77,6 +99,7 @@ void HybridPolicy::reset() {
 }
 
 DtmCommand HybridPolicy::update(const ThermalSample& sample) {
+  const int prev_level = level_;
   const double t1 = thresholds_.trigger_celsius;
   const double t2 = thresholds_.trigger_celsius + cfg_.dvs_threshold_offset;
 
@@ -112,6 +135,17 @@ DtmCommand HybridPolicy::update(const ThermalSample& sample) {
     }
   } else {
     release_filter_.reset();
+  }
+
+  if (level_ != prev_level) {
+    if (level_ == 2) {
+      static const obs::Counter escalations =
+          obs::metrics().counter("policy.dvs_escalations");
+      escalations.add();
+    }
+    hybrid_event("hybrid_level_change", sample.time_seconds,
+                 static_cast<double>(prev_level),
+                 static_cast<double>(level_));
   }
 
   DtmCommand cmd;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace hydra::fault {
 
 FaultInjector::FaultInjector(sensor::SensorBank& bank, FaultCampaign campaign,
@@ -55,6 +57,9 @@ void FaultInjector::sample_into(const std::vector<double>& truth, double t,
     } else {
       counters_.faulted_samples += 1;
       counters_.by_kind[static_cast<std::size_t>(active->kind)] += 1;
+      static const obs::Counter faulted =
+          obs::metrics().counter("fault.faulted_samples");
+      faulted.add();
       switch (active->kind) {
         case FaultKind::kStuckAt:
           out[i] = active->magnitude;

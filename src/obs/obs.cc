@@ -1,0 +1,27 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+
+#include "util/thread_pool.h"
+
+namespace hydra::obs {
+
+Observability& Observability::instance() {
+  static Observability obs;
+  // Name pool workers' trace lanes. Installed here (after `obs` is
+  // constructed, so the hook may safely call instance() from a worker)
+  // and only once; workers spawned before the first obs use keep their
+  // default "thread-N" lane names.
+  static const bool hook_installed = [] {
+    util::ThreadPool::set_worker_start_hook(+[](std::size_t index) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "pool-worker-%zu", index);
+      Observability::instance().tracer().set_thread_name(name);
+    });
+    return true;
+  }();
+  (void)hook_installed;
+  return obs;
+}
+
+}  // namespace hydra::obs

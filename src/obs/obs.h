@@ -1,0 +1,45 @@
+// Process-wide observability: one metrics registry + one event tracer.
+//
+// Everything is off by default — a build with obs compiled in but never
+// enabled behaves (and allocates) like a build without it; tools flip it
+// on for `--trace`/`--metrics` runs. Call sites cache their handles:
+//
+//   static const obs::Counter hits =
+//       obs::metrics().counter("run_cache.hits");
+//   hits.add();
+//
+//   obs::ScopedSpan span(obs::tracer(), "engine", "run", "crafty/Hyb");
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
+namespace hydra::obs {
+
+class Observability {
+ public:
+  static Observability& instance();
+
+  Registry& metrics() { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+
+  void enable_all() {
+    metrics_.set_enabled(true);
+    tracer_.set_enabled(true);
+  }
+  void disable_all() {
+    metrics_.set_enabled(false);
+    tracer_.set_enabled(false);
+  }
+
+ private:
+  Observability() = default;
+  Registry metrics_;
+  Tracer tracer_;
+};
+
+inline Registry& metrics() { return Observability::instance().metrics(); }
+inline Tracer& tracer() { return Observability::instance().tracer(); }
+
+}  // namespace hydra::obs

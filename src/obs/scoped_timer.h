@@ -1,0 +1,52 @@
+// RAII profiling hooks: wall-clock spans recorded on the current
+// thread's trace lane.
+//
+// A span costs one enabled-check when tracing is off. When on, it reads
+// the clock twice and appends one complete ('X') event on destruction,
+// so wrapping a phase or a pool job is safe anywhere outside the
+// per-cycle loop.
+#pragma once
+
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace hydra::obs {
+
+class ScopedSpan {
+ public:
+  /// `category`/`name` need static lifetime; `label` (optional dynamic
+  /// text, e.g. "crafty/Hyb") is copied into a fixed buffer. A tracer
+  /// disabled at construction makes the span a no-op even if tracing is
+  /// enabled before destruction (no half-open spans).
+  ScopedSpan(Tracer& tracer, const char* category, const char* name,
+             std::string_view label = {})
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        category_(category),
+        name_(name) {
+    if (tracer_ == nullptr) return;
+    const std::size_t n =
+        label.size() < sizeof(label_) ? label.size() : sizeof(label_) - 1;
+    for (std::size_t i = 0; i < n; ++i) label_[i] = label[i];
+    label_[n] = '\0';
+    start_us_ = tracer_->now_us();
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    tracer_->complete(category_, name_, label_, start_us_,
+                      tracer_->now_us() - start_us_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* category_;
+  const char* name_;
+  char label_[TraceEvent::kLabelSize] = {};
+  double start_us_ = 0.0;
+};
+
+}  // namespace hydra::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "floorplan/ev7.h"
+#include "obs/obs.h"
 #include "util/hash.h"
 #include "util/stats.h"
 
@@ -408,6 +409,10 @@ RunCache::Future ExperimentRunner::submit_baseline(
   const std::uint64_t key =
       run_point_key(profile, PolicyKind::kNone, PolicyParams{}, bcfg);
   return cache_.submit(key, *pool_, [profile, bcfg] {
+    // Per-job profiling span on this worker's wall-clock lane, so the
+    // trace shows pool occupancy per thread.
+    const obs::ScopedSpan span(obs::tracer(), "engine", "run",
+                               profile.name + "/baseline");
     System system(profile, bcfg, nullptr);
     return system.run();
   });
@@ -424,6 +429,8 @@ RunCache::Future ExperimentRunner::submit_run(
   }
   const std::uint64_t key = run_point_key(profile, kind, params, cfg);
   return cache_.submit(key, *pool_, [profile, kind, params, cfg] {
+    const obs::ScopedSpan span(obs::tracer(), "engine", "run",
+                               profile.name + "/" + policy_kind_name(kind));
     System system(profile, cfg, make_policy(kind, params, cfg));
     return system.run();
   });

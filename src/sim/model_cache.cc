@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "floorplan/ev7.h"
+#include "obs/obs.h"
 #include "util/hash.h"
 
 namespace hydra::sim {
@@ -34,9 +35,15 @@ std::shared_ptr<const SharedModel> ModelCache::get(const SimConfig& cfg) {
     throw std::invalid_argument("time_scale must be positive");
   }
   const std::uint64_t key = model_key(cfg);
+  static const obs::Counter hit_counter =
+      obs::metrics().counter("model_cache.hits");
+  static const obs::Counter miss_counter =
+      obs::metrics().counter("model_cache.misses");
   const std::scoped_lock lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    miss_counter.add();
+    const obs::ScopedSpan span(obs::tracer(), "engine", "build_model");
     auto shared = std::make_shared<SharedModel>();
     shared->fp = floorplan::ev7_floorplan();
     shared->model = thermal::build_thermal_model(shared->fp, cfg.package);
@@ -44,6 +51,8 @@ std::shared_ptr<const SharedModel> ModelCache::get(const SimConfig& cfg) {
     shared->lu_cache =
         std::make_shared<const thermal::LuCache>(shared->model.network);
     it = cache_.emplace(key, std::move(shared)).first;
+  } else {
+    hit_counter.add();
   }
   return it->second;
 }

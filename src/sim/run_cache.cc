@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace hydra::sim {
 
 RunCache::Future RunCache::submit(std::uint64_t key, util::ThreadPool& pool,
@@ -9,12 +11,18 @@ RunCache::Future RunCache::submit(std::uint64_t key, util::ThreadPool& pool,
   Future future;
   {
     const std::scoped_lock lock(mu_);
+    static const obs::Counter hit_counter =
+        obs::metrics().counter("run_cache.hits");
+    static const obs::Counter miss_counter =
+        obs::metrics().counter("run_cache.misses");
     auto it = runs_.find(key);
     if (it != runs_.end()) {
       ++stats_.hits;
+      hit_counter.add();
       return it->second;
     }
     ++stats_.misses;
+    miss_counter.add();
     auto promise = std::make_shared<std::promise<ResultPtr>>();
     future = promise->get_future().share();
     runs_.emplace(key, future);

@@ -4,12 +4,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "thermal/solver.h"
 
 namespace hydra::sim {
 namespace {
 
 constexpr double kEps = 1e-12;
+
+/// Simulated seconds -> trace microseconds (the sim time domain renders
+/// simulated time on Perfetto's microsecond axis).
+constexpr double kSimUs = 1e6;
+
+/// True when DTM events should be recorded: tracing is on and a System
+/// run opened a sim lane on this thread.
+inline bool sim_trace_on(const obs::Tracer& tracer, std::uint32_t lane) {
+  return tracer.enabled() && lane != obs::SimLaneScope::kNoLane;
+}
 
 double max_block_temp(const thermal::Vector& temps, std::size_t blocks) {
   double m = temps[0];
@@ -72,17 +83,19 @@ void System::initialize_thermal_state() {
 
   // Power <-> temperature fixed point (leakage depends on temperature).
   // The shared steady-state factorisation of G replaces a fresh LU per
-  // iteration; same matrix, so the result is bit-identical.
+  // iteration; same matrix, so the result is bit-identical. All scratch
+  // is preallocated member state so repeated run() calls do not allocate.
   const double ambient = cfg_.package.ambient_celsius;
-  thermal::Vector temps(model_.network.size(), ambient + 30.0);
+  init_temps_.assign(model_.network.size(), ambient + 30.0);
   const auto& nominal = ladder_.point(0);
   const thermal::LuFactorization& g_lu = shared_->lu_cache->steady();
   for (int iter = 0; iter < 10; ++iter) {
-    power_.block_power_into(frame, nominal.voltage, nominal.frequency, temps,
-                            watts_);
-    temps = thermal::steady_state(g_lu, model_.expand_power(watts_), ambient);
+    power_.block_power_into(frame, nominal.voltage, nominal.frequency,
+                            init_temps_, watts_);
+    model_.expand_power_into(watts_, expanded_);
+    thermal::steady_state_into(g_lu, expanded_, ambient, init_temps_);
   }
-  solver_.set_temperatures(temps);
+  solver_.set_temperatures(init_temps_);
 
   t_ = 0.0;
   next_sensor_t_ = sensor_period_;
@@ -94,6 +107,16 @@ void System::apply_dvs_level(std::size_t level) {
   dvs_level_ = level;
   freq_ = ladder_.point(level).frequency;
   core_.set_frequency(freq_);
+
+  obs::Tracer& tracer = obs::tracer();
+  if (sim_trace_on(tracer, sim_lane_)) {
+    const double ts = t_ * kSimUs;
+    tracer.instant(sim_lane_, obs::TimeDomain::kSim, "dtm",
+                   "dvs_level_applied", ts, "level",
+                   static_cast<double>(level), "freq_ghz", freq_ / 1e9);
+    tracer.counter(sim_lane_, obs::TimeDomain::kSim, "frequency_ghz", ts,
+                   freq_ / 1e9);
+  }
 }
 
 void System::sensor_event(bool measure) {
@@ -109,6 +132,10 @@ void System::sensor_event(bool measure) {
     sample_.time_seconds = t_;
     const core::DtmCommand cmd = policy_->update(sample_);
 
+    const double prev_gate = gate_fraction_;
+    const double prev_issue = issue_gate_fraction_;
+    const bool prev_clock_req = clock_gate_requested_;
+
     gate_fraction_ = cmd.fetch_gate_fraction;
     core_.set_fetch_gate_fraction(gate_fraction_);
     issue_gate_fraction_ = cmd.issue_gate_fraction;
@@ -122,6 +149,7 @@ void System::sensor_event(bool measure) {
       clock_gate_on_ = false;
     }
 
+    bool transition_started = false;
     if (!transition_active_ && cmd.dvs_level != dvs_level_) {
       if (cmd.dvs_level >= ladder_.size()) {
         throw std::out_of_range("policy requested DVS level beyond ladder");
@@ -129,7 +157,56 @@ void System::sensor_event(bool measure) {
       pending_level_ = cmd.dvs_level;
       transition_active_ = true;
       transition_end_t_ = t_ + switch_time_;
+      transition_started = true;
       if (measure) ++acc_.transitions;
+      static const obs::Counter dvs_transitions =
+          obs::metrics().counter("dtm.dvs_transitions");
+      dvs_transitions.add();
+    }
+
+    obs::Tracer& tracer = obs::tracer();
+    if (sim_trace_on(tracer, sim_lane_)) {
+      const double ts = t_ * kSimUs;
+      if (gate_fraction_ != prev_gate) {
+        tracer.counter(sim_lane_, obs::TimeDomain::kSim, "fetch_gate_duty",
+                       ts, gate_fraction_);
+      }
+      if (issue_gate_fraction_ != prev_issue) {
+        tracer.counter(sim_lane_, obs::TimeDomain::kSim, "issue_gate_duty",
+                       ts, issue_gate_fraction_);
+      }
+      if (clock_gate_requested_ != prev_clock_req) {
+        tracer.instant(sim_lane_, obs::TimeDomain::kSim, "dtm",
+                       clock_gate_requested_ ? "clock_gate_request"
+                                             : "clock_gate_release",
+                       ts);
+      }
+      if (transition_started) {
+        tracer.instant(sim_lane_, obs::TimeDomain::kSim, "dtm",
+                       "dvs_transition_start", ts, "from_level",
+                       static_cast<double>(dvs_level_), "to_level",
+                       static_cast<double>(pending_level_));
+      }
+    }
+
+    // Policy engage/disengage edges: "engaged" means any actuation is in
+    // effect (throttling, clock gating, or a non-nominal/changing DVS
+    // operating point).
+    const bool engaged = gate_fraction_ > 0.0 || issue_gate_fraction_ > 0.0 ||
+                         clock_gate_requested_ || transition_active_ ||
+                         dvs_level_ != 0;
+    if (engaged != policy_engaged_) {
+      policy_engaged_ = engaged;
+      if (engaged) {
+        static const obs::Counter engagements =
+            obs::metrics().counter("dtm.policy_engagements");
+        engagements.add();
+      }
+      if (sim_trace_on(tracer, sim_lane_)) {
+        tracer.instant(sim_lane_, obs::TimeDomain::kSim, "dtm",
+                       engaged ? "policy_engage" : "policy_disengage",
+                       t_ * kSimUs, "max_sensed", sample_.max_sensed);
+      }
     }
   }
   next_sensor_t_ += sensor_period_;
@@ -148,6 +225,35 @@ void System::thermal_and_power_step(bool measure) {
   const double max_true = max_block_temp(temps, floorplan::kNumBlocks);
   double total_watts = 0.0;
   for (double w : watts_) total_watts += w;
+
+  static const obs::Histogram tmax_hist = obs::metrics().histogram(
+      "system.step_tmax_celsius",
+      {50.0, 60.0, 70.0, 75.0, 80.0, 81.8, 85.0, 90.0, 100.0});
+  tmax_hist.record(max_true);
+
+  obs::Tracer& tracer = obs::tracer();
+  if (sim_trace_on(tracer, sim_lane_)) {
+    const double ts = t_ * kSimUs;
+    tracer.counter(sim_lane_, obs::TimeDomain::kSim, "Tmax_celsius", ts,
+                   max_true);
+    tracer.counter(sim_lane_, obs::TimeDomain::kSim, "power_watts", ts,
+                   total_watts);
+  }
+  const bool emergency = max_true > cfg_.thresholds.emergency_celsius;
+  if (emergency != in_emergency_) {
+    in_emergency_ = emergency;
+    if (emergency) {
+      static const obs::Counter crossings =
+          obs::metrics().counter("dtm.emergency_crossings");
+      crossings.add();
+    }
+    if (sim_trace_on(tracer, sim_lane_)) {
+      tracer.instant(sim_lane_, obs::TimeDomain::kSim, "thermal",
+                     emergency ? "thermal_emergency_begin"
+                               : "thermal_emergency_end",
+                     t_ * kSimUs, "max_true", max_true);
+    }
+  }
 
   if (measure) {
     if (max_true > cfg_.thresholds.emergency_celsius) acc_.violation += dt;
@@ -195,13 +301,15 @@ double System::next_event_time() const {
   return next_event;
 }
 
-void System::advance_until(std::uint64_t target_committed, bool measure) {
+void System::advance_until(std::uint64_t target_committed, bool measure,
+                           bool run_out_interval) {
   // The next scheduled event and the applied clock are loop invariants
   // between event firings, so both are hoisted out of the per-chunk loop:
   // next_event is recomputed only after a handler fires and freq_ is a
   // member updated by apply_dvs_level.
   double next_event = next_event_time();
-  while (core_.committed() < target_committed) {
+  while (core_.committed() < target_committed ||
+         (run_out_interval && interval_cycles_ > 0)) {
     long long cycles_to_event =
         static_cast<long long>(std::ceil((next_event - t_) * freq_));
     if (cycles_to_event < 1) cycles_to_event = 1;
@@ -259,22 +367,48 @@ void System::warmup() {
 }
 
 RunResult System::run() {
-  initialize_thermal_state();
-  warmup();
-  // Flush any partially accumulated thermal interval so the measured
-  // window starts on an interval boundary (otherwise the first measured
-  // step integrates pre-measurement time and fractions can exceed 1).
-  if (interval_cycles_ > 0) thermal_and_power_step(false);
+  obs::Tracer& tracer = obs::tracer();
+  if (tracer.enabled()) {
+    sim_lane_ = tracer.new_lane(
+        benchmark_name_ + "/" +
+            (policy_ ? std::string(policy_->name()) : "baseline"),
+        obs::TimeDomain::kSim);
+  }
+  // Publish this run's sim lane thread-locally so deep layers (policies,
+  // the fault injector) can emit sim-time events without plumbing.
+  const obs::SimLaneScope sim_scope(sim_lane_);
 
-  acc_ = Accum{};
-  acc_.block_temp_weighted.assign(floorplan::kNumBlocks, 0.0);
+  {
+    const obs::ScopedSpan span(tracer, "system", "init_thermal",
+                               benchmark_name_);
+    initialize_thermal_state();
+  }
+  {
+    const obs::ScopedSpan span(tracer, "system", "warmup", benchmark_name_);
+    warmup();
+    // Warm-up stops at an instruction count, generally mid-interval; run
+    // the remainder of that thermal interval (still unmeasured) so the
+    // measured window starts on an interval boundary (otherwise the
+    // first measured step integrates pre-measurement time and fractions
+    // can exceed 1). Running to the boundary rather than flushing a
+    // partial-length step keeps the backward-Euler dt set bounded, so
+    // repeated run() calls stay allocation-free.
+    if (interval_cycles_ > 0) {
+      advance_until(core_.committed(), false, /*run_out_interval=*/true);
+    }
+  }
+
+  acc_.reset();
   acc_.start_committed = core_.committed();
   acc_.start_cycles = core_.cycles();
   // Campaign times are relative to the measured window: arm the injector
   // now that warm-up is done.
   if (injector_) injector_->set_origin(t_);
 
-  advance_until(acc_.start_committed + cfg_.run_instructions, true);
+  {
+    const obs::ScopedSpan span(tracer, "system", "measure", benchmark_name_);
+    advance_until(acc_.start_committed + cfg_.run_instructions, true);
+  }
 
   RunResult r;
   r.benchmark = benchmark_name_;

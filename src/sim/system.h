@@ -19,6 +19,7 @@
 #include "core/guarded_policy.h"
 #include "fault/fault_injector.h"
 #include "floorplan/floorplan.h"
+#include "obs/trace.h"
 #include "power/power_model.h"
 #include "power/voltage_freq.h"
 #include "sensor/sensor.h"
@@ -99,8 +100,12 @@ class System {
  private:
   void initialize_thermal_state();
   void warmup();
-  /// Advance until `target_committed` instructions have committed.
-  void advance_until(std::uint64_t target_committed, bool measure);
+  /// Advance until `target_committed` instructions have committed. With
+  /// `run_out_interval`, additionally continue to the next thermal
+  /// interval boundary (used after warm-up: stepping the solver with a
+  /// partial-interval dt would factorise a fresh LU nearly every run).
+  void advance_until(std::uint64_t target_committed, bool measure,
+                     bool run_out_interval = false);
   void thermal_and_power_step(bool measure);
   void sensor_event(bool measure);
   void apply_dvs_level(std::size_t level);
@@ -167,6 +172,18 @@ class System {
     std::size_t transitions = 0;
     std::uint64_t start_committed = 0;
     std::uint64_t start_cycles = 0;
+
+    /// Zero in place, keeping block_temp_weighted's storage (run() may
+    /// be called repeatedly and must not allocate after the first call).
+    void reset() {
+      wall = violation = above_trigger = gate_weighted = 0.0;
+      issue_gate_weighted = dvs_low = clock_gated = failsafe = 0.0;
+      fault_window = fault_violation = energy = max_true = 0.0;
+      for (double& v : block_temp_weighted) v = 0.0;
+      transitions = 0;
+      start_committed = 0;
+      start_cycles = 0;
+    }
   } acc_;
 
   std::function<void(const StepTrace&)> trace_cb_;
@@ -177,6 +194,12 @@ class System {
   std::vector<double> watts_;       ///< per-block power
   thermal::Vector expanded_;        ///< per-node power
   core::ThermalSample sample_;      ///< reused sensor-event sample
+  thermal::Vector init_temps_;      ///< steady-state fixed-point scratch
+
+  // Observability (all dormant unless tracing/metrics are enabled).
+  std::uint32_t sim_lane_ = obs::SimLaneScope::kNoLane;
+  bool policy_engaged_ = false;   ///< last reported actuation state
+  bool in_emergency_ = false;     ///< last reported T > emergency state
 };
 
 }  // namespace hydra::sim

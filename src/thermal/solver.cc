@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace hydra::thermal {
 
 Vector steady_state(const RcNetwork& net, const Vector& power,
@@ -25,6 +27,15 @@ Vector steady_state(const LuFactorization& g_lu, const Vector& power,
   return rise;
 }
 
+void steady_state_into(const LuFactorization& g_lu, const Vector& power,
+                       double ambient_celsius, Vector& out) {
+  if (power.size() != g_lu.size()) {
+    throw std::invalid_argument("power vector size mismatch");
+  }
+  g_lu.solve_into(power, out);
+  for (double& t : out) t += ambient_celsius;
+}
+
 LuCache::LuCache(const RcNetwork& net)
     : g_(net.conductance_matrix()), capacitance_(net.size()) {
   for (std::size_t i = 0; i < capacitance_.size(); ++i) {
@@ -35,6 +46,11 @@ LuCache::LuCache(const RcNetwork& net)
 const LuFactorization& LuCache::steady() const {
   const std::scoped_lock lock(mu_);
   if (!steady_lu_) {
+    static const obs::Counter factorizations =
+        obs::metrics().counter("thermal.lu_factorizations");
+    factorizations.add();
+    const obs::ScopedSpan span(obs::tracer(), "thermal", "lu_factorize",
+                               "steady");
     steady_lu_ = std::make_unique<LuFactorization>(g_);
   }
   return *steady_lu_;
@@ -44,6 +60,11 @@ const LuFactorization& LuCache::backward_euler(double dt) const {
   const std::scoped_lock lock(mu_);
   auto it = be_cache_.find(dt);
   if (it == be_cache_.end()) {
+    static const obs::Counter factorizations =
+        obs::metrics().counter("thermal.lu_factorizations");
+    factorizations.add();
+    const obs::ScopedSpan span(obs::tracer(), "thermal", "lu_factorize",
+                               "backward_euler");
     Matrix a = g_;
     for (std::size_t i = 0; i < capacitance_.size(); ++i) {
       a(i, i) += capacitance_[i] / dt;
@@ -100,6 +121,9 @@ void TransientSolver::step(const Vector& power, double dt) {
 }
 
 void TransientSolver::step_backward_euler(const Vector& power, double dt) {
+  static const obs::Counter be_steps =
+      obs::metrics().counter("thermal.be_steps");
+  be_steps.add();
   const std::size_t n = net_->size();
   // Round dt to 3 significant figures so DVS-induced variation in the
   // wall-clock length of a 10k-cycle interval maps onto a bounded set of

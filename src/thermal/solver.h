@@ -22,6 +22,11 @@ Vector steady_state(const RcNetwork& net, const Vector& power,
 Vector steady_state(const LuFactorization& g_lu, const Vector& power,
                     double ambient_celsius);
 
+/// Allocation-free variant: writes the solution into `out` (resized on
+/// first use, reused afterwards). `out` must not alias `power`.
+void steady_state_into(const LuFactorization& g_lu, const Vector& power,
+                       double ambient_celsius, Vector& out);
+
 /// Integration scheme for the transient solver.
 enum class Scheme {
   kBackwardEuler,  ///< unconditionally stable; LU cached per time step

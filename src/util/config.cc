@@ -56,13 +56,17 @@ Config Config::from_string(std::string_view text) {
 Config Config::from_args(const std::vector<std::string>& args) {
   Config cfg;
   for (const auto& arg : args) {
-    const std::size_t eq = arg.find('=');
-    if (eq == std::string::npos || eq == 0) {
+    // GNU-style leading dashes are cosmetic: --trace=out.json and
+    // trace=out.json set the same key.
+    std::string_view a = arg;
+    while (!a.empty() && a.front() == '-') a.remove_prefix(1);
+    const std::size_t eq = a.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
       throw std::invalid_argument("expected key=value argument, got '" + arg +
                                   "'");
     }
-    cfg.set(std::string(trim(std::string_view(arg).substr(0, eq))),
-            std::string(trim(std::string_view(arg).substr(eq + 1))));
+    cfg.set(std::string(trim(a.substr(0, eq))),
+            std::string(trim(a.substr(eq + 1))));
   }
   return cfg;
 }

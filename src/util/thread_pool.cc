@@ -4,6 +4,14 @@
 
 namespace hydra::util {
 
+namespace {
+std::atomic<void (*)(std::size_t)> g_worker_start_hook{nullptr};
+}  // namespace
+
+void ThreadPool::set_worker_start_hook(void (*hook)(std::size_t)) {
+  g_worker_start_hook.store(hook, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   queues_.reserve(threads);
@@ -63,6 +71,9 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& job) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  if (auto* hook = g_worker_start_hook.load(std::memory_order_acquire)) {
+    hook(self);
+  }
   while (true) {
     std::function<void()> job;
     if (try_pop(self, job)) {

@@ -60,6 +60,13 @@ class ThreadPool {
   /// The width HYDRA_THREADS requests (>= 1), without creating the pool.
   static std::size_t configured_width();
 
+  /// Process-wide hook run by each worker thread as it starts, with the
+  /// worker's index. Installed by the observability layer to name trace
+  /// lanes; util itself stays observability-free. Workers spawned before
+  /// the hook is installed never see it, so install it before the first
+  /// ThreadPool is created (obs does this on first use).
+  static void set_worker_start_hook(void (*hook)(std::size_t));
+
  private:
   struct Queue {
     std::mutex mu;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/experiment.h"
 #include "sim/model_cache.h"
 #include "util/thread_pool.h"
@@ -184,6 +185,42 @@ TEST(EngineModelCache, OneModelPerPackage) {
   SimConfig bad = a;
   bad.time_scale = 0.0;
   EXPECT_THROW(cache.get(bad), std::invalid_argument);
+}
+
+// Observability is strictly read-only: enabling tracing + metrics must
+// not perturb a single bit of the sweep results (fresh runners on both
+// sides so memoization cannot mask a divergence).
+TEST(EngineObservability, TracingDoesNotChangeResults) {
+  const SimConfig cfg = short_config();
+  std::vector<PointSpec> points;
+  for (const char* bench : {"gzip", "crafty"}) {
+    points.push_back(
+        {workload::spec2000_profile(bench), PolicyKind::kHybrid, {}, cfg});
+    points.push_back(
+        {workload::spec2000_profile(bench), PolicyKind::kDvs, {}, cfg});
+  }
+
+  obs::Observability::instance().disable_all();
+  ExperimentRunner plain_runner(cfg);
+  const std::vector<ExperimentResult> plain = plain_runner.run_points(points);
+
+  obs::Observability::instance().enable_all();
+  ExperimentRunner traced_runner(cfg);
+  const std::vector<ExperimentResult> traced =
+      traced_runner.run_points(points);
+  obs::Observability::instance().disable_all();
+
+  // The traced sweep actually recorded something (per-run spans at
+  // minimum, DTM events for the throttling policies).
+  EXPECT_GT(obs::tracer().size(), 0u);
+  obs::tracer().clear();
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].slowdown, traced[i].slowdown);
+    expect_identical(plain[i].dtm, traced[i].dtm);
+    expect_identical(plain[i].baseline, traced[i].baseline);
+  }
 }
 
 }  // namespace

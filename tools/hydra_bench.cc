@@ -10,6 +10,12 @@
 //     a 1-thread pool vs an N-thread pool, and the resulting speedup.
 //     Both runs produce bit-identical results; only wall time differs.
 //
+// It also asserts the engine's allocation contracts by counting heap
+// allocations through a global operator-new override: the warmed
+// per-step solver path and a repeated System::run() must both be
+// allocation-free (solver_allocs_per_step / system_allocs_per_run in the
+// JSON, gated at exactly zero by scripts/bench_gate.py).
+//
 // Usage:
 //   hydra_bench [out=BENCH_engine.json] [threads=N] [solver_steps=K]
 //               [run_instructions=I] [warmup_instructions=W]
@@ -17,19 +23,40 @@
 // `threads` defaults to the HYDRA_THREADS width (hardware concurrency).
 // The suite runs are shortened by default so the tool doubles as a CI
 // smoke benchmark; pass larger run_instructions for real measurements.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.h"
 #include "sim/model_cache.h"
+#include "sim/system.h"
 #include "thermal/solver.h"
 #include "util/config.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
+#include "workload/spec_profiles.h"
+
+// Global allocation counter backing the allocation-contract measurements.
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace hydra;
 
@@ -41,8 +68,14 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Backward-Euler steps/second on the shared thermal model.
-double solver_steps_per_second(const sim::SimConfig& cfg, long long steps) {
+struct SolverBench {
+  double steps_per_second = 0.0;
+  std::uint64_t allocs = 0;  ///< during the measured loop (contract: 0)
+};
+
+/// Backward-Euler steps/second on the shared thermal model, plus heap
+/// allocations over the measured loop (the warmed path must make none).
+SolverBench solver_throughput(const sim::SimConfig& cfg, long long steps) {
   const auto shared = sim::ModelCache::global().get(cfg);
   thermal::TransientSolver solver(shared->model.network,
                                   cfg.package.ambient_celsius,
@@ -54,15 +87,42 @@ double solver_steps_per_second(const sim::SimConfig& cfg, long long steps) {
   const double dt = 1e-4;
   // Warm the dt memo (first step factorises the LU for this dt).
   solver.step(power, dt);
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
   for (long long i = 0; i < steps; ++i) solver.step(power, dt);
   const double elapsed = seconds_since(start);
-  return elapsed > 0.0 ? static_cast<double>(steps) / elapsed : 0.0;
+  SolverBench result;
+  result.steps_per_second =
+      elapsed > 0.0 ? static_cast<double>(steps) / elapsed : 0.0;
+  result.allocs = g_heap_allocs.load(std::memory_order_relaxed) -
+                  allocs_before;
+  return result;
 }
+
+/// Heap allocations of a repeated System::run() after one warm run. The
+/// engine's contract is zero: scratch buffers, accumulators and the
+/// thermal fixed-point all reuse member storage.
+std::uint64_t system_allocs_per_run(sim::SimConfig cfg) {
+  cfg.run_instructions =
+      std::min<std::uint64_t>(cfg.run_instructions, 120'000);
+  cfg.warmup_instructions =
+      std::min<std::uint64_t>(cfg.warmup_instructions, 40'000);
+  sim::System system(workload::spec2000_profile("gzip"), cfg, nullptr);
+  system.run();  // warm: one-time allocations
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  system.run();
+  return g_heap_allocs.load(std::memory_order_relaxed) - before;
+}
+
+struct SuiteBench {
+  double wall_seconds = 0.0;
+  sim::RunCache::Stats cache;
+};
 
 /// Wall time of a hybrid-DTM suite on a pool of the given width. A fresh
 /// runner (fresh caches) per call keeps the comparison fair.
-double suite_wall_seconds(const sim::SimConfig& cfg, std::size_t width) {
+SuiteBench suite_wall_seconds(const sim::SimConfig& cfg, std::size_t width) {
   util::ThreadPool pool(width);
   sim::ExperimentRunner runner(cfg, &pool);
   const auto start = std::chrono::steady_clock::now();
@@ -72,7 +132,7 @@ double suite_wall_seconds(const sim::SimConfig& cfg, std::size_t width) {
   if (suite.per_benchmark.empty()) {
     throw std::runtime_error("suite produced no results");
   }
-  return elapsed;
+  return {elapsed, runner.cache_stats()};
 }
 
 }  // namespace
@@ -102,19 +162,28 @@ int main(int argc, char** argv) {
 
     std::printf("hydra_bench: solver throughput (%lld steps)...\n",
                 solver_steps);
-    const double steps_per_sec = solver_steps_per_second(cfg, solver_steps);
-    std::printf("  %.0f backward-Euler steps/sec\n", steps_per_sec);
+    const SolverBench solver = solver_throughput(cfg, solver_steps);
+    std::printf("  %.0f backward-Euler steps/sec, %llu allocs\n",
+                solver.steps_per_second,
+                static_cast<unsigned long long>(solver.allocs));
+
+    std::printf("hydra_bench: repeated System::run() allocations...\n");
+    const std::uint64_t system_allocs = system_allocs_per_run(cfg);
+    std::printf("  %llu allocs\n",
+                static_cast<unsigned long long>(system_allocs));
 
     std::printf("hydra_bench: suite wall time, 1 thread...\n");
-    const double wall_1 = suite_wall_seconds(cfg, 1);
+    const SuiteBench suite_1 = suite_wall_seconds(cfg, 1);
+    const double wall_1 = suite_1.wall_seconds;
     std::printf("  %.3f s\n", wall_1);
 
-    double wall_n = wall_1;
+    SuiteBench suite_n = suite_1;
     if (threads > 1) {
       std::printf("hydra_bench: suite wall time, %zu threads...\n", threads);
-      wall_n = suite_wall_seconds(cfg, threads);
-      std::printf("  %.3f s\n", wall_n);
+      suite_n = suite_wall_seconds(cfg, threads);
+      std::printf("  %.3f s\n", suite_n.wall_seconds);
     }
+    const double wall_n = suite_n.wall_seconds;
     const double speedup = wall_n > 0.0 ? wall_1 / wall_n : 1.0;
     std::printf("  speedup at %zu threads: %.2fx\n", threads, speedup);
 
@@ -124,8 +193,14 @@ int main(int argc, char** argv) {
     }
     util::JsonWriter w(out);
     w.begin_object();
-    w.key("solver_steps_per_second").value(steps_per_sec);
+    w.key("solver_steps_per_second").value(solver.steps_per_second);
     w.key("solver_steps_measured").value(solver_steps);
+    w.key("solver_allocs_per_step")
+        .value(static_cast<double>(solver.allocs) /
+               static_cast<double>(std::max<long long>(solver_steps, 1)));
+    w.key("system_allocs_per_run").value(system_allocs);
+    w.key("suite_cache_hits").value(suite_n.cache.hits);
+    w.key("suite_cache_misses").value(suite_n.cache.misses);
     w.key("suite_policy").value("hyb");
     w.key("suite_run_instructions")
         .value(static_cast<unsigned long long>(cfg.run_instructions));

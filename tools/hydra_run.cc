@@ -23,12 +23,23 @@
 //                   times are relative to the measured window
 //   guard         true|false — wrap the policy in the fail-safe
 //                 sensor-fault supervisor (default false)
+//
+// Observability outputs (any of these enables tracing + metrics for the
+// whole run; keys may be spelled with dashes or underscores, and a
+// leading `--` is accepted, so `--trace=out.json` works):
+//   trace         Chrome trace-event JSON (chrome://tracing, Perfetto)
+//   trace_csv     the same events as flat CSV
+//   metrics       metrics registry scrape as CSV (kind,name,field,value)
+//   summary_json  machine-readable run summary: results + engine cache
+//                 stats + merged metrics (consumed by CI's bench gate)
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "fault/fault_campaign.h"
 
+#include "obs/obs.h"
 #include "sim/experiment.h"
 #include "util/config.h"
 #include "util/json.h"
@@ -79,6 +90,42 @@ void emit_json(util::JsonWriter& w, const sim::ExperimentResult& r) {
   w.end_object();
 }
 
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for write");
+  return out;
+}
+
+/// Machine-readable run summary: per-point results plus engine-level
+/// cache statistics, trace volume and the merged metrics scrape.
+void emit_summary(std::ostream& os,
+                  const std::vector<sim::ExperimentResult>& results,
+                  const sim::RunCache::Stats& cache) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("results").begin_array();
+  for (const auto& r : results) emit_json(w, r);
+  w.end_array();
+  w.key("run_cache").begin_object();
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.end_object();
+  w.key("trace_events").value(obs::tracer().size());
+  const obs::MetricsSnapshot snap = obs::metrics().scrape();
+  w.key("counters").begin_object();
+  for (const auto& [name, count] : snap.counters) {
+    w.key(name).value(count);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snap.gauges) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +164,18 @@ int main(int argc, char** argv) {
         cfg_args.get_double("crossover",
                             params.hybrid.crossover_gate_fraction);
     params.guarded = cfg_args.get_bool("guard", false);
+
+    const std::string trace_path = cfg_args.get_string("trace", "");
+    const std::string trace_csv_path = cfg_args.get_string(
+        "trace_csv", cfg_args.get_string("trace-csv", ""));
+    const std::string metrics_path = cfg_args.get_string("metrics", "");
+    const std::string summary_path = cfg_args.get_string(
+        "summary_json", cfg_args.get_string("summary-json", ""));
+    const bool observe = !trace_path.empty() || !trace_csv_path.empty() ||
+                         !metrics_path.empty() || !summary_path.empty();
+    // Enable before the runner spawns its pool so workers register their
+    // named trace lanes on startup.
+    if (observe) obs::Observability::instance().enable_all();
 
     const sim::PolicyKind kind = parse_policy(policy_name);
     sim::ExperimentRunner runner(cfg);
@@ -170,6 +229,23 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     } else {
       throw std::invalid_argument("unknown format '" + format + "'");
+    }
+
+    if (!trace_path.empty()) {
+      auto out = open_or_throw(trace_path);
+      obs::tracer().write_chrome_json(out);
+    }
+    if (!trace_csv_path.empty()) {
+      auto out = open_or_throw(trace_csv_path);
+      obs::tracer().write_csv(out);
+    }
+    if (!metrics_path.empty()) {
+      auto out = open_or_throw(metrics_path);
+      obs::metrics().write_csv(out);
+    }
+    if (!summary_path.empty()) {
+      auto out = open_or_throw(summary_path);
+      emit_summary(out, results, runner.cache_stats());
     }
     return 0;
   } catch (const std::exception& e) {
