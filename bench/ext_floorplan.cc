@@ -15,6 +15,7 @@
 #include "floorplan/ev7.h"
 #include "power/power_model.h"
 #include "thermal/model_builder.h"
+#include "util/units.h"
 #include "thermal/solver.h"
 
 using namespace hydra;
@@ -46,12 +47,13 @@ int main() {
     const auto model = thermal::build_thermal_model(reference, pkg);
     temps.assign(model.network.size(), 80.0);
     for (int i = 0; i < 10; ++i) {
-      const auto watts = pm.block_power(frame, 1.3, 3.0e9, temps);
+      const auto watts = pm.block_power(frame, util::Volts(1.3), util::Hertz(3.0e9), temps);
       temps = thermal::steady_state(model.network,
-                                    model.expand_power(watts), 45.0);
+                                    model.expand_power(watts),
+                                    util::Celsius(45.0));
     }
   }
-  const std::vector<double> watts = pm.block_power(frame, 1.3, 3.0e9, temps);
+  const std::vector<double> watts = pm.block_power(frame, util::Volts(1.3), util::Hertz(3.0e9), temps);
   double l2_watts = 0.0;
   for (std::size_t i = 0; i < 3; ++i) l2_watts += watts[i];
 

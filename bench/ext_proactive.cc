@@ -28,7 +28,7 @@ int main() {
   specs.push_back({sim::PolicyKind::kHybrid, {}, cfg});
   for (double horizon_us : horizons_us) {
     sim::PolicyParams params;
-    params.proactive.horizon_seconds = horizon_us * 1e-6;
+    params.proactive.horizon = util::Seconds(horizon_us * 1e-6);
     specs.push_back({sim::PolicyKind::kProactiveHybrid, params, cfg});
   }
   const std::vector<sim::SuiteResult> suites = runner.run_suites(specs);

@@ -17,6 +17,7 @@
 #include "sensor/sensor.h"
 #include "sim/experiment.h"
 #include "thermal/model_builder.h"
+#include "util/units.h"
 #include "thermal/solver.h"
 #include "util/thread_pool.h"
 #include "workload/spec_profiles.h"
@@ -26,16 +27,31 @@
 // counter — the engine's contract is that it stays at zero).
 static std::atomic<std::uint64_t> g_heap_allocs{0};
 
-void* operator new(std::size_t size) {
+// noinline: when GCC inlines these replacement operators it sees the
+// underlying malloc/free pair through new/delete expressions and emits
+// spurious -Wmismatched-new-delete at every call site.
+__attribute__((noinline)) void* operator new(std::size_t size) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -66,14 +82,14 @@ BENCHMARK(BM_CoreCycle);
 void BM_ThermalBackwardEulerStep(benchmark::State& state) {
   const auto fp = floorplan::ev7_floorplan();
   const auto model = thermal::build_thermal_model(fp, thermal::Package{});
-  thermal::TransientSolver solver(model.network, 45.0);
+  thermal::TransientSolver solver(model.network, util::Celsius(45.0));
   thermal::Vector power(model.network.size(), 0.0);
   for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
-  solver.step(power, 3.3e-6);  // warm: factorise the LU for this dt
+  solver.step(power, util::Seconds(3.3e-6));  // warm: factorise the LU for this dt
   const std::uint64_t allocs_before =
       g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
-    solver.step(power, 3.3e-6);
+    solver.step(power, util::Seconds(3.3e-6));
   }
   const std::uint64_t allocs =
       g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
@@ -88,11 +104,12 @@ BENCHMARK(BM_ThermalBackwardEulerStep);
 void BM_ThermalRk4Step(benchmark::State& state) {
   const auto fp = floorplan::ev7_floorplan();
   const auto model = thermal::build_thermal_model(fp, thermal::Package{});
-  thermal::TransientSolver solver(model.network, 45.0, thermal::Scheme::kRk4);
+  thermal::TransientSolver solver(model.network, util::Celsius(45.0),
+                                  thermal::Scheme::kRk4);
   thermal::Vector power(model.network.size(), 0.0);
   for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
   for (auto _ : state) {
-    solver.step(power, 3.3e-6);
+    solver.step(power, util::Seconds(3.3e-6));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -105,7 +122,7 @@ void BM_SteadyStateSolve(benchmark::State& state) {
   for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        thermal::steady_state(model.network, power, 45.0));
+        thermal::steady_state(model.network, power, util::Celsius(45.0)));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -122,7 +139,7 @@ void BM_PowerEvaluation(benchmark::State& state) {
   }
   const std::vector<double> temps(floorplan::kNumBlocks, 83.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pm.block_power(frame, 1.3, 3.0e9, temps));
+    benchmark::DoNotOptimize(pm.block_power(frame, util::Volts(1.3), util::Hertz(3.0e9), temps));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -50,11 +50,11 @@ int main() {
     }
     if (violating == 0) best_safe = std::max(best_safe, frac);
     const auto& low = ladder.point(ladder.lowest_level());
-    table.row({fmt(frac, 3), fmt(low.voltage, 3),
-               fmt(low.frequency / 1e9, 2), fmt(suite.mean_slowdown),
+    table.row({fmt(frac, 3), fmt(low.voltage.value(), 3),
+               fmt(low.frequency.value() / 1e9, 2), fmt(suite.mean_slowdown),
                std::to_string(violating) + "/9",
                util::AsciiTable::percent(worst, 2)});
-    csv.row({fmt(frac, 3), fmt(low.voltage, 4), fmt(low.frequency / 1e9, 4),
+    csv.row({fmt(frac, 3), fmt(low.voltage.value(), 4), fmt(low.frequency.value() / 1e9, 4),
              fmt(suite.mean_slowdown, 5), std::to_string(violating),
              fmt(worst, 5)});
     std::fflush(stdout);

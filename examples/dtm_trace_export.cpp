@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     system.set_trace_callback([&](const sim::StepTrace& st) {
       if (counter++ % stride != 0) return;
       csv.row_numeric({st.time_seconds * 1e6, st.max_true_celsius,
-                       st.voltage, st.frequency / 1e9, st.gate_fraction,
+                       st.voltage.value(), st.frequency.value() / 1e9, st.gate_fraction,
                        st.clock_gated ? 1.0 : 0.0, st.power_watts,
                        static_cast<double>(st.committed)});
       ++rows;

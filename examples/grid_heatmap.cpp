@@ -15,6 +15,7 @@
 #include "floorplan/ev7.h"
 #include "power/power_model.h"
 #include "thermal/grid_model.h"
+#include "util/units.h"
 #include "thermal/solver.h"
 #include "util/config.h"
 #include "workload/spec_profiles.h"
@@ -58,9 +59,11 @@ int main(int argc, char** argv) {
     std::vector<double> watts;
     for (int it = 0; it < 10; ++it) {
       const thermal::Vector block_t = grid.block_temperatures(node_t);
-      watts = pm.block_power(frame, 1.3, 3.0e9, block_t);
+      watts = pm.block_power(frame, util::Volts(1.3), util::Hertz(3.0e9),
+                             block_t);
       node_t = thermal::steady_state(grid.network(),
-                                     grid.expand_power(watts), 45.0);
+                                     grid.expand_power(watts),
+                                     util::Celsius(45.0));
     }
 
     double lo = 1e9;

@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
       if (counter++ % 50 != 0) return;
       std::printf(
           "t=%8.1f us  Tmax=%6.2f C  V=%.3f V  f=%.2f GHz  gate=%4.0f%%  %s\n",
-          st.time_seconds * 1e6, st.max_true_celsius, st.voltage,
-          st.frequency / 1e9, st.gate_fraction * 100.0,
+          st.time_seconds * 1e6, st.max_true_celsius, st.voltage.value(),
+          st.frequency.value() / 1e9, st.gate_fraction * 100.0,
           st.clock_gated ? "[clock gated]" : "");
     });
 
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.instructions));
     std::printf("IPC                 : %.2f\n", r.ipc);
     std::printf("max true temperature: %.2f C (emergency %.1f C)\n",
-                r.max_true_celsius, cfg.thresholds.emergency_celsius);
+                r.max_true_celsius, cfg.thresholds.emergency.value());
     std::printf("thermal violations  : %s (%.2f%% of time)\n",
                 r.thermally_safe() ? "none" : "VIOLATED",
                 r.violation_fraction * 100.0);

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       sim::SimConfig quiet = cfg;
       quiet.sensor.enable_noise = false;
       quiet.sensor.enable_offset = false;
-      quiet.sensor.quantization = 0.0;
+      quiet.sensor.quantization = util::CelsiusDelta(0.0);
       sim::System recording(workload::spec2000_profile(bench), quiet,
                             std::make_unique<Recorder>(&trace));
       recording.run();

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     const util::Config cfg = util::Config::from_args(args);
 
     thermal::Package pkg;
-    pkg.r_convec = cfg.get_double("r_convec", pkg.r_convec);
+    pkg.r_convec =
+        util::KelvinPerWatt(cfg.get_double("r_convec", pkg.r_convec.value()));
     const double total = cfg.get_double("watts_total", 28.0);
     const std::string hot_block = cfg.get_string("block", "IntReg");
 
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
     watts[*hot] += 0.2 * total;
 
     const thermal::Vector temps = thermal::steady_state(
-        model.network, model.expand_power(watts), pkg.ambient_celsius);
+        model.network, model.expand_power(watts), pkg.ambient);
 
     util::AsciiTable table;
     table.header({"block", "power [W]", "density [W/mm2]", "T [C]"});
@@ -69,18 +70,18 @@ int main(int argc, char** argv) {
     table.print(std::cout);
 
     // Step response: drop the hotspot's extra power and watch it cool.
-    thermal::TransientSolver solver(model.network, pkg.ambient_celsius);
+    thermal::TransientSolver solver(model.network, pkg.ambient);
     solver.set_temperatures(temps);
     thermal::Vector cooled = watts;
     cooled[*hot] -= 0.2 * total;
     std::cout << "\nstep response after removing the hotspot power:\n";
     double t = 0.0;
     for (int i = 0; i < 8; ++i) {
-      for (int k = 0; k < 300; ++k) solver.step(model.expand_power(cooled), 10e-6);
+      for (int k = 0; k < 300; ++k) solver.step(model.expand_power(cooled), util::Seconds(10e-6));
       t += 3e-3;
       std::cout << "  t=" << util::AsciiTable::num(t * 1e3, 0) << " ms  "
                 << hot_block << " = "
-                << util::AsciiTable::num(solver.temperature(*hot), 2)
+                << util::AsciiTable::num(solver.temperature(*hot).value(), 2)
                 << " C\n";
     }
     return 0;

@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""hydra-lint: repo-specific static rules that clang-tidy cannot express.
+
+Rules (each has a stable id used in the allowlist):
+
+* ``unit-suffix`` — a ``double`` member or default-valued parameter whose
+  name suggests a physical quantity (temperature, power, time, voltage,
+  frequency, energy, rate, ...) must either carry an explicit unit
+  suffix (``_celsius``, ``_watts``, ``_seconds``, ``_m``, ``_hz``, ...)
+  or use a dimensional strong type from util/units.h.  Bare physical
+  doubles are how unit bugs are written.
+* ``no-ambient-rng`` — ``rand()``, ``srand()``, ``time(`` and
+  ``std::random_device`` are banned in src/: every run must be
+  reproducible from explicit util::Rng seeds.
+* ``util-no-obs`` — src/util is the dependency root and must not
+  include the observability layer (src/obs), which sits above it.
+* ``no-naked-kelvin`` — the 273.15 (or ``+ 273``/``- 273``) Kelvin
+  offset may appear only in util/units.h; everyone else converts via
+  ``celsius_to_kelvin``/``kelvin_to_celsius`` or Celsius::kelvin().
+
+False positives are silenced in ``scripts/hydra_lint_allow.txt``, one
+``<rule-id> <path>:<identifier-or-token>`` per line (``#`` comments).
+Keep it short — an allowlist entry is a claim that the raw double is
+deliberate (usually a hot-path kernel documented in DESIGN.md §11).
+
+Usage:
+  hydra_lint.py                 # lint src/ (and headers in tools/bench)
+  hydra_lint.py --self-test     # prove each rule rejects a seeded violation
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ALLOWLIST = REPO / "scripts" / "hydra_lint_allow.txt"
+
+# Names that suggest a physical quantity.  Deliberately matched on word
+# fragments: `horizon`, `sample_rate`, `switch_time` all trip.
+PHYSICAL_WORDS = re.compile(
+    r"(temp|celsius|kelvin|watt|power_|_power|energy|joule|volt|freq|"
+    r"hertz|_time|time_|duration|period|horizon|latency|_rate|rate_|"
+    r"slope|thickness|width_|height_|_width|_height|side_|area|"
+    r"resistance|conductance|capacitance)",
+    re.IGNORECASE)
+
+# A unit-bearing name: trailing unit suffix, a per-unit name, or a
+# dimensionless ratio/fraction/scale/alpha/count.
+UNIT_SUFFIX = re.compile(
+    r"(_celsius|_kelvin|_c|_k|_watts|_w|_joules|_j|_seconds|_s|_us|_ms|"
+    r"_ns|_hz|_ghz|_volts|_v|_m|_mm|_um|_m2|_mm2|_per_\w+|_fraction|"
+    r"_ratio|_scale|_alpha|_factor|_cycles|_samples|_count|_index)_?$"
+    r"|^(watts|joules|volts|hertz|seconds|celsius|kelvin)_?$")
+
+# Strong types whose presence satisfies the unit rule on a declaration.
+TYPED = re.compile(
+    r"\b(util::)?(Celsius|CelsiusDelta|CelsiusPerSecond|PerCelsius|"
+    r"PerCelsiusSecond|Seconds|Hertz|Watts|Joules|Volts|KelvinPerWatt|"
+    r"WattsPerKelvin|JoulesPerKelvin|Quantity<)")
+
+# `double name{...};` / `double name = ...;` members and parameters.
+DOUBLE_DECL = re.compile(r"\bdouble\s+(\w+)\s*(?:=|\{|;)")
+
+AMBIENT_RNG = re.compile(r"\b(std::)?(rand|srand)\s*\(|"
+                         r"\bstd::random_device\b|[^_\w\.]time\s*\(")
+
+KELVIN_LITERAL = re.compile(r"273\.15|[-+]\s*273(?:\.0*)?\b")
+
+
+def load_allowlist(path=ALLOWLIST):
+    allow = set()
+    if path.exists():
+        for line in path.read_text().splitlines():
+            line = line.split("#", 1)[0].strip()
+            if line:
+                rule, _, key = line.partition(" ")
+                allow.add((rule, key.strip()))
+    return allow
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments and string literals, keeping line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | "str" | "chr"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = None
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to default
+                state = None
+                out.append(c)
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path, rel, allow):
+    """Return a list of (rule, location, message) findings for one file."""
+    findings = []
+    raw = path.read_text(errors="replace")
+    text = strip_comments(raw)
+    lines = text.splitlines()
+    # Include paths are string literals, which strip_comments blanks;
+    # check them on the raw lines (anchored, so comments can't trip it).
+    raw_lines = raw.splitlines()
+
+    in_units_h = rel.endswith("util/units.h")
+    in_util = rel.startswith("src/util/")
+    in_src = rel.startswith("src/")
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{rel}:{lineno}"
+
+        if in_src and not in_units_h:
+            m = KELVIN_LITERAL.search(line)
+            if m and ("no-naked-kelvin", rel) not in allow:
+                findings.append((
+                    "no-naked-kelvin", where,
+                    f"Kelvin offset literal '{m.group(0).strip()}' outside "
+                    "util/units.h; use celsius_to_kelvin()/.kelvin()"))
+
+        if in_src:
+            m = AMBIENT_RNG.search(line)
+            if m and ("no-ambient-rng", rel) not in allow:
+                findings.append((
+                    "no-ambient-rng", where,
+                    "ambient randomness/time source; runs must be "
+                    "reproducible from util::Rng seeds"))
+
+        if in_util and lineno <= len(raw_lines):
+            if re.match(r'\s*#\s*include\s+"obs/', raw_lines[lineno - 1]):
+                findings.append((
+                    "util-no-obs", where,
+                    "src/util must not depend on src/obs (dependency root)"))
+
+        if in_src and rel.endswith(".h") and not in_units_h:
+            # Unit rule on header declarations only: that is where the
+            # contract lives; .cc internals may unwrap to raw double.
+            for m in DOUBLE_DECL.finditer(line):
+                name = m.group(1)
+                if not PHYSICAL_WORDS.search(name):
+                    continue
+                if UNIT_SUFFIX.search(name):
+                    continue
+                if TYPED.search(line):
+                    continue
+                key = f"{rel}:{name}"
+                if ("unit-suffix", key) in allow:
+                    continue
+                findings.append((
+                    "unit-suffix", where,
+                    f"physical-looking double '{name}' has neither a unit "
+                    "suffix nor a util:: strong type"))
+    return findings
+
+
+def iter_files(root):
+    for sub in ("src",):
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix in (".h", ".cc") and path.is_file():
+                yield path
+
+
+def run_lint(root=REPO, allow=None):
+    allow = load_allowlist() if allow is None else allow
+    findings = []
+    for path in iter_files(root):
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel, allow))
+    return findings
+
+
+SEEDED = {
+    "unit-suffix": "struct Foo {\n  double sensor_temp = 0.0;\n};\n",
+    "no-ambient-rng": "int f() {\n  return rand();\n}\n",
+    "util-no-obs": '#include "obs/obs.h"\n',
+    "no-naked-kelvin": "double f(double c) {\n  return c + 273.15;\n}\n",
+}
+
+SEEDED_PATH = {
+    "unit-suffix": "src/core/seeded.h",
+    "no-ambient-rng": "src/sim/seeded.cc",
+    "util-no-obs": "src/util/seeded.h",
+    "no-naked-kelvin": "src/thermal/seeded.cc",
+}
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmproot = pathlib.Path(tmp)
+        for rule, code in SEEDED.items():
+            path = tmproot / SEEDED_PATH[rule]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(code)
+        findings = run_lint(tmproot, allow=set())
+        caught = {rule for rule, _, _ in findings}
+        for rule in SEEDED:
+            status = "ok" if rule in caught else "FAIL"
+            print(f"  self-test {rule}: seeded violation "
+                  f"{'caught' if rule in caught else 'MISSED'} [{status}]")
+            if rule not in caught:
+                failures.append(rule)
+        # Comments and strings must not trip any rule.
+        clean = tmproot / "src" / "util" / "clean.h"
+        clean.write_text('// rand() and 273.15 in a comment\n'
+                         'const char* k = "std::random_device";\n')
+        extra = [f for f in run_lint(tmproot, allow=set())
+                 if "clean.h" in f[1]]
+        status = "ok" if not extra else "FAIL"
+        print(f"  self-test comments/strings ignored [{status}]")
+        if extra:
+            failures.append("comment-fp")
+    if failures:
+        print(f"hydra-lint self-test FAILED: {failures}")
+        return 1
+    print("hydra-lint self-test passed: every rule rejects its seed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify each rule rejects a seeded violation")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+
+    findings = run_lint()
+    if findings:
+        print(f"hydra-lint: {len(findings)} finding(s)")
+        for rule, where, msg in findings:
+            print(f"  {where}: [{rule}] {msg}")
+        print(f"(false positive? add '<rule> <path>:<name>' to "
+              f"{ALLOWLIST.relative_to(REPO)})")
+        return 1
+    print("hydra-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Static analysis: clang-tidy over the tidy-clean subset, plus the
+# repo's own hydra_lint.py rules over everything.
+#
+# Like check_format.sh, clang-tidy enforcement is incremental: only the
+# paths in TIDY_PATHS must be tidy-clean (grow the list as directories
+# are cleaned up; eventually this becomes all of src). hydra_lint.py is
+# not incremental — it runs on the full tree with its allowlist.
+#
+# clang-tidy needs a compilation database; configure with
+#   cmake -B build -S .
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists) and
+# point your editor's clangd at build/compile_commands.json too.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY_PATHS="src/util src/control"
+
+echo "== hydra_lint =="
+python3 scripts/hydra_lint.py --self-test
+python3 scripts/hydra_lint.py
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "lint: $CLANG_TIDY not found; skipping clang-tidy" >&2
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint: $BUILD_DIR/compile_commands.json missing; run cmake -B $BUILD_DIR -S . first" >&2
+  exit 1
+fi
+
+files=""
+for path in $TIDY_PATHS; do
+  if [ -d "$path" ]; then
+    files="$files $(find "$path" -name '*.cc')"
+  elif [ -f "$path" ]; then
+    files="$files $path"
+  fi
+done
+
+echo "== clang-tidy =="
+# shellcheck disable=SC2086
+"$CLANG_TIDY" -p "$BUILD_DIR" --quiet $files
+echo "lint: clean"

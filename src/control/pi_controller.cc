@@ -5,15 +5,17 @@
 
 namespace hydra::control {
 
-PiController::PiController(double kp, double ki, double out_min,
-                           double out_max)
-    : kp_(kp), ki_(ki), out_min_(out_min), out_max_(out_max) {
+PiController::PiController(util::PerCelsius kp, util::PerCelsiusSecond ki,
+                           double out_min, double out_max)
+    : kp_(kp.value()), ki_(ki.value()), out_min_(out_min), out_max_(out_max) {
   if (out_min >= out_max) {
     throw std::invalid_argument("controller output range is empty");
   }
 }
 
-double PiController::update(double error, double dt) {
+double PiController::update(util::CelsiusDelta error_q, util::Seconds dt_q) {
+  const double error = error_q.value();
+  const double dt = dt_q.value();
   if (dt <= 0.0) throw std::invalid_argument("dt must be positive");
   const double candidate_integrator = integrator_ + ki_ * error * dt;
   const double unclamped = kp_ * error + candidate_integrator;

@@ -6,16 +6,22 @@
 // signals that the ILP technique has crossed over and DVS should engage.
 #pragma once
 
+#include "util/units.h"
+
 namespace hydra::control {
 
 class PiController {
  public:
   /// Output is clamped to [out_min, out_max]; integration is conditional
-  /// (no windup while saturated in the error's direction).
-  PiController(double kp, double ki, double out_min, double out_max);
+  /// (no windup while saturated in the error's direction). The error is
+  /// always a temperature excess in this codebase, so gains carry the
+  /// dimensions [out / deg C] and [out / (deg C * s)] for a
+  /// dimensionless output (duty fraction or DVS throttle).
+  PiController(util::PerCelsius kp, util::PerCelsiusSecond ki, double out_min,
+               double out_max);
 
-  /// Advance with `error` over `dt` seconds; returns the clamped output.
-  double update(double error, double dt);
+  /// Advance with `error` over `dt`; returns the clamped output.
+  double update(util::CelsiusDelta error, util::Seconds dt);
 
   /// Output of the last update() before clamping — the hybrid policy's
   /// crossover detector.

@@ -7,10 +7,9 @@ ClockGatingPolicy::ClockGatingPolicy(DtmThresholds thresholds,
     : thresholds_(thresholds), cfg_(cfg) {}
 
 DtmCommand ClockGatingPolicy::update(const ThermalSample& sample) {
-  if (sample.max_sensed >= thresholds_.trigger_celsius) {
+  if (sample.max_sensed >= thresholds_.trigger) {
     engaged_ = true;
-  } else if (sample.max_sensed <
-             thresholds_.trigger_celsius - cfg_.hysteresis) {
+  } else if (sample.max_sensed < thresholds_.trigger - cfg_.hysteresis) {
     engaged_ = false;
   }
   DtmCommand cmd;

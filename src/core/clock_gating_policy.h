@@ -12,8 +12,8 @@
 namespace hydra::core {
 
 struct ClockGatingConfig {
-  /// Hysteresis below trigger before releasing the clock [deg C].
-  double hysteresis = 0.2;
+  /// Hysteresis below trigger before releasing the clock.
+  util::CelsiusDelta hysteresis{0.2};
 };
 
 class ClockGatingPolicy final : public DtmPolicy {

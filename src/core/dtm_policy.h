@@ -10,22 +10,24 @@
 #include <string_view>
 #include <vector>
 
+#include "util/units.h"
+
 namespace hydra::core {
 
-/// DTM temperature thresholds [deg C] (paper Section 3): DTM engages at
-/// the trigger; the chip must never exceed the emergency threshold.
+/// DTM temperature thresholds (paper Section 3): DTM engages at the
+/// trigger; the chip must never exceed the emergency threshold.
 /// 81.8 / 85 with the paper's sensor error budget (2 deg offset + 1 deg
 /// precision -> 82 practical limit, trigger just below it).
 struct DtmThresholds {
-  double trigger_celsius = 81.8;
-  double emergency_celsius = 85.0;
+  util::Celsius trigger{81.8};
+  util::Celsius emergency{85.0};
 };
 
 /// One sensor sampling instant.
 struct ThermalSample {
-  std::vector<double> sensed_celsius;  ///< per-block sensor readings
-  double max_sensed = 0.0;             ///< max over sensed_celsius
-  double time_seconds = 0.0;           ///< simulation time of the sample
+  std::vector<double> sensed_celsius;  ///< per-block readings [deg C]
+  util::Celsius max_sensed{};          ///< max over sensed_celsius
+  util::Seconds time{};                ///< simulation time of the sample
 };
 
 /// Actuation requested by a policy.
@@ -41,7 +43,7 @@ class DtmPolicy {
   virtual ~DtmPolicy() = default;
 
   /// Compute the actuation for the current sample. Called once per
-  /// sensor period; `sample.time_seconds` is monotone.
+  /// sensor period; `sample.time` is monotone.
   virtual DtmCommand update(const ThermalSample& sample) = 0;
 
   virtual std::string_view name() const = 0;

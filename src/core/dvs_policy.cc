@@ -16,17 +16,19 @@ void DvsPolicy::reset() {
   pi_.reset();
   raise_filter_.reset();
   level_ = 0;
-  last_time_ = -1.0;
+  last_time_ = util::Seconds(-1.0);
 }
 
 std::size_t DvsPolicy::controller_level(const ThermalSample& sample) {
-  const double dt =
-      last_time_ < 0.0 ? 1e-4 : std::max(1e-9, sample.time_seconds - last_time_);
-  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  const util::Seconds dt =
+      last_time_.value() < 0.0
+          ? util::Seconds(1e-4)
+          : std::max(util::Seconds(1e-9), sample.time - last_time_);
+  const util::CelsiusDelta error = sample.max_sensed - thresholds_.trigger;
   const double throttle = pi_.update(error, dt);
   const auto& top = ladder_.point(0);
   const auto& bottom = ladder_.point(ladder_.lowest_level());
-  const double v_target =
+  const util::Volts v_target =
       top.voltage - throttle * (top.voltage - bottom.voltage);
   return ladder_.level_at_or_below(v_target);
 }
@@ -35,7 +37,7 @@ DtmCommand DvsPolicy::update(const ThermalSample& sample) {
   std::size_t desired = level_;
   switch (cfg_.mode) {
     case DvsPolicyConfig::Mode::kBinary:
-      desired = sample.max_sensed >= thresholds_.trigger_celsius
+      desired = sample.max_sensed >= thresholds_.trigger
                     ? ladder_.lowest_level()
                     : 0;
       break;
@@ -52,8 +54,7 @@ DtmCommand DvsPolicy::update(const ThermalSample& sample) {
   } else if (desired < level_) {
     // Raising voltage: pass the low-pass filter first.
     const bool cool_enough =
-        sample.max_sensed <
-        thresholds_.trigger_celsius - cfg_.hysteresis;
+        sample.max_sensed < thresholds_.trigger - cfg_.hysteresis;
     if (raise_filter_.update(cool_enough)) {
       level_ = desired;
       raise_filter_.reset();
@@ -61,7 +62,7 @@ DtmCommand DvsPolicy::update(const ThermalSample& sample) {
   } else {
     raise_filter_.reset();
   }
-  last_time_ = sample.time_seconds;
+  last_time_ = sample.time;
 
   DtmCommand cmd;
   cmd.dvs_level = level_;

@@ -23,15 +23,14 @@ namespace hydra::core {
 struct DvsPolicyConfig {
   enum class Mode { kBinary, kStepped, kContinuous };
   Mode mode = Mode::kBinary;
-  /// PI gains (per-second integral gain; errors are in deg C) for the
-  /// stepped/continuous modes, mapping temperature error onto the [0,1]
-  /// throttle that interpolates Vnom -> Vlow.
-  double kp = 0.12;
-  double ki = 800.0;
+  /// PI gains for the stepped/continuous modes, mapping temperature
+  /// error onto the [0,1] throttle that interpolates Vnom -> Vlow.
+  util::PerCelsius kp{0.12};
+  util::PerCelsiusSecond ki{800.0};
   /// Consecutive below-trigger samples required before raising voltage.
   std::size_t raise_filter_samples = 3;
-  /// Hysteresis below the trigger for raising voltage [deg C].
-  double hysteresis = 0.3;
+  /// Hysteresis below the trigger for raising voltage.
+  util::CelsiusDelta hysteresis{0.3};
 };
 
 class DvsPolicy final : public DtmPolicy {
@@ -54,7 +53,7 @@ class DvsPolicy final : public DtmPolicy {
   control::PiController pi_;
   control::ConsecutiveDebounce raise_filter_;
   std::size_t level_ = 0;
-  double last_time_ = -1.0;
+  util::Seconds last_time_{-1.0};
 };
 
 }  // namespace hydra::core

@@ -16,15 +16,16 @@ void FallbackPolicy::reset() {
   controller_.reset();
   release_filter_.reset();
   dvs_engaged_ = false;
-  last_time_ = -1.0;
+  last_time_ = util::Seconds(-1.0);
 }
 
 DtmCommand FallbackPolicy::update(const ThermalSample& sample) {
-  const double dt = last_time_ < 0.0
-                        ? 1e-4
-                        : std::max(1e-9, sample.time_seconds - last_time_);
-  last_time_ = sample.time_seconds;
-  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  const util::Seconds dt =
+      last_time_.value() < 0.0
+          ? util::Seconds(1e-4)
+          : std::max(util::Seconds(1e-9), sample.time - last_time_);
+  last_time_ = sample.time;
+  const util::CelsiusDelta error = sample.max_sensed - thresholds_.trigger;
   const double gate = controller_.update(error, dt);
 
   DtmCommand cmd;
@@ -34,16 +35,15 @@ DtmCommand FallbackPolicy::update(const ThermalSample& sample) {
   // ability exhausted) and the emergency threshold is in sight.
   const bool saturated = gate >= cfg_.max_gate_fraction - 1e-9;
   const bool in_extremis =
-      sample.max_sensed >=
-      thresholds_.emergency_celsius - cfg_.emergency_margin;
+      sample.max_sensed >= thresholds_.emergency - cfg_.emergency_margin;
   if (!dvs_engaged_) {
     if (saturated && in_extremis) {
       dvs_engaged_ = true;
       release_filter_.reset();
     }
   } else {
-    const bool cool = sample.max_sensed <
-                      thresholds_.trigger_celsius - cfg_.hysteresis;
+    const bool cool =
+        sample.max_sensed < thresholds_.trigger - cfg_.hysteresis;
     if (release_filter_.update(cool)) {
       dvs_engaged_ = false;
       release_filter_.reset();

@@ -23,18 +23,18 @@
 namespace hydra::core {
 
 struct FallbackConfig {
-  /// Integral gain of the fetch-gating stage [fraction per (deg C * s)].
-  double ki = 600.0;
-  double kp = 0.0;
+  /// Integral gain of the fetch-gating stage.
+  util::PerCelsiusSecond ki{600.0};
+  util::PerCelsius kp{0.0};
   /// The exhaustion point of the ILP technique: gating beyond this has
   /// no additional cooling ability worth its cost.
   double max_gate_fraction = 0.75;
   /// DVS engages only when gating is saturated AND the sensed
   /// temperature is within this margin of the emergency threshold.
-  double emergency_margin = 1.0;
+  util::CelsiusDelta emergency_margin{1.0};
   /// Debounced release of the DVS stage.
   std::size_t release_filter_samples = 3;
-  double hysteresis = 0.3;
+  util::CelsiusDelta hysteresis{0.3};
 };
 
 /// Escalate fetch gating to exhaustion; add DVS only in extremis.
@@ -56,7 +56,7 @@ class FallbackPolicy final : public DtmPolicy {
   control::PiController controller_;
   control::ConsecutiveDebounce release_filter_;
   bool dvs_engaged_ = false;
-  double last_time_ = -1.0;
+  util::Seconds last_time_{-1.0};
 };
 
 }  // namespace hydra::core

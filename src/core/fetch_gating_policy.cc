@@ -13,22 +13,23 @@ FetchGatingPolicy::FetchGatingPolicy(DtmThresholds thresholds,
 void FetchGatingPolicy::reset() {
   controller_.reset();
   gate_ = 0.0;
-  last_time_ = -1.0;
+  last_time_ = util::Seconds(-1.0);
 }
 
 DtmCommand FetchGatingPolicy::update(const ThermalSample& sample) {
   if (cfg_.mode == FetchGatingConfig::Mode::kFixed) {
-    gate_ = sample.max_sensed >= thresholds_.trigger_celsius
+    gate_ = sample.max_sensed >= thresholds_.trigger
                 ? cfg_.fixed_gate_fraction
                 : 0.0;
   } else {
-    const double dt = last_time_ < 0.0
-                          ? 1e-4
-                          : std::max(1e-9, sample.time_seconds - last_time_);
-    const double error = sample.max_sensed - thresholds_.trigger_celsius;
+    const util::Seconds dt =
+        last_time_.value() < 0.0
+            ? util::Seconds(1e-4)
+            : std::max(util::Seconds(1e-9), sample.time - last_time_);
+    const util::CelsiusDelta error = sample.max_sensed - thresholds_.trigger;
     gate_ = controller_.update(error, dt);
   }
-  last_time_ = sample.time_seconds;
+  last_time_ = sample.time;
 
   DtmCommand cmd;
   cmd.fetch_gate_fraction = gate_;

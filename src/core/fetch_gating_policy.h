@@ -18,10 +18,10 @@ namespace hydra::core {
 struct FetchGatingConfig {
   enum class Mode { kIntegral, kFixed };
   Mode mode = Mode::kIntegral;
-  /// Integral gain [fraction per (deg C * s)].
-  double ki = 600.0;
+  /// Integral gain (gate fraction accumulated per deg C of error per s).
+  util::PerCelsiusSecond ki{600.0};
   /// Proportional gain (0 for the paper's pure integral controller).
-  double kp = 0.0;
+  util::PerCelsius kp{0.0};
   /// Upper bound on the gating fraction. 0.75 (gate three of every four
   /// cycles — "duty cycle 0.33" in the paper's notation was the analogous
   /// harshest setting) is the level that eliminates all thermal
@@ -48,7 +48,7 @@ class FetchGatingPolicy final : public DtmPolicy {
   FetchGatingConfig cfg_;
   control::PiController controller_;
   double gate_ = 0.0;
-  double last_time_ = -1.0;
+  util::Seconds last_time_{-1.0};
 };
 
 }  // namespace hydra::core

@@ -51,8 +51,8 @@ GuardedPolicy::GuardedPolicy(std::unique_ptr<DtmPolicy> inner,
       }
     }
   }
-  if (cfg_.max_plausible_celsius <= cfg_.min_plausible_celsius ||
-      cfg_.max_rate_celsius_per_s <= 0.0 || cfg_.drift_cap_celsius <= 0.0 ||
+  if (cfg_.max_plausible <= cfg_.min_plausible ||
+      cfg_.max_rate.value() <= 0.0 || cfg_.drift_cap.value() <= 0.0 ||
       cfg_.deviation_alpha <= 0.0 || cfg_.deviation_alpha > 1.0 ||
       cfg_.failsafe_lost_fraction <= 0.0 || cfg_.recovery_samples == 0 ||
       cfg_.suspect_samples == 0) {
@@ -69,7 +69,7 @@ void GuardedPolicy::reset() {
   failsafe_ = false;
   failsafe_ok_count_ = 0;
   failsafe_backoff_ = 1;
-  last_time_ = -1.0;
+  last_time_ = util::Seconds(-1.0);
   stats_ = GuardStats{};
   if (inner_) inner_->reset();
 }
@@ -111,8 +111,8 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
   }
   const std::vector<double>& raw = sample.sensed_celsius;
   const double dt =
-      last_time_ >= 0.0 ? sample.time_seconds - last_time_ : 0.0;
-  last_time_ = sample.time_seconds;
+      last_time_.value() >= 0.0 ? (sample.time - last_time_).value() : 0.0;
+  last_time_ = sample.time;
   stats_.samples += 1;
 
   // Pass 1: per-sensor checks against the *previous* sample's quarantine
@@ -123,8 +123,8 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
     SensorState& st = state_[i];
     const double x = raw[i];
     const bool finite = std::isfinite(x);
-    const bool in_range = finite && x >= cfg_.min_plausible_celsius &&
-                          x <= cfg_.max_plausible_celsius;
+    const bool in_range = finite && x >= cfg_.min_plausible.value() &&
+                          x <= cfg_.max_plausible.value();
 
     const double med = neighbor_median(i, raw);
     const double dev = (finite && std::isfinite(med)) ? x - med : kNan;
@@ -133,8 +133,8 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
       bool suspect = false;
       // Rate-of-change limit (skipped on the first sample).
       if (in_range && st.have_last && dt > 0.0) {
-        const double max_step = cfg_.max_rate_celsius_per_s * dt +
-                                cfg_.noise_margin_celsius;
+        const double max_step =
+            cfg_.max_rate.value() * dt + cfg_.noise_margin.value();
         if (std::abs(x - st.last_raw) > max_step) suspect = true;
       }
       // Frozen-reading detector: with noise and quantisation enabled, a
@@ -165,7 +165,7 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
                 cfg_.deviation_alpha * (dev - st.smoothed_dev);
           }
           if (std::abs(st.smoothed_dev - st.ref_dev) >
-              cfg_.drift_cap_celsius) {
+              cfg_.drift_cap.value()) {
             suspect = true;
           }
         }
@@ -204,17 +204,17 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
       static const obs::Counter entries =
           obs::metrics().counter("guard.quarantine_entries");
       entries.add();
-      guard_event("quarantine_enter", sample.time_seconds,
+      guard_event("quarantine_enter", sample.time.value(),
                   static_cast<double>(i));
     }
     const double med = neighbor_median(i, raw);
     if (std::isfinite(med)) {
       const double estimate = med + st.ref_dev;
-      sanitized[i] = estimate + cfg_.substitution_margin_celsius;
+      sanitized[i] = estimate + cfg_.substitution_margin.value();
       // Recovery: the raw reading must agree with the estimate for a
       // debounced run of samples; each relapse doubled the requirement.
       if (std::isfinite(raw[i]) &&
-          std::abs(raw[i] - estimate) <= cfg_.recovery_band_celsius) {
+          std::abs(raw[i] - estimate) <= cfg_.recovery_band.value()) {
         st.recovery_count += 1;
         if (st.recovery_count >= cfg_.recovery_samples * st.backoff) {
           st.quarantined = false;
@@ -223,7 +223,7 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
           st.smoothed_primed = false;
           st.backoff = std::min(st.backoff * 2, cfg_.backoff_max_factor);
           sanitized[i] = raw[i];
-          guard_event("quarantine_exit", sample.time_seconds,
+          guard_event("quarantine_exit", sample.time.value(),
                       static_cast<double>(i));
         }
       } else {
@@ -232,7 +232,7 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
     } else {
       // Nothing left to vote with: force the inner policy to its maximal
       // response and let the watchdog engage below.
-      sanitized[i] = thresholds_.emergency_celsius + 1.0;
+      sanitized[i] = thresholds_.emergency.value() + 1.0;
       no_estimate = true;
     }
     if (st.quarantined) {
@@ -254,7 +254,7 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
       static const obs::Counter entries =
           obs::metrics().counter("guard.failsafe_entries");
       entries.add();
-      guard_event("failsafe_engage", sample.time_seconds,
+      guard_event("failsafe_engage", sample.time.value(),
                   static_cast<double>(quarantined));
     }
     failsafe_ok_count_ = 0;
@@ -265,7 +265,7 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
       failsafe_ = false;
       failsafe_backoff_ =
           std::min(failsafe_backoff_ * 2, cfg_.backoff_max_factor);
-      guard_event("failsafe_release", sample.time_seconds,
+      guard_event("failsafe_release", sample.time.value(),
                   static_cast<double>(quarantined));
     }
   }
@@ -275,10 +275,10 @@ DtmCommand GuardedPolicy::update(const ThermalSample& sample) {
   // the margin consumed by sub-threshold faults).
   ThermalSample clean;
   clean.sensed_celsius = std::move(sanitized);
-  for (double& v : clean.sensed_celsius) v += cfg_.pessimism_bias_celsius;
-  clean.max_sensed = *std::max_element(clean.sensed_celsius.begin(),
-                                       clean.sensed_celsius.end());
-  clean.time_seconds = sample.time_seconds;
+  for (double& v : clean.sensed_celsius) v += cfg_.pessimism_bias.value();
+  clean.max_sensed = util::Celsius(*std::max_element(
+      clean.sensed_celsius.begin(), clean.sensed_celsius.end()));
+  clean.time = sample.time;
 
   DtmCommand cmd;
   if (inner_) cmd = inner_->update(clean);

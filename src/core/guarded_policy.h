@@ -28,7 +28,7 @@
 // Faults below the detection threshold (drift inside the reference band)
 // can make a sensor read up to ~drift_cap too low; the supervisor
 // re-budgets the paper's sensor-error margin for this by biasing all
-// sanitised readings up by `pessimism_bias_celsius`. This costs a small
+// sanitised readings up by `pessimism_bias`. This costs a small
 // amount of extra throttling in fault-free runs — the price of
 // supervision, reported by bench/ext_fault_campaign.
 #pragma once
@@ -44,14 +44,14 @@ namespace hydra::core {
 
 struct GuardedPolicyConfig {
   // --- Plausibility checks ---
-  double min_plausible_celsius = 5.0;
-  double max_plausible_celsius = 150.0;
-  /// Largest believable |dT/dt| [deg C / s]. Specified in paper-time like
-  /// controller gains; multiply by time_scale under time acceleration.
-  double max_rate_celsius_per_s = 5.0e3;
+  util::Celsius min_plausible{5.0};
+  util::Celsius max_plausible{150.0};
+  /// Largest believable |dT/dt|. Specified in paper-time like controller
+  /// gains; multiply by time_scale under time acceleration.
+  util::CelsiusPerSecond max_rate{5.0e3};
   /// Per-sample step allowance on top of the rate limit, covering sensor
-  /// noise + quantisation [deg C].
-  double noise_margin_celsius = 3.0;
+  /// noise + quantisation.
+  util::CelsiusDelta noise_margin{3.0};
   /// Consecutive bit-identical readings before a sensor counts as frozen;
   /// 0 disables (use 0 when sensor noise is disabled, otherwise a steady
   /// temperature looks frozen).
@@ -62,19 +62,19 @@ struct GuardedPolicyConfig {
   /// EMA coefficient smoothing the deviation before comparison.
   double deviation_alpha = 0.25;
   /// Quarantine when the smoothed deviation leaves the reference by more
-  /// than this [deg C]. Catches in-range stuck values and drift.
-  double drift_cap_celsius = 1.5;
+  /// than this. Catches in-range stuck values and drift.
+  util::CelsiusDelta drift_cap{1.5};
   /// Consecutive suspect samples before quarantine (NaN / out-of-range
   /// quarantine immediately).
   std::size_t suspect_samples = 2;
 
   // --- Substitution / recovery ---
   /// Added on top of the neighbour-derived estimate for a quarantined
-  /// sensor, erring hot [deg C].
-  double substitution_margin_celsius = 1.0;
+  /// sensor, erring hot.
+  util::CelsiusDelta substitution_margin{1.0};
   /// A quarantined sensor must agree with its estimate within this band
-  /// to make recovery progress [deg C].
-  double recovery_band_celsius = 2.0;
+  /// to make recovery progress.
+  util::CelsiusDelta recovery_band{2.0};
   /// Consecutive agreeing samples required for release (base value).
   std::size_t recovery_samples = 24;
   /// Each relapse doubles the recovery requirement up to this factor.
@@ -88,9 +88,9 @@ struct GuardedPolicyConfig {
   /// doubles per re-engagement up to backoff_max_factor).
   std::size_t failsafe_release_samples = 8;
 
-  /// Upward bias applied to every sanitised reading [deg C]; margin for
-  /// faults below the detection threshold (see file comment).
-  double pessimism_bias_celsius = 0.75;
+  /// Upward bias applied to every sanitised reading; margin for faults
+  /// below the detection threshold (see file comment).
+  util::CelsiusDelta pessimism_bias{0.75};
 };
 
 /// Counters describing what the supervisor did during a run.
@@ -158,7 +158,7 @@ class GuardedPolicy final : public DtmPolicy {
   bool failsafe_ = false;
   std::size_t failsafe_ok_count_ = 0;
   std::size_t failsafe_backoff_ = 1;
-  double last_time_ = -1.0;
+  util::Seconds last_time_{-1.0};
   GuardStats stats_;
 };
 

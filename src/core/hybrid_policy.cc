@@ -34,15 +34,16 @@ void PiHybridPolicy::reset() {
   pi_.reset();
   release_filter_.reset();
   dvs_engaged_ = false;
-  last_time_ = -1.0;
+  last_time_ = util::Seconds(-1.0);
 }
 
 DtmCommand PiHybridPolicy::update(const ThermalSample& sample) {
-  const double dt = last_time_ < 0.0
-                        ? 1e-4
-                        : std::max(1e-9, sample.time_seconds - last_time_);
-  last_time_ = sample.time_seconds;
-  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  const util::Seconds dt =
+      last_time_.value() < 0.0
+          ? util::Seconds(1e-4)
+          : std::max(util::Seconds(1e-9), sample.time - last_time_);
+  last_time_ = sample.time;
+  const util::CelsiusDelta error = sample.max_sensed - thresholds_.trigger;
 
   DtmCommand cmd;
   if (!dvs_engaged_) {
@@ -59,14 +60,14 @@ DtmCommand PiHybridPolicy::update(const ThermalSample& sample) {
       static const obs::Counter escalations =
           obs::metrics().counter("policy.dvs_escalations");
       escalations.add();
-      hybrid_event("pi_hybrid_dvs_engage", sample.time_seconds, demand,
+      hybrid_event("pi_hybrid_dvs_engage", sample.time.value(), demand,
                    static_cast<double>(cmd.dvs_level));
     } else {
       cmd.fetch_gate_fraction = gate;
     }
   } else {
-    const bool cool = sample.max_sensed <
-                      thresholds_.trigger_celsius - cfg_.hysteresis;
+    const bool cool =
+        sample.max_sensed < thresholds_.trigger - cfg_.hysteresis;
     if (release_filter_.update(cool)) {
       // Hand control back to the ILP technique, warm-starting the
       // integrator just below the crossover so regulation resumes
@@ -75,8 +76,8 @@ DtmCommand PiHybridPolicy::update(const ThermalSample& sample) {
       pi_.set_integrator(0.8 * cfg_.crossover_gate_fraction);
       release_filter_.reset();
       cmd.fetch_gate_fraction = pi_.update(error, dt);
-      hybrid_event("pi_hybrid_dvs_release", sample.time_seconds,
-                   sample.max_sensed, cmd.fetch_gate_fraction);
+      hybrid_event("pi_hybrid_dvs_release", sample.time.value(),
+                   sample.max_sensed.value(), cmd.fetch_gate_fraction);
     } else {
       cmd.dvs_level = ladder_.lowest_level();
     }
@@ -100,8 +101,8 @@ void HybridPolicy::reset() {
 
 DtmCommand HybridPolicy::update(const ThermalSample& sample) {
   const int prev_level = level_;
-  const double t1 = thresholds_.trigger_celsius;
-  const double t2 = thresholds_.trigger_celsius + cfg_.dvs_threshold_offset;
+  const util::Celsius t1 = thresholds_.trigger;
+  const util::Celsius t2 = thresholds_.trigger + cfg_.dvs_threshold_offset;
 
   // Engaging fetch gating is compulsory and immediate; the FG -> DVS
   // escalation is debounced against sensor-noise spikes. While the
@@ -143,7 +144,7 @@ DtmCommand HybridPolicy::update(const ThermalSample& sample) {
           obs::metrics().counter("policy.dvs_escalations");
       escalations.add();
     }
-    hybrid_event("hybrid_level_change", sample.time_seconds,
+    hybrid_event("hybrid_level_change", sample.time.value(),
                  static_cast<double>(prev_level),
                  static_cast<double>(level_));
   }

@@ -34,21 +34,21 @@ struct HybridConfig {
   double crossover_gate_fraction = 1.0 / 3.0;
 
   // --- PI-Hyb ---
-  double kp = 0.0;
-  double ki = 600.0;
+  util::PerCelsius kp{0.0};
+  util::PerCelsiusSecond ki{600.0};
   /// Unclamped-demand margin above the crossover before DVS engages.
   double crossover_margin = 0.15;
 
   // --- Hyb ---
-  /// Second comparator threshold offset above the trigger [deg C]: at or
-  /// above trigger + dvs_threshold_offset, DVS engages. Sized to exceed
-  /// the sensor noise amplitude (so the fetch-gating band is real) while
+  /// Second comparator threshold offset above the trigger: at or above
+  /// trigger + dvs_threshold_offset, DVS engages. Sized to exceed the
+  /// sensor noise amplitude (so the fetch-gating band is real) while
   /// keeping enough margin below the emergency threshold for the DVS
   /// response to land.
-  double dvs_threshold_offset = 1.1;
+  util::CelsiusDelta dvs_threshold_offset{1.1};
 
   // Common release behaviour: de-escalation is debounced.
-  double hysteresis = 0.3;
+  util::CelsiusDelta hysteresis{0.3};
   std::size_t release_filter_samples = 3;
   /// Hyb: consecutive samples at/above the DVS threshold required before
   /// escalating from fetch gating to DVS. Sensor noise is uncorrelated
@@ -77,7 +77,7 @@ class PiHybridPolicy final : public DtmPolicy {
   control::PiController pi_;
   control::ConsecutiveDebounce release_filter_;
   bool dvs_engaged_ = false;
-  double last_time_ = -1.0;
+  util::Seconds last_time_{-1.0};
 };
 
 /// Controller-free two-threshold hybrid ("Hyb").

@@ -13,16 +13,17 @@ LocalTogglePolicy::LocalTogglePolicy(DtmThresholds thresholds,
 void LocalTogglePolicy::reset() {
   controller_.reset();
   gate_ = 0.0;
-  last_time_ = -1.0;
+  last_time_ = util::Seconds(-1.0);
 }
 
 DtmCommand LocalTogglePolicy::update(const ThermalSample& sample) {
-  const double dt = last_time_ < 0.0
-                        ? 1e-4
-                        : std::max(1e-9, sample.time_seconds - last_time_);
-  const double error = sample.max_sensed - thresholds_.trigger_celsius;
+  const util::Seconds dt =
+      last_time_.value() < 0.0
+          ? util::Seconds(1e-4)
+          : std::max(util::Seconds(1e-9), sample.time - last_time_);
+  const util::CelsiusDelta error = sample.max_sensed - thresholds_.trigger;
   gate_ = controller_.update(error, dt);
-  last_time_ = sample.time_seconds;
+  last_time_ = sample.time;
 
   DtmCommand cmd;
   cmd.issue_gate_fraction = gate_;

@@ -14,20 +14,22 @@ ProactiveHybridPolicy::ProactiveHybridPolicy(const power::DvsLadder& ladder,
 void ProactiveHybridPolicy::reset() {
   inner_.reset();
   slope_.reset();
-  last_max_ = 0.0;
-  last_time_ = -1.0;
+  last_max_ = util::Celsius(0.0);
+  last_time_ = util::Seconds(-1.0);
 }
 
 DtmCommand ProactiveHybridPolicy::update(const ThermalSample& sample) {
-  double predicted = sample.max_sensed;
-  if (last_time_ >= 0.0) {
-    const double dt = std::max(1e-12, sample.time_seconds - last_time_);
-    const double raw_slope = (sample.max_sensed - last_max_) / dt;
-    const double smoothed = slope_.update(raw_slope);
-    predicted = sample.max_sensed + smoothed * cfg_.horizon_seconds;
+  util::Celsius predicted = sample.max_sensed;
+  if (last_time_.value() >= 0.0) {
+    const util::Seconds dt =
+        std::max(util::Seconds(1e-12), sample.time - last_time_);
+    const util::CelsiusPerSecond raw_slope =
+        (sample.max_sensed - last_max_) / dt;
+    const util::CelsiusPerSecond smoothed(slope_.update(raw_slope.value()));
+    predicted = sample.max_sensed + smoothed * cfg_.horizon;
   }
   last_max_ = sample.max_sensed;
-  last_time_ = sample.time_seconds;
+  last_time_ = sample.time;
 
   ThermalSample ahead = sample;
   ahead.max_sensed = predicted;

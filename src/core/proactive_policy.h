@@ -20,8 +20,8 @@ namespace hydra::core {
 
 struct ProactiveConfig {
   HybridConfig hybrid{};
-  /// Prediction horizon [s] (paper-time; scale with time acceleration).
-  double horizon_seconds = 300e-6;
+  /// Prediction horizon (paper-time; scale with time acceleration).
+  util::Seconds horizon{300e-6};
   /// Smoothing factor for the slope estimate (per sample).
   double slope_filter_alpha = 0.25;
 };
@@ -36,15 +36,17 @@ class ProactiveHybridPolicy final : public DtmPolicy {
   std::string_view name() const override { return "Pro-Hyb"; }
   void reset() override;
 
-  /// Last smoothed slope estimate [deg C / s], for diagnostics.
-  double slope() const { return slope_.value(); }
+  /// Last smoothed slope estimate, for diagnostics.
+  util::CelsiusPerSecond slope() const {
+    return util::CelsiusPerSecond(slope_.value());
+  }
 
  private:
   ProactiveConfig cfg_;
   HybridPolicy inner_;
   control::FirstOrderLowPass slope_;
-  double last_max_ = 0.0;
-  double last_time_ = -1.0;
+  util::Celsius last_max_{0.0};
+  util::Seconds last_time_{-1.0};
 };
 
 }  // namespace hydra::core

@@ -38,7 +38,7 @@ int build_initial(Tree& tree, const std::vector<CoreBlockSpec>& blocks,
     TreeNode& n = tree.nodes[idx];
     n.is_leaf = true;
     n.leaf_index = lo;
-    n.area = blocks[lo].area;
+    n.area = blocks[lo].area_m2;
     tree.leaf_nodes.push_back(idx);
     return idx;
   }
@@ -139,7 +139,7 @@ AnnealResult anneal_core_floorplan(const std::vector<CoreBlockSpec>& blocks,
     throw std::invalid_argument("annealer needs at least one block");
   }
   for (const CoreBlockSpec& b : blocks) {
-    if (b.area <= 0.0 || b.watts < 0.0) {
+    if (b.area_m2 <= 0.0 || b.watts < 0.0) {
       throw std::invalid_argument("block areas must be positive");
     }
   }
@@ -163,7 +163,7 @@ AnnealResult anneal_core_floorplan(const std::vector<CoreBlockSpec>& blocks,
       watts[*die.index_of(b.name)] = b.watts;
     }
     const thermal::Vector t = thermal::steady_state(
-        model.network, model.expand_power(watts), pkg.ambient_celsius);
+        model.network, model.expand_power(watts), pkg.ambient);
     double peak = t[0];
     for (std::size_t i = 1; i < die.size(); ++i) peak = std::max(peak, t[i]);
     *peak_out = peak;
@@ -202,9 +202,9 @@ AnnealResult anneal_core_floorplan(const std::vector<CoreBlockSpec>& blocks,
                 candidate.nodes[candidate.leaf_nodes[b]].leaf_index);
       // Leaf areas travel with the blocks: recompute subtree areas.
       candidate.nodes[candidate.leaf_nodes[a]].area =
-          blocks[candidate.nodes[candidate.leaf_nodes[a]].leaf_index].area;
+          blocks[candidate.nodes[candidate.leaf_nodes[a]].leaf_index].area_m2;
       candidate.nodes[candidate.leaf_nodes[b]].area =
-          blocks[candidate.nodes[candidate.leaf_nodes[b]].leaf_index].area;
+          blocks[candidate.nodes[candidate.leaf_nodes[b]].leaf_index].area_m2;
       // Propagate areas bottom-up (nodes vector is in pre-order; walk in
       // reverse so children are updated before parents).
       for (int i = static_cast<int>(candidate.nodes.size()) - 1; i >= 0;

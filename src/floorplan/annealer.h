@@ -30,7 +30,7 @@ namespace hydra::floorplan {
 /// One core block to place: stable name, silicon area, dissipated power.
 struct CoreBlockSpec {
   std::string_view name;
-  double area = 0.0;   ///< [m^2]
+  double area_m2 = 0.0;
   double watts = 0.0;  ///< steady power used for the thermal objective
 };
 

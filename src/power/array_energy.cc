@@ -41,29 +41,30 @@ double decoder_energy(const ArrayGeometry& g, const ArrayTechnology& tech) {
 
 }  // namespace
 
-double array_read_energy(const ArrayGeometry& g,
-                         const ArrayTechnology& tech) {
+util::Joules array_read_energy(const ArrayGeometry& g,
+                               const ArrayTechnology& tech) {
   // Reads use a limited bitline swing terminated by sense amps.
   const double e = decoder_energy(g, tech) +
                    wire_energy(g, tech, /*bitline_swing_fraction=*/0.15) +
-                   static_cast<double>(g.cols) * tech.sense_amp_energy +
+                   static_cast<double>(g.cols) * tech.sense_amp_energy_j +
                    static_cast<double>(g.cols) * tech.driver_energy_per_bit;
-  return e;
+  return util::Joules(e);
 }
 
-double array_write_energy(const ArrayGeometry& g,
-                          const ArrayTechnology& tech) {
+util::Joules array_write_energy(const ArrayGeometry& g,
+                                const ArrayTechnology& tech) {
   // Writes drive full-swing bitlines; no sensing.
-  return decoder_energy(g, tech) +
-         wire_energy(g, tech, /*bitline_swing_fraction=*/1.0);
+  return util::Joules(decoder_energy(g, tech) +
+                      wire_energy(g, tech, /*bitline_swing_fraction=*/1.0));
 }
 
-double array_peak_power(const ArrayGeometry& g, double frequency,
-                        const ArrayTechnology& tech) {
-  if (frequency <= 0.0) {
+util::Watts array_peak_power(const ArrayGeometry& g, util::Hertz frequency,
+                             const ArrayTechnology& tech) {
+  if (frequency.value() <= 0.0) {
     throw std::invalid_argument("frequency must be positive");
   }
-  const double per_cycle =
+  // energy per cycle [J] * cycles per second [1/s] -> watts.
+  const util::Joules per_cycle =
       static_cast<double>(g.read_ports) * array_read_energy(g, tech) +
       static_cast<double>(g.write_ports) * array_write_energy(g, tech);
   return per_cycle * frequency;

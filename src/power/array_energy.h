@@ -23,6 +23,8 @@
 
 #include <cstddef>
 
+#include "util/units.h"
+
 namespace hydra::power {
 
 /// 0.13 um technology constants used by the energy equations.
@@ -31,7 +33,7 @@ struct ArrayTechnology {
   double wire_cap_per_m = 240e-12;  ///< wordline/bitline wire [F/m]
   double cell_gate_cap = 1.4e-15;   ///< access-transistor gate [F]
   double cell_drain_cap = 1.1e-15;  ///< pass-transistor drain on bitline [F]
-  double sense_amp_energy = 8e-15;  ///< per column sensed [J]
+  double sense_amp_energy_j = 8e-15;  ///< per column sensed
   double decoder_energy_per_bit = 3.5e-15;  ///< per address bit [J]
   double driver_energy_per_bit = 4e-15;     ///< output driver per bit [J]
   double cell_pitch = 2.4e-6;       ///< SRAM cell pitch [m] (per port growth
@@ -48,17 +50,17 @@ struct ArrayGeometry {
   std::size_t write_ports = 1;
 };
 
-/// Energy of one read access [J].
-double array_read_energy(const ArrayGeometry& g,
-                         const ArrayTechnology& tech = {});
+/// Energy of one read access.
+util::Joules array_read_energy(const ArrayGeometry& g,
+                               const ArrayTechnology& tech = {});
 
-/// Energy of one write access [J] (no sense amps; full bitline swing).
-double array_write_energy(const ArrayGeometry& g,
-                          const ArrayTechnology& tech = {});
+/// Energy of one write access (no sense amps; full bitline swing).
+util::Joules array_write_energy(const ArrayGeometry& g,
+                                const ArrayTechnology& tech = {});
 
-/// Peak power [W] if every port is used every cycle at `frequency`.
-double array_peak_power(const ArrayGeometry& g, double frequency,
-                        const ArrayTechnology& tech = {});
+/// Peak power if every port is used every cycle at `frequency`.
+util::Watts array_peak_power(const ArrayGeometry& g, util::Hertz frequency,
+                             const ArrayTechnology& tech = {});
 
 /// Geometry of the EV7-like core's main array structures, for deriving
 /// an energy table comparable to EnergyModel's calibrated one.

@@ -44,23 +44,25 @@ double EnergyModel::utilization(const arch::ActivityFrame& frame,
   return std::clamp(util, 0.0, 1.0);
 }
 
-double EnergyModel::dynamic_power(const arch::ActivityFrame& frame,
-                                  BlockId id, double voltage,
-                                  double frequency) const {
-  if (frame.cycles <= 0.0) return 0.0;
+util::Watts EnergyModel::dynamic_power(const arch::ActivityFrame& frame,
+                                       BlockId id, util::Volts voltage,
+                                       util::Hertz frequency) const {
+  if (frame.cycles <= 0.0) return util::Watts(0.0);
   const BlockEnergySpec& s = specs_[static_cast<std::size_t>(id)];
   const double util = utilization(frame, id);
-  const double v_scale = (voltage / v_nominal_) * (voltage / v_nominal_);
-  const double f_scale = frequency / f_nominal_;
+  const double v_ratio = voltage.value() / v_nominal_;
+  const double v_scale = v_ratio * v_ratio;
+  const double f_scale = frequency.value() / f_nominal_;
   const double clocked_share = frame.clocked_cycles / frame.cycles;
   const double activity = s.base_fraction + (1.0 - s.base_fraction) * util;
-  return s.peak_watts * activity * v_scale * f_scale * clocked_share;
+  return util::Watts(s.peak_watts * activity * v_scale * f_scale *
+                     clocked_share);
 }
 
-double EnergyModel::total_peak_watts() const {
+util::Watts EnergyModel::total_peak_watts() const {
   double total = 0.0;
   for (const auto& s : specs_) total += s.peak_watts;
-  return total;
+  return util::Watts(total);
 }
 
 }  // namespace hydra::power

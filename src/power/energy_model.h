@@ -20,6 +20,7 @@
 
 #include "arch/activity.h"
 #include "floorplan/block.h"
+#include "util/units.h"
 
 namespace hydra::power {
 
@@ -42,21 +43,21 @@ class EnergyModel {
     return specs_[static_cast<std::size_t>(id)];
   }
 
-  double v_nominal() const { return v_nominal_; }
-  double f_nominal() const { return f_nominal_; }
+  util::Volts v_nominal() const { return util::Volts(v_nominal_); }
+  util::Hertz f_nominal() const { return util::Hertz(f_nominal_); }
 
   /// Utilisation of `id` implied by `frame` (clamped to [0, 1]).
   double utilization(const arch::ActivityFrame& frame,
                      floorplan::BlockId id) const;
 
-  /// Average dynamic power [W] of block `id` over the interval captured
+  /// Average dynamic power of block `id` over the interval captured
   /// by `frame`, at supply `voltage` and clock `frequency`.
-  double dynamic_power(const arch::ActivityFrame& frame,
-                       floorplan::BlockId id, double voltage,
-                       double frequency) const;
+  util::Watts dynamic_power(const arch::ActivityFrame& frame,
+                            floorplan::BlockId id, util::Volts voltage,
+                            util::Hertz frequency) const;
 
   /// Sum of peak powers (sanity/calibration aid).
-  double total_peak_watts() const;
+  util::Watts total_peak_watts() const;
 
  private:
   std::array<BlockEnergySpec, floorplan::kNumBlocks> specs_{};

@@ -42,11 +42,12 @@ LeakageModel::LeakageModel(const floorplan::Floorplan& fp) {
   }
 }
 
-double LeakageModel::power(BlockId id, double celsius, double voltage) const {
+util::Watts LeakageModel::power(BlockId id, double celsius,
+                                util::Volts voltage) const {
   const double base = base_watts_[static_cast<std::size_t>(id)];
-  const double v_scale = voltage / v_nominal_;
-  return base * v_scale *
-         std::exp(beta_per_kelvin_ * (celsius - t0_celsius_));
+  const double v_scale = voltage.value() / v_nominal_;
+  return util::Watts(base * v_scale *
+                     std::exp(beta_per_kelvin_ * (celsius - t0_celsius_)));
 }
 
 }  // namespace hydra::power

@@ -14,6 +14,7 @@
 
 #include "floorplan/block.h"
 #include "floorplan/floorplan.h"
+#include "util/units.h"
 
 namespace hydra::power {
 
@@ -22,12 +23,16 @@ class LeakageModel {
   /// `fp` supplies per-block areas; densities use defaults below.
   explicit LeakageModel(const floorplan::Floorplan& fp);
 
-  /// Leakage power [W] of block `id` at temperature `celsius` and supply
-  /// `voltage`.
-  double power(floorplan::BlockId id, double celsius, double voltage) const;
+  /// Leakage power of block `id` at temperature `celsius` [deg C] (raw
+  /// double: values come straight out of the bulk thermal-node vector)
+  /// and supply `voltage`.
+  util::Watts power(floorplan::BlockId id, double celsius,
+                    util::Volts voltage) const;
 
-  double reference_celsius() const { return t0_celsius_; }
-  double v_nominal() const { return v_nominal_; }
+  util::Celsius reference_temperature() const {
+    return util::Celsius(t0_celsius_);
+  }
+  util::Volts v_nominal() const { return util::Volts(v_nominal_); }
 
  private:
   std::array<double, floorplan::kNumBlocks> base_watts_{};  ///< at T0, Vnom

@@ -8,15 +8,15 @@ PowerModel::PowerModel(const floorplan::Floorplan& fp, EnergyModel energy)
     : energy_(std::move(energy)), leakage_(fp) {}
 
 std::vector<double> PowerModel::block_power(
-    const arch::ActivityFrame& frame, double voltage, double frequency,
-    const std::vector<double>& celsius) const {
+    const arch::ActivityFrame& frame, util::Volts voltage,
+    util::Hertz frequency, const std::vector<double>& celsius) const {
   std::vector<double> watts;
   block_power_into(frame, voltage, frequency, celsius, watts);
   return watts;
 }
 
 void PowerModel::block_power_into(const arch::ActivityFrame& frame,
-                                  double voltage, double frequency,
+                                  util::Volts voltage, util::Hertz frequency,
                                   const std::vector<double>& celsius,
                                   std::vector<double>& watts) const {
   if (celsius.size() < floorplan::kNumBlocks) {
@@ -25,19 +25,20 @@ void PowerModel::block_power_into(const arch::ActivityFrame& frame,
   watts.resize(floorplan::kNumBlocks);
   for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
     const auto id = static_cast<floorplan::BlockId>(i);
-    watts[i] = energy_.dynamic_power(frame, id, voltage, frequency) +
-               leakage_.power(id, celsius[i], voltage);
+    watts[i] = (energy_.dynamic_power(frame, id, voltage, frequency) +
+                leakage_.power(id, celsius[i], voltage))
+                   .value();
   }
 }
 
-double PowerModel::total_power(const arch::ActivityFrame& frame,
-                               double voltage, double frequency,
-                               const std::vector<double>& celsius) const {
+util::Watts PowerModel::total_power(const arch::ActivityFrame& frame,
+                                    util::Volts voltage, util::Hertz frequency,
+                                    const std::vector<double>& celsius) const {
   double total = 0.0;
   for (double w : block_power(frame, voltage, frequency, celsius)) {
     total += w;
   }
-  return total;
+  return util::Watts(total);
 }
 
 }  // namespace hydra::power

@@ -7,6 +7,7 @@
 #include "floorplan/floorplan.h"
 #include "power/energy_model.h"
 #include "power/leakage.h"
+#include "util/units.h"
 
 namespace hydra::power {
 
@@ -25,20 +26,22 @@ class PowerModel {
   /// activity frame at (voltage, frequency), plus leakage evaluated at
   /// the given per-block temperatures [deg C] (first kNumBlocks entries of
   /// `celsius` are used, so a full thermal-node vector is accepted).
+  /// Bulk vectors are raw doubles — the solver-kernel boundary.
   std::vector<double> block_power(const arch::ActivityFrame& frame,
-                                  double voltage, double frequency,
+                                  util::Volts voltage, util::Hertz frequency,
                                   const std::vector<double>& celsius) const;
 
   /// block_power into a caller-provided buffer (resized to kNumBlocks);
   /// the allocation-free hot-path variant.
-  void block_power_into(const arch::ActivityFrame& frame, double voltage,
-                        double frequency, const std::vector<double>& celsius,
+  void block_power_into(const arch::ActivityFrame& frame, util::Volts voltage,
+                        util::Hertz frequency,
+                        const std::vector<double>& celsius,
                         std::vector<double>& watts) const;
 
   /// Total of block_power().
-  double total_power(const arch::ActivityFrame& frame, double voltage,
-                     double frequency,
-                     const std::vector<double>& celsius) const;
+  util::Watts total_power(const arch::ActivityFrame& frame,
+                          util::Volts voltage, util::Hertz frequency,
+                          const std::vector<double>& celsius) const;
 
  private:
   EnergyModel energy_;

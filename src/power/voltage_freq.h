@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/units.h"
+
 namespace hydra::power {
 
 /// The alpha-power-law frequency model.
@@ -19,15 +21,17 @@ class VoltageFrequencyCurve {
  public:
   /// Defaults: paper's nominal point 1.3 V @ 3 GHz, Vth = 0.35 V,
   /// alpha = 1.3 (velocity-saturated short-channel devices).
-  VoltageFrequencyCurve(double v_nominal = 1.3, double f_nominal = 3.0e9,
-                        double v_threshold = 0.35, double alpha = 1.3);
+  VoltageFrequencyCurve(util::Volts v_nominal = util::Volts(1.3),
+                        util::Hertz f_nominal = util::Hertz(3.0e9),
+                        util::Volts v_threshold = util::Volts(0.35),
+                        double alpha = 1.3);
 
-  double v_nominal() const { return v_nominal_; }
-  double f_nominal() const { return f_nominal_; }
+  util::Volts v_nominal() const { return util::Volts(v_nominal_); }
+  util::Hertz f_nominal() const { return util::Hertz(f_nominal_); }
 
-  /// Maximum safe clock frequency at supply voltage `v` [Hz]. Requires
+  /// Maximum safe clock frequency at supply voltage `v`. Requires
   /// v > Vth.
-  double frequency(double v) const;
+  util::Hertz frequency(util::Volts v) const;
 
  private:
   double v_nominal_;
@@ -39,8 +43,8 @@ class VoltageFrequencyCurve {
 
 /// One DVS setting.
 struct OperatingPoint {
-  double voltage = 0.0;    ///< [V]
-  double frequency = 0.0;  ///< [Hz]
+  util::Volts voltage{};
+  util::Hertz frequency{};
 };
 
 /// A discrete DVS ladder. Index 0 is the *nominal* (fastest) point and
@@ -66,7 +70,7 @@ class DvsLadder {
   /// Highest-voltage level whose voltage is <= `v` (conservative
   /// quantisation used when a controller asks for voltage `v`);
   /// returns lowest_level() when `v` is below every point.
-  std::size_t level_at_or_below(double v) const;
+  std::size_t level_at_or_below(util::Volts v) const;
 
  private:
   std::vector<OperatingPoint> points_;

@@ -9,17 +9,18 @@ namespace hydra::sensor {
 SensorBank::SensorBank(std::size_t count, const SensorConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed) {
   if (count == 0) throw std::invalid_argument("sensor bank needs sensors");
-  if (cfg.sample_rate_hz <= 0.0 || !std::isfinite(cfg.sample_rate_hz)) {
+  if (cfg.sample_rate.value() <= 0.0 ||
+      !std::isfinite(cfg.sample_rate.value())) {
     throw std::invalid_argument(
-        "sensor sample_rate_hz must be positive and finite");
+        "sensor sample_rate must be positive and finite");
   }
-  if (cfg.quantization < 0.0 || cfg.noise_sigma < 0.0 ||
-      cfg.max_offset < 0.0) {
+  if (cfg.quantization.value() < 0.0 || cfg.noise_sigma.value() < 0.0 ||
+      cfg.max_offset.value() < 0.0) {
     throw std::invalid_argument("bad sensor configuration");
   }
   offsets_.resize(count, 0.0);
   if (cfg_.enable_offset) {
-    for (double& o : offsets_) o = -rng_.uniform(0.0, cfg_.max_offset);
+    for (double& o : offsets_) o = -rng_.uniform(0.0, cfg_.max_offset.value());
   }
 }
 
@@ -45,11 +46,11 @@ double SensorBank::sample_one(std::size_t i, double truth) {
     throw std::out_of_range("sensor index out of range");
   }
   double v = truth + offsets_[i];
-  if (cfg_.enable_noise && cfg_.noise_sigma > 0.0) {
-    v += rng_.gaussian(0.0, cfg_.noise_sigma);
+  if (cfg_.enable_noise && cfg_.noise_sigma.value() > 0.0) {
+    v += rng_.gaussian(0.0, cfg_.noise_sigma.value());
   }
-  if (cfg_.quantization > 0.0) {
-    v = std::round(v / cfg_.quantization) * cfg_.quantization;
+  if (cfg_.quantization.value() > 0.0) {
+    v = std::round(v / cfg_.quantization.value()) * cfg_.quantization.value();
   }
   return v;
 }

@@ -13,20 +13,22 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace hydra::sensor {
 
 struct SensorConfig {
-  /// Std-dev of per-sample Gaussian noise [deg C]; 0.4 yields the paper's
+  /// Std-dev of per-sample Gaussian noise; 0.4 deg C yields the paper's
   /// +/-1 degree effective precision (99 % of samples within 1 degree).
-  double noise_sigma = 0.4;
-  /// ADC quantisation step [deg C].
-  double quantization = 0.25;
-  /// Maximum fixed per-sensor offset magnitude [deg C]; each sensor draws
-  /// a fixed offset uniformly in [-max_offset, 0] (reads low).
-  double max_offset = 2.0;
-  /// Sampling frequency [Hz].
-  double sample_rate_hz = 10.0e3;
+  util::CelsiusDelta noise_sigma{0.4};
+  /// ADC quantisation step.
+  util::CelsiusDelta quantization{0.25};
+  /// Maximum fixed per-sensor offset magnitude; each sensor draws a
+  /// fixed offset uniformly in [-max_offset, 0] (reads low).
+  util::CelsiusDelta max_offset{2.0};
+  /// Sampling frequency (paper time; the System compresses the derived
+  /// period by time_scale).
+  util::Hertz sample_rate{10.0e3};
   std::uint64_t seed = 0xC0FFEE;
   bool enable_noise = true;
   bool enable_offset = true;
@@ -58,7 +60,9 @@ class SensorBank {
   double sample_max(const std::vector<double>& truth);
 
   std::size_t count() const { return offsets_.size(); }
-  double offset(std::size_t i) const { return offsets_[i]; }
+  util::CelsiusDelta offset(std::size_t i) const {
+    return util::CelsiusDelta(offsets_[i]);
+  }
   const SensorConfig& config() const { return cfg_; }
 
  private:

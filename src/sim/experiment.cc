@@ -107,7 +107,7 @@ std::unique_ptr<core::DtmPolicy> make_base_policy(PolicyKind kind,
     case PolicyKind::kProactiveHybrid: {
       core::ProactiveConfig pro = params.proactive;
       // The horizon is paper-time like every other duration: compress it.
-      pro.horizon_seconds /= ts;
+      pro.horizon /= ts;
       return std::make_unique<core::ProactiveHybridPolicy>(
           make_ladder(cfg), cfg.thresholds, pro);
     }
@@ -135,10 +135,10 @@ std::unique_ptr<core::DtmPolicy> make_policy(PolicyKind kind,
   if (!params.guarded) return base;
   core::GuardedPolicyConfig guard = params.guard;
   // Like controller gains, the rate limit is specified in paper-time.
-  guard.max_rate_celsius_per_s *= cfg.time_scale;
+  guard.max_rate *= cfg.time_scale;
   // Without sensor noise a steady temperature produces bit-identical
   // readings, so the frozen-reading detector must stand down.
-  if (!cfg.sensor.enable_noise || cfg.sensor.noise_sigma <= 0.0) {
+  if (!cfg.sensor.enable_noise || cfg.sensor.noise_sigma.value() <= 0.0) {
     guard.frozen_samples = 0;
   }
   return std::make_unique<core::GuardedPolicy>(
@@ -173,21 +173,21 @@ SimConfig default_sim_config() {
 namespace {
 
 void hash_package(util::HashSink& h, const thermal::Package& p) {
-  h.f64(p.die_thickness)
+  h.f64(p.die_thickness_m)
       .f64(p.k_silicon)
       .f64(p.c_silicon)
-      .f64(p.tim_thickness)
+      .f64(p.tim_thickness_m)
       .f64(p.k_tim)
-      .f64(p.spreader_side)
-      .f64(p.spreader_thickness)
+      .f64(p.spreader_side_m)
+      .f64(p.spreader_thickness_m)
       .f64(p.k_copper)
       .f64(p.c_copper)
-      .f64(p.sink_side)
-      .f64(p.sink_thickness)
+      .f64(p.sink_side_m)
+      .f64(p.sink_thickness_m)
       .f64(p.k_sink)
       .f64(p.c_sink)
       .f64(p.r_convec)
-      .f64(p.ambient_celsius);
+      .f64(p.ambient);
 }
 
 void hash_cache_config(util::HashSink& h, const arch::CacheConfig& c) {
@@ -236,7 +236,7 @@ void hash_sensor(util::HashSink& h, const sensor::SensorConfig& s) {
   h.f64(s.noise_sigma)
       .f64(s.quantization)
       .f64(s.max_offset)
-      .f64(s.sample_rate_hz)
+      .f64(s.sample_rate)
       .u64(s.seed)
       .boolean(s.enable_noise)
       .boolean(s.enable_offset);
@@ -263,8 +263,8 @@ void hash_config_into(util::HashSink& h, const SimConfig& cfg) {
       .u64(cfg.dvs_steps)
       .f64(cfg.dvs_switch_time)
       .boolean(cfg.dvs_stall)
-      .f64(cfg.thresholds.trigger_celsius)
-      .f64(cfg.thresholds.emergency_celsius)
+      .f64(cfg.thresholds.trigger)
+      .f64(cfg.thresholds.emergency)
       .f64(cfg.clock_gate_quantum)
       .i64(cfg.thermal_interval_cycles)
       .f64(cfg.time_scale)
@@ -328,7 +328,7 @@ void hash_params(util::HashSink& h, const PolicyParams& p) {
       .f64(p.clock_gating.hysteresis);
   hash_hybrid(h, p.hybrid);
   hash_hybrid(h, p.proactive.hybrid);
-  h.f64(p.proactive.horizon_seconds)
+  h.f64(p.proactive.horizon)
       .f64(p.proactive.slope_filter_alpha)
       .f64(p.local_toggle.ki)
       .f64(p.local_toggle.kp)
@@ -341,22 +341,22 @@ void hash_params(util::HashSink& h, const PolicyParams& p) {
       .f64(p.fallback.hysteresis)
       .boolean(p.guarded);
   const core::GuardedPolicyConfig& g = p.guard;
-  h.f64(g.min_plausible_celsius)
-      .f64(g.max_plausible_celsius)
-      .f64(g.max_rate_celsius_per_s)
-      .f64(g.noise_margin_celsius)
+  h.f64(g.min_plausible)
+      .f64(g.max_plausible)
+      .f64(g.max_rate)
+      .f64(g.noise_margin)
       .u64(g.frozen_samples)
       .u64(g.learn_samples)
       .f64(g.deviation_alpha)
-      .f64(g.drift_cap_celsius)
+      .f64(g.drift_cap)
       .u64(g.suspect_samples)
-      .f64(g.substitution_margin_celsius)
-      .f64(g.recovery_band_celsius)
+      .f64(g.substitution_margin)
+      .f64(g.recovery_band)
       .u64(g.recovery_samples)
       .u64(g.backoff_max_factor)
       .f64(g.failsafe_lost_fraction)
       .u64(g.failsafe_release_samples)
-      .f64(g.pessimism_bias_celsius);
+      .f64(g.pessimism_bias);
 }
 
 }  // namespace

@@ -8,19 +8,20 @@
 #include "fault/fault_campaign.h"
 #include "sensor/sensor.h"
 #include "thermal/package.h"
+#include "util/units.h"
 
 namespace hydra::sim {
 
 struct SimConfig {
   // --- Operating point / DVS ------------------------------------------
-  double v_nominal = 1.3;        ///< [V]
-  double f_nominal = 3.0e9;      ///< [Hz]
-  double v_threshold = 0.35;     ///< device Vth for the f(V) curve [V]
-  double vf_alpha = 1.3;         ///< alpha-power-law exponent
-  double v_low_fraction = 0.85;  ///< paper: largest safe low voltage
-  std::size_t dvs_steps = 2;     ///< binary DVS by default
-  /// Time to change the DVS setting [s]; paper: 10 us.
-  double dvs_switch_time = 10e-6;
+  util::Volts v_nominal{1.3};
+  util::Hertz f_nominal{3.0e9};
+  util::Volts v_threshold{0.35};  ///< device Vth for the f(V) curve
+  double vf_alpha = 1.3;          ///< alpha-power-law exponent
+  double v_low_fraction = 0.85;   ///< paper: largest safe low voltage
+  std::size_t dvs_steps = 2;      ///< binary DVS by default
+  /// Time to change the DVS setting; paper: 10 us.
+  util::Seconds dvs_switch_time{10e-6};
   /// true: pipeline stalls during the switch ("DVS-stall");
   /// false: execution continues, new point applies after the switch
   /// ("DVS-ideal").
@@ -29,8 +30,8 @@ struct SimConfig {
   // --- Thermal / DTM -----------------------------------------------------
   core::DtmThresholds thresholds{};
   thermal::Package package{};
-  /// Global clock-gating quantum [s]; paper (Pentium 4): 2 us.
-  double clock_gate_quantum = 2e-6;
+  /// Global clock-gating quantum; paper (Pentium 4): 2 us.
+  util::Seconds clock_gate_quantum{2e-6};
   /// Power/thermal accounting interval [cycles]; paper: 10,000 (with
   /// time_scale = 1). Scaled down alongside time_scale so the interval
   /// stays well below the sensor sampling period.

@@ -44,16 +44,17 @@ System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
       sensors_(floorplan::kNumBlocks, cfg.sensor),
       policy_(std::move(policy)),
       guard_(dynamic_cast<core::GuardedPolicy*>(policy_.get())),
-      solver_(model_.network, cfg.package.ambient_celsius,
+      solver_(model_.network, cfg.package.ambient,
               thermal::Scheme::kBackwardEuler, shared_->lu_cache) {
   if (!cfg_.fault_campaign.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(
         sensors_, cfg_.fault_campaign, cfg_.time_scale);
   }
-  sensor_period_ = 1.0 / cfg_.sensor.sample_rate_hz / cfg_.time_scale;
-  switch_time_ = cfg_.dvs_switch_time / cfg_.time_scale;
-  gate_quantum_ = cfg_.clock_gate_quantum / cfg_.time_scale;
-  freq_ = ladder_.point(0).frequency;
+  sensor_period_s_ =
+      1.0 / (cfg_.sensor.sample_rate.value() * cfg_.time_scale);
+  switch_time_s_ = cfg_.dvs_switch_time.value() / cfg_.time_scale;
+  gate_quantum_ = cfg_.clock_gate_quantum.value() / cfg_.time_scale;
+  freq_hz_ = ladder_.point(0).frequency.value();
   watts_.resize(floorplan::kNumBlocks);
   expanded_.resize(model_.network.size());
   sample_.sensed_celsius.reserve(floorplan::kNumBlocks);
@@ -85,8 +86,8 @@ void System::initialize_thermal_state() {
   // The shared steady-state factorisation of G replaces a fresh LU per
   // iteration; same matrix, so the result is bit-identical. All scratch
   // is preallocated member state so repeated run() calls do not allocate.
-  const double ambient = cfg_.package.ambient_celsius;
-  init_temps_.assign(model_.network.size(), ambient + 30.0);
+  const util::Celsius ambient = cfg_.package.ambient;
+  init_temps_.assign(model_.network.size(), ambient.value() + 30.0);
   const auto& nominal = ladder_.point(0);
   const thermal::LuFactorization& g_lu = shared_->lu_cache->steady();
   for (int iter = 0; iter < 10; ++iter) {
@@ -98,24 +99,24 @@ void System::initialize_thermal_state() {
   solver_.set_temperatures(init_temps_);
 
   t_ = 0.0;
-  next_sensor_t_ = sensor_period_;
+  next_sensor_t_ = sensor_period_s_;
   interval_cycles_ = 0;
   interval_wall_ = 0.0;
 }
 
 void System::apply_dvs_level(std::size_t level) {
   dvs_level_ = level;
-  freq_ = ladder_.point(level).frequency;
-  core_.set_frequency(freq_);
+  freq_hz_ = ladder_.point(level).frequency.value();
+  core_.set_frequency(freq_hz_);
 
   obs::Tracer& tracer = obs::tracer();
   if (sim_trace_on(tracer, sim_lane_)) {
     const double ts = t_ * kSimUs;
     tracer.instant(sim_lane_, obs::TimeDomain::kSim, "dtm",
                    "dvs_level_applied", ts, "level",
-                   static_cast<double>(level), "freq_ghz", freq_ / 1e9);
+                   static_cast<double>(level), "freq_ghz", freq_hz_ / 1e9);
     tracer.counter(sim_lane_, obs::TimeDomain::kSim, "frequency_ghz", ts,
-                   freq_ / 1e9);
+                   freq_hz_ / 1e9);
   }
 }
 
@@ -127,9 +128,9 @@ void System::sensor_event(bool measure) {
     } else {
       sensors_.sample_into(solver_.temperatures(), sample_.sensed_celsius);
     }
-    sample_.max_sensed = *std::max_element(sample_.sensed_celsius.begin(),
-                                           sample_.sensed_celsius.end());
-    sample_.time_seconds = t_;
+    sample_.max_sensed = util::Celsius(*std::max_element(
+        sample_.sensed_celsius.begin(), sample_.sensed_celsius.end()));
+    sample_.time = util::Seconds(t_);
     const core::DtmCommand cmd = policy_->update(sample_);
 
     const double prev_gate = gate_fraction_;
@@ -156,7 +157,7 @@ void System::sensor_event(bool measure) {
       }
       pending_level_ = cmd.dvs_level;
       transition_active_ = true;
-      transition_end_t_ = t_ + switch_time_;
+      transition_end_t_ = t_ + switch_time_s_;
       transition_started = true;
       if (measure) ++acc_.transitions;
       static const obs::Counter dvs_transitions =
@@ -205,11 +206,11 @@ void System::sensor_event(bool measure) {
       if (sim_trace_on(tracer, sim_lane_)) {
         tracer.instant(sim_lane_, obs::TimeDomain::kSim, "dtm",
                        engaged ? "policy_engage" : "policy_disengage",
-                       t_ * kSimUs, "max_sensed", sample_.max_sensed);
+                       t_ * kSimUs, "max_sensed", sample_.max_sensed.value());
       }
     }
   }
-  next_sensor_t_ += sensor_period_;
+  next_sensor_t_ += sensor_period_s_;
 }
 
 void System::thermal_and_power_step(bool measure) {
@@ -219,7 +220,7 @@ void System::thermal_and_power_step(bool measure) {
                           solver_.temperatures(), watts_);
   const double dt = interval_wall_;
   model_.expand_power_into(watts_, expanded_);
-  solver_.step(expanded_, dt);
+  solver_.step(expanded_, util::Seconds(dt));
 
   const thermal::Vector& temps = solver_.temperatures();
   const double max_true = max_block_temp(temps, floorplan::kNumBlocks);
@@ -239,7 +240,7 @@ void System::thermal_and_power_step(bool measure) {
     tracer.counter(sim_lane_, obs::TimeDomain::kSim, "power_watts", ts,
                    total_watts);
   }
-  const bool emergency = max_true > cfg_.thresholds.emergency_celsius;
+  const bool emergency = max_true > cfg_.thresholds.emergency.value();
   if (emergency != in_emergency_) {
     in_emergency_ = emergency;
     if (emergency) {
@@ -256,17 +257,17 @@ void System::thermal_and_power_step(bool measure) {
   }
 
   if (measure) {
-    if (max_true > cfg_.thresholds.emergency_celsius) acc_.violation += dt;
-    if (max_true > cfg_.thresholds.trigger_celsius) acc_.above_trigger += dt;
+    if (max_true > cfg_.thresholds.emergency.value()) acc_.violation += dt;
+    if (max_true > cfg_.thresholds.trigger.value()) acc_.above_trigger += dt;
     if (injector_ && injector_->any_active(t_)) {
       acc_.fault_window += dt;
-      if (max_true > cfg_.thresholds.emergency_celsius) {
+      if (max_true > cfg_.thresholds.emergency.value()) {
         acc_.fault_violation += dt;
       }
     }
     acc_.gate_weighted += gate_fraction_ * dt;
     acc_.issue_gate_weighted += issue_gate_fraction_ * dt;
-    acc_.energy += total_watts * dt;
+    acc_.energy_j += total_watts * dt;
     acc_.max_true = std::max(acc_.max_true, max_true);
     for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
       acc_.block_temp_weighted[i] += temps[i] * dt;
@@ -305,13 +306,13 @@ void System::advance_until(std::uint64_t target_committed, bool measure,
                            bool run_out_interval) {
   // The next scheduled event and the applied clock are loop invariants
   // between event firings, so both are hoisted out of the per-chunk loop:
-  // next_event is recomputed only after a handler fires and freq_ is a
+  // next_event is recomputed only after a handler fires and freq_hz_ is a
   // member updated by apply_dvs_level.
   double next_event = next_event_time();
   while (core_.committed() < target_committed ||
          (run_out_interval && interval_cycles_ > 0)) {
     long long cycles_to_event =
-        static_cast<long long>(std::ceil((next_event - t_) * freq_));
+        static_cast<long long>(std::ceil((next_event - t_) * freq_hz_));
     if (cycles_to_event < 1) cycles_to_event = 1;
     long long n = std::min<long long>(
         cycles_to_event, cfg_.thermal_interval_cycles - interval_cycles_);
@@ -326,7 +327,7 @@ void System::advance_until(std::uint64_t target_committed, bool measure,
       for (long long i = 0; i < n; ++i) core_.cycle();
     }
 
-    const double dt = static_cast<double>(n) / freq_;
+    const double dt = static_cast<double>(n) / freq_hz_;
     t_ += dt;
     interval_cycles_ += n;
     interval_wall_ += dt;
@@ -427,7 +428,7 @@ RunResult System::run() {
     r.mean_issue_gate_fraction = acc_.issue_gate_weighted / acc_.wall;
     r.dvs_low_fraction = acc_.dvs_low / acc_.wall;
     r.clock_gated_fraction = acc_.clock_gated / acc_.wall;
-    r.mean_power_watts = acc_.energy / acc_.wall;
+    r.mean_power_watts = acc_.energy_j / acc_.wall;
     std::size_t hottest = 0;
     for (std::size_t i = 1; i < floorplan::kNumBlocks; ++i) {
       if (acc_.block_temp_weighted[i] > acc_.block_temp_weighted[hottest]) {

@@ -71,8 +71,8 @@ struct RunResult {
 struct StepTrace {
   double time_seconds = 0.0;
   double max_true_celsius = 0.0;
-  double voltage = 0.0;
-  double frequency = 0.0;
+  util::Volts voltage{};
+  util::Hertz frequency{};
   double gate_fraction = 0.0;
   bool clock_gated = false;
   std::uint64_t committed = 0;
@@ -134,14 +134,14 @@ class System {
   thermal::TransientSolver solver_;
 
   // Scaled event periods [s].
-  double sensor_period_ = 0.0;
-  double switch_time_ = 0.0;
+  double sensor_period_s_ = 0.0;
+  double switch_time_s_ = 0.0;
   double gate_quantum_ = 0.0;
 
   // Dynamic state.
   double t_ = 0.0;             ///< simulation time [s]
   double next_sensor_t_ = 0.0;
-  double freq_ = 0.0;          ///< clock at the applied DVS level [Hz]
+  double freq_hz_ = 0.0;          ///< clock at the applied DVS level [Hz]
   std::size_t dvs_level_ = 0;  ///< applied DVS level
   std::size_t pending_level_ = 0;
   bool transition_active_ = false;
@@ -166,7 +166,7 @@ class System {
     double failsafe = 0.0;
     double fault_window = 0.0;
     double fault_violation = 0.0;
-    double energy = 0.0;
+    double energy_j = 0.0;
     double max_true = 0.0;
     std::vector<double> block_temp_weighted;
     std::size_t transitions = 0;
@@ -178,7 +178,7 @@ class System {
     void reset() {
       wall = violation = above_trigger = gate_weighted = 0.0;
       issue_gate_weighted = dvs_low = clock_gated = failsafe = 0.0;
-      fault_window = fault_violation = energy = max_true = 0.0;
+      fault_window = fault_violation = energy_j = max_true = 0.0;
       for (double& v : block_temp_weighted) v = 0.0;
       transitions = 0;
       start_committed = 0;

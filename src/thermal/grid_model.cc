@@ -31,10 +31,11 @@ GridThermalModel::GridThermalModel(const floorplan::Floorplan& fp,
   const double cell_w = die_w / static_cast<double>(cols_);
   const double cell_h = die_h / static_cast<double>(rows_);
   const double cell_area = cell_w * cell_h;
-  cell_area_ = cell_area;
+  cell_area_m2_ = cell_area;
 
   // --- Cell nodes --------------------------------------------------------
-  const double cell_cap = pkg.c_silicon * cell_area * pkg.die_thickness;
+  const util::JoulesPerKelvin cell_cap(pkg.c_silicon * cell_area *
+                                       pkg.die_thickness_m);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
       network_.add_node(
@@ -43,10 +44,10 @@ GridThermalModel::GridThermalModel(const floorplan::Floorplan& fp,
   }
 
   // Lateral resistances between neighbouring cells.
-  const double r_horizontal =
-      cell_w / (pkg.k_silicon * pkg.die_thickness * cell_h);
-  const double r_vertical =
-      cell_h / (pkg.k_silicon * pkg.die_thickness * cell_w);
+  const util::KelvinPerWatt r_horizontal(
+      cell_w / (pkg.k_silicon * pkg.die_thickness_m * cell_h));
+  const util::KelvinPerWatt r_vertical(
+      cell_h / (pkg.k_silicon * pkg.die_thickness_m * cell_w));
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
       if (c + 1 < cols_) {
@@ -60,7 +61,8 @@ GridThermalModel::GridThermalModel(const floorplan::Floorplan& fp,
 
   // --- Package -------------------------------------------------------------
   package_ = attach_package_nodes(network_, die_w, die_h, pkg);
-  const double r_cell_vertical = die_to_spreader_resistance(cell_area, pkg);
+  const util::KelvinPerWatt r_cell_vertical =
+      die_to_spreader_resistance(cell_area, pkg);
   for (std::size_t i = 0; i < num_cells(); ++i) {
     network_.connect(i, package_.spreader_center, r_cell_vertical);
   }
@@ -98,8 +100,8 @@ Vector GridThermalModel::expand_power(const Vector& block_power) const {
       const double frac = overlap_[cell][b];
       if (frac <= 0.0) continue;
       // Power density of block b times the overlap area (frac is the
-      // cell-area share, so the overlap area is frac * cell_area_).
-      w += block_power[b] / block_area_[b] * frac * cell_area_;
+      // cell-area share, so the overlap area is frac * cell_area_m2_).
+      w += block_power[b] / block_area_[b] * frac * cell_area_m2_;
     }
     full[cell] = w;
   }

@@ -66,7 +66,7 @@ class GridThermalModel {
   /// overlap_[cell][block] = fraction of the cell covered by the block.
   std::vector<std::vector<double>> overlap_;
   std::vector<double> block_area_;
-  double cell_area_ = 0.0;
+  double cell_area_m2_ = 0.0;
 };
 
 }  // namespace hydra::thermal

@@ -14,14 +14,15 @@ using floorplan::Floorplan;
 
 /// Lateral resistance between two adjacent blocks: series of the two
 /// half-block conduction paths through the die, across the shared edge.
-double lateral_resistance(const Block& a, const Block& b, double shared_len,
-                          bool vertical_edge, const Package& pkg) {
+util::KelvinPerWatt lateral_resistance(const Block& a, const Block& b,
+                                       double shared_len, bool vertical_edge,
+                                       const Package& pkg) {
   // Heat travels perpendicular to the shared edge; the path length in each
   // block is half its extent in that direction.
   const double da = vertical_edge ? a.width / 2.0 : a.height / 2.0;
   const double db = vertical_edge ? b.width / 2.0 : b.height / 2.0;
-  const double cross_section = pkg.k_silicon * pkg.die_thickness * shared_len;
-  return (da + db) / cross_section;
+  const double cross_section = pkg.k_silicon * pkg.die_thickness_m * shared_len;
+  return util::KelvinPerWatt((da + db) / cross_section);
 }
 
 }  // namespace
@@ -57,13 +58,14 @@ ThermalModel build_thermal_model(const Floorplan& fp, const Package& pkg) {
 
   // --- Die nodes -----------------------------------------------------
   for (const Block& b : fp.blocks()) {
-    const double cap = pkg.c_silicon * b.area() * pkg.die_thickness;
+    const util::JoulesPerKelvin cap(pkg.c_silicon * b.area() *
+                                    pkg.die_thickness_m);
     net.add_node(std::string(b.name), cap);
   }
 
   // Lateral die resistances from shared edges.
   for (const auto& adj : fp.adjacencies(1e-9)) {
-    const double r =
+    const util::KelvinPerWatt r =
         lateral_resistance(fp.block(adj.a), fp.block(adj.b),
                            adj.shared_length, adj.vertical_edge, pkg);
     net.connect(adj.a, adj.b, r);

@@ -1,41 +1,46 @@
 // Thermal package parameters (paper Section 3).
 #pragma once
 
+#include "util/units.h"
+
 namespace hydra::thermal {
 
 /// Material and geometry constants of the die + package stack. Defaults
 /// correspond to the paper's setup: 0.5 mm die, copper spreader and heat
 /// sink as in the HotSpot work, and a low-cost 1.0 K/W sink-to-air
 /// convection resistance chosen to push hot SPEC benchmarks into thermal
-/// stress.
+/// stress. Geometry carries an explicit `_m` suffix; conductivities k_*
+/// are [W/(m K)] and volumetric heat capacities c_* are [J/(m^3 K)] —
+/// they feed raw resistance/capacitance formulas in package_builder.cc,
+/// which wraps the results in strong types at the RcNetwork boundary.
 struct Package {
   // Silicon die.
-  double die_thickness = 0.5e-3;         ///< [m]
-  double k_silicon = 150.0;              ///< thermal conductivity [W/mK]
-  double c_silicon = 1.75e6;             ///< volumetric heat capacity [J/m^3 K]
+  double die_thickness_m = 0.5e-3;
+  double k_silicon = 150.0;  ///< [W/(m K)]
+  double c_silicon = 1.75e6;  ///< [J/(m^3 K)]
 
   // Thermal interface material between die and spreader.
-  double tim_thickness = 20e-6;          ///< [m]
-  double k_tim = 4.0;                    ///< [W/mK]
+  double tim_thickness_m = 20e-6;
+  double k_tim = 4.0;  ///< [W/(m K)]
 
   // Copper heat spreader.
-  double spreader_side = 3.0e-2;         ///< [m]
-  double spreader_thickness = 1.0e-3;    ///< [m]
-  double k_copper = 400.0;               ///< [W/mK]
-  double c_copper = 3.55e6;              ///< [J/m^3 K]
+  double spreader_side_m = 3.0e-2;
+  double spreader_thickness_m = 1.0e-3;
+  double k_copper = 400.0;  ///< [W/(m K)]
+  double c_copper = 3.55e6;  ///< [J/(m^3 K)]
 
   // Heat sink (aluminium base modelled; fins folded into r_convec).
-  double sink_side = 6.0e-2;             ///< [m]
-  double sink_thickness = 6.9e-3;        ///< [m]
-  double k_sink = 240.0;                 ///< [W/mK]
-  double c_sink = 2.42e6;                ///< [J/m^3 K]
+  double sink_side_m = 6.0e-2;
+  double sink_thickness_m = 6.9e-3;
+  double k_sink = 240.0;  ///< [W/(m K)]
+  double c_sink = 2.42e6;  ///< [J/(m^3 K)]
 
-  /// Equivalent sink-to-air convection resistance [K/W]. 1.0 is the
+  /// Equivalent sink-to-air convection resistance. 1.0 K/W is the
   /// paper's low-cost package; HotSpot's default desktop value is 0.8.
-  double r_convec = 1.0;
+  util::KelvinPerWatt r_convec{1.0};
 
-  /// Ambient (inside-case) air temperature [deg C].
-  double ambient_celsius = 45.0;
+  /// Ambient (inside-case) air temperature.
+  util::Celsius ambient{45.0};
 };
 
 }  // namespace hydra::thermal

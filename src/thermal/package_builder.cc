@@ -6,27 +6,28 @@
 
 namespace hydra::thermal {
 
-double plate_lateral_resistance(double w_inner, double side, double t,
-                                double k) {
+util::KelvinPerWatt plate_lateral_resistance(double w_inner, double side,
+                                             double t, double k) {
   const double path = (side / 2.0 + w_inner / 2.0) / 2.0;
   const double width = (side + w_inner) / 2.0;
-  return path / (k * t * width);
+  return util::KelvinPerWatt(path / (k * t * width));
 }
 
-double die_to_spreader_resistance(double area, const Package& pkg) {
-  return pkg.die_thickness / (2.0 * pkg.k_silicon * area) +
-         pkg.tim_thickness / (pkg.k_tim * area);
+util::KelvinPerWatt die_to_spreader_resistance(double area,
+                                               const Package& pkg) {
+  return util::KelvinPerWatt(pkg.die_thickness_m / (2.0 * pkg.k_silicon * area) +
+                             pkg.tim_thickness_m / (pkg.k_tim * area));
 }
 
 PackageNodes attach_package_nodes(RcNetwork& net, double die_width,
                                   double die_height, const Package& pkg) {
   PackageNodes nodes;
   const double die_area = die_width * die_height;
-  const double sp_area = pkg.spreader_side * pkg.spreader_side;
+  const double sp_area = pkg.spreader_side_m * pkg.spreader_side_m;
   if (sp_area <= die_area) {
     throw std::invalid_argument("spreader must be larger than the die");
   }
-  const double sink_area = pkg.sink_side * pkg.sink_side;
+  const double sink_area = pkg.sink_side_m * pkg.sink_side_m;
   if (sink_area <= sp_area) {
     throw std::invalid_argument("sink must be larger than the spreader");
   }
@@ -35,27 +36,28 @@ PackageNodes attach_package_nodes(RcNetwork& net, double die_width,
                                                 "west"};
 
   // --- Spreader --------------------------------------------------------
-  const double sp_center_cap =
-      pkg.c_copper * die_area * pkg.spreader_thickness;
-  const double sp_edge_cap =
-      pkg.c_copper * (sp_area - die_area) / 4.0 * pkg.spreader_thickness;
+  const util::JoulesPerKelvin sp_center_cap(
+      pkg.c_copper * die_area * pkg.spreader_thickness_m);
+  const util::JoulesPerKelvin sp_edge_cap(
+      pkg.c_copper * (sp_area - die_area) / 4.0 * pkg.spreader_thickness_m);
   nodes.spreader_center = net.add_node("spreader_center", sp_center_cap);
   for (int k = 0; k < 4; ++k) {
     nodes.spreader_edge[k] =
         net.add_node(std::string("spreader_") + kEdgeNames[k], sp_edge_cap);
   }
   const double w_die_mean = std::sqrt(die_width * die_height);
-  const double r_sp_lat =
-      4.0 * plate_lateral_resistance(w_die_mean, pkg.spreader_side,
-                                     pkg.spreader_thickness, pkg.k_copper);
+  const util::KelvinPerWatt r_sp_lat =
+      4.0 * plate_lateral_resistance(w_die_mean, pkg.spreader_side_m,
+                                     pkg.spreader_thickness_m, pkg.k_copper);
   for (int k = 0; k < 4; ++k) {
     net.connect(nodes.spreader_center, nodes.spreader_edge[k], r_sp_lat);
   }
 
   // --- Sink -------------------------------------------------------------
-  const double sink_center_cap = pkg.c_sink * sp_area * pkg.sink_thickness;
-  const double sink_edge_cap =
-      pkg.c_sink * (sink_area - sp_area) / 4.0 * pkg.sink_thickness;
+  const util::JoulesPerKelvin sink_center_cap(
+      pkg.c_sink * sp_area * pkg.sink_thickness_m);
+  const util::JoulesPerKelvin sink_edge_cap(
+      pkg.c_sink * (sink_area - sp_area) / 4.0 * pkg.sink_thickness_m);
   nodes.sink_center = net.add_node("sink_center", sink_center_cap);
   for (int k = 0; k < 4; ++k) {
     nodes.sink_edge[k] =
@@ -65,29 +67,29 @@ PackageNodes attach_package_nodes(RcNetwork& net, double die_width,
   // Spreader centre -> sink centre: half spreader + half sink vertically,
   // with 45-degree spreading from the die footprint into the sink base.
   const double spread_area = std::sqrt(die_area * sp_area);
-  const double r_sp_to_sink =
-      pkg.spreader_thickness / (2.0 * pkg.k_copper * die_area) +
-      pkg.sink_thickness / (2.0 * pkg.k_sink * spread_area);
+  const util::KelvinPerWatt r_sp_to_sink(
+      pkg.spreader_thickness_m / (2.0 * pkg.k_copper * die_area) +
+      pkg.sink_thickness_m / (2.0 * pkg.k_sink * spread_area));
   net.connect(nodes.spreader_center, nodes.sink_center, r_sp_to_sink);
 
   const double sp_edge_area = (sp_area - die_area) / 4.0;
-  const double r_spedge_to_sink =
-      pkg.spreader_thickness / (2.0 * pkg.k_copper * sp_edge_area) +
-      pkg.sink_thickness / (2.0 * pkg.k_sink * sp_edge_area);
+  const util::KelvinPerWatt r_spedge_to_sink(
+      pkg.spreader_thickness_m / (2.0 * pkg.k_copper * sp_edge_area) +
+      pkg.sink_thickness_m / (2.0 * pkg.k_sink * sp_edge_area));
   for (int k = 0; k < 4; ++k) {
     net.connect(nodes.spreader_edge[k], nodes.sink_edge[k],
                 r_spedge_to_sink);
   }
 
-  const double r_sink_lat =
-      4.0 * plate_lateral_resistance(pkg.spreader_side, pkg.sink_side,
-                                     pkg.sink_thickness, pkg.k_sink);
+  const util::KelvinPerWatt r_sink_lat =
+      4.0 * plate_lateral_resistance(pkg.spreader_side_m, pkg.sink_side_m,
+                                     pkg.sink_thickness_m, pkg.k_sink);
   for (int k = 0; k < 4; ++k) {
     net.connect(nodes.sink_center, nodes.sink_edge[k], r_sink_lat);
   }
 
   // Sink -> ambient: total conductance 1/r_convec split by footprint.
-  const double g_total = 1.0 / pkg.r_convec;
+  const util::WattsPerKelvin g_total = 1.0 / pkg.r_convec;
   const double center_share = sp_area / sink_area;
   net.connect_to_ambient(nodes.sink_center,
                          1.0 / (g_total * center_share));

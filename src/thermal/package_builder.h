@@ -29,12 +29,14 @@ PackageNodes attach_package_nodes(RcNetwork& net, double die_width,
 
 /// Lateral resistance between a centre region of width `w_inner` and the
 /// surrounding edge region of a plate (side `side`, thickness `t`,
-/// conductivity `k`).
-double plate_lateral_resistance(double w_inner, double side, double t,
-                                double k);
+/// conductivity `k`). Geometry parameters are raw metres / W/(m K);
+/// the result re-enters the typed RcNetwork boundary.
+util::KelvinPerWatt plate_lateral_resistance(double w_inner, double side,
+                                             double t, double k);
 
 /// Vertical die-node -> spreader-centre resistance for a die region of
-/// area `area` (half die conduction plus the TIM layer).
-double die_to_spreader_resistance(double area, const Package& pkg);
+/// area `area` [m^2] (half die conduction plus the TIM layer).
+util::KelvinPerWatt die_to_spreader_resistance(double area,
+                                               const Package& pkg);
 
 }  // namespace hydra::thermal

@@ -4,35 +4,37 @@
 
 namespace hydra::thermal {
 
-std::size_t RcNetwork::add_node(std::string name, double capacitance) {
-  if (capacitance <= 0.0) {
+std::size_t RcNetwork::add_node(std::string name,
+                                util::JoulesPerKelvin capacitance) {
+  if (capacitance.value() <= 0.0) {
     throw std::invalid_argument("node '" + name +
                                 "' needs positive capacitance");
   }
   names_.push_back(std::move(name));
-  capacitance_.push_back(capacitance);
+  capacitance_.push_back(capacitance.value());
   ambient_conductance_.push_back(0.0);
   return names_.size() - 1;
 }
 
-void RcNetwork::connect(std::size_t a, std::size_t b, double ohms) {
+void RcNetwork::connect(std::size_t a, std::size_t b,
+                        util::KelvinPerWatt ohms) {
   if (a >= size() || b >= size() || a == b) {
     throw std::invalid_argument("bad node indices in connect()");
   }
-  if (ohms <= 0.0) {
+  if (ohms.value() <= 0.0) {
     throw std::invalid_argument("thermal resistance must be positive");
   }
-  edges_.push_back({a, b, 1.0 / ohms});
+  edges_.push_back({a, b, 1.0 / ohms.value()});
 }
 
-void RcNetwork::connect_to_ambient(std::size_t a, double ohms) {
+void RcNetwork::connect_to_ambient(std::size_t a, util::KelvinPerWatt ohms) {
   if (a >= size()) {
     throw std::invalid_argument("bad node index in connect_to_ambient()");
   }
-  if (ohms <= 0.0) {
+  if (ohms.value() <= 0.0) {
     throw std::invalid_argument("thermal resistance must be positive");
   }
-  ambient_conductance_[a] += 1.0 / ohms;
+  ambient_conductance_[a] += 1.0 / ohms.value();
 }
 
 void RcNetwork::scale_capacitances(double inv_factor) {
@@ -46,19 +48,19 @@ Matrix RcNetwork::conductance_matrix() const {
   const std::size_t n = size();
   Matrix g(n, n, 0.0);
   for (const Edge& e : edges_) {
-    g(e.a, e.a) += e.conductance;
-    g(e.b, e.b) += e.conductance;
-    g(e.a, e.b) -= e.conductance;
-    g(e.b, e.a) -= e.conductance;
+    g(e.a, e.a) += e.conductance_w_per_k;
+    g(e.b, e.b) += e.conductance_w_per_k;
+    g(e.a, e.b) -= e.conductance_w_per_k;
+    g(e.b, e.a) -= e.conductance_w_per_k;
   }
   for (std::size_t i = 0; i < n; ++i) g(i, i) += ambient_conductance_[i];
   return g;
 }
 
-double RcNetwork::total_ambient_conductance() const {
+util::WattsPerKelvin RcNetwork::total_ambient_conductance() const {
   double total = 0.0;
   for (double g : ambient_conductance_) total += g;
-  return total;
+  return util::WattsPerKelvin(total);
 }
 
 }  // namespace hydra::thermal

@@ -14,25 +14,28 @@
 #include <vector>
 
 #include "thermal/linalg.h"
+#include "util/units.h"
 
 namespace hydra::thermal {
 
 class RcNetwork {
  public:
-  /// Add a node with heat capacitance `capacitance` [J/K] and return its
-  /// index. Capacitance must be positive for transient solves.
-  std::size_t add_node(std::string name, double capacitance);
+  /// Add a node with the given heat capacitance and return its index.
+  /// Capacitance must be positive for transient solves.
+  std::size_t add_node(std::string name, util::JoulesPerKelvin capacitance);
 
-  /// Connect nodes a and b through thermal resistance `ohms` [K/W].
+  /// Connect nodes a and b through a thermal resistance.
   /// Resistances must be positive; parallel connections accumulate.
-  void connect(std::size_t a, std::size_t b, double ohms);
+  void connect(std::size_t a, std::size_t b, util::KelvinPerWatt ohms);
 
-  /// Connect node `a` to ambient through `ohms` [K/W].
-  void connect_to_ambient(std::size_t a, double ohms);
+  /// Connect node `a` to ambient through a thermal resistance.
+  void connect_to_ambient(std::size_t a, util::KelvinPerWatt ohms);
 
   std::size_t size() const { return capacitance_.size(); }
   const std::string& node_name(std::size_t i) const { return names_[i]; }
-  double capacitance(std::size_t i) const { return capacitance_[i]; }
+  util::JoulesPerKelvin capacitance(std::size_t i) const {
+    return util::JoulesPerKelvin(capacitance_[i]);
+  }
 
   /// Divide all capacitances by `factor` (> 0). Used to accelerate
   /// simulated thermal time uniformly (see DESIGN.md, time_scale).
@@ -41,14 +44,14 @@ class RcNetwork {
   /// Dense conductance matrix G (including ambient ties on the diagonal).
   Matrix conductance_matrix() const;
 
-  /// Total conductance to ambient [W/K] — for conservation checks.
-  double total_ambient_conductance() const;
+  /// Total conductance to ambient — for conservation checks.
+  util::WattsPerKelvin total_ambient_conductance() const;
 
  private:
   struct Edge {
     std::size_t a;
     std::size_t b;
-    double conductance;
+    double conductance_w_per_k;
   };
 
   std::vector<std::string> names_;

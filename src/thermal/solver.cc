@@ -8,38 +8,38 @@
 namespace hydra::thermal {
 
 Vector steady_state(const RcNetwork& net, const Vector& power,
-                    double ambient_celsius) {
+                    util::Celsius ambient) {
   if (power.size() != net.size()) {
     throw std::invalid_argument("power vector size mismatch");
   }
   Vector rise = solve_linear(net.conductance_matrix(), power);
-  for (double& t : rise) t += ambient_celsius;
+  for (double& t : rise) t += ambient.value();
   return rise;
 }
 
 Vector steady_state(const LuFactorization& g_lu, const Vector& power,
-                    double ambient_celsius) {
+                    util::Celsius ambient) {
   if (power.size() != g_lu.size()) {
     throw std::invalid_argument("power vector size mismatch");
   }
   Vector rise = g_lu.solve(power);
-  for (double& t : rise) t += ambient_celsius;
+  for (double& t : rise) t += ambient.value();
   return rise;
 }
 
 void steady_state_into(const LuFactorization& g_lu, const Vector& power,
-                       double ambient_celsius, Vector& out) {
+                       util::Celsius ambient, Vector& out) {
   if (power.size() != g_lu.size()) {
     throw std::invalid_argument("power vector size mismatch");
   }
   g_lu.solve_into(power, out);
-  for (double& t : out) t += ambient_celsius;
+  for (double& t : out) t += ambient.value();
 }
 
 LuCache::LuCache(const RcNetwork& net)
     : g_(net.conductance_matrix()), capacitance_(net.size()) {
   for (std::size_t i = 0; i < capacitance_.size(); ++i) {
-    capacitance_[i] = net.capacitance(i);
+    capacitance_[i] = net.capacitance(i).value();
   }
 }
 
@@ -76,14 +76,14 @@ const LuFactorization& LuCache::backward_euler(double dt) const {
   return *it->second;
 }
 
-TransientSolver::TransientSolver(const RcNetwork& net, double ambient_celsius,
+TransientSolver::TransientSolver(const RcNetwork& net, util::Celsius ambient,
                                  Scheme scheme,
                                  std::shared_ptr<const LuCache> lu_cache)
     : net_(&net),
-      ambient_(ambient_celsius),
+      ambient_(ambient.value()),
       scheme_(scheme),
       g_(net.conductance_matrix()),
-      celsius_(net.size(), ambient_celsius),
+      celsius_(net.size(), ambient.value()),
       lu_cache_(lu_cache ? std::move(lu_cache)
                          : std::make_shared<const LuCache>(net)),
       rhs_(net.size()),
@@ -103,20 +103,20 @@ void TransientSolver::set_temperatures(const Vector& celsius) {
 }
 
 void TransientSolver::initialize_steady_state(const Vector& power) {
-  celsius_ = steady_state(lu_cache_->steady(), power, ambient_);
+  celsius_ = steady_state(lu_cache_->steady(), power, util::Celsius(ambient_));
 }
 
-void TransientSolver::step(const Vector& power, double dt) {
+void TransientSolver::step(const Vector& power, util::Seconds dt) {
   if (power.size() != net_->size()) {
     throw std::invalid_argument("power vector size mismatch");
   }
-  if (dt <= 0.0) {
+  if (dt.value() <= 0.0) {
     throw std::invalid_argument("time step must be positive");
   }
   if (scheme_ == Scheme::kBackwardEuler) {
-    step_backward_euler(power, dt);
+    step_backward_euler(power, dt.value());
   } else {
-    step_rk4(power, dt);
+    step_rk4(power, dt.value());
   }
 }
 
@@ -138,7 +138,7 @@ void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   }
   for (std::size_t i = 0; i < n; ++i) {
     const double rise = celsius_[i] - ambient_;
-    rhs_[i] = net_->capacitance(i) / dt * rise + power[i];
+    rhs_[i] = net_->capacitance(i).value() / dt * rise + power[i];
   }
   last_lu_->solve_into(rhs_, rise_);
   for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_[i];
@@ -150,7 +150,7 @@ void TransientSolver::derivative_into(const Vector& rise, const Vector& power,
   g_.multiply_into(rise, flow_);
   d.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    d[i] = (power[i] - flow_[i]) / net_->capacitance(i);
+    d[i] = (power[i] - flow_[i]) / net_->capacitance(i).value();
   }
 }
 

@@ -8,24 +8,27 @@
 
 #include "thermal/linalg.h"
 #include "thermal/rc_network.h"
+#include "util/units.h"
 
 namespace hydra::thermal {
 
 /// Absolute steady-state temperatures [deg C] for the given per-node power
-/// vector [W] and ambient temperature [deg C]: T = ambient + G^{-1} P.
+/// vector [W] and ambient temperature: T = ambient + G^{-1} P. Bulk node
+/// vectors stay raw doubles (the solver kernel boundary); scalars are
+/// strongly typed.
 Vector steady_state(const RcNetwork& net, const Vector& power,
-                    double ambient_celsius);
+                    util::Celsius ambient);
 
 /// Same computation against a prebuilt factorisation of the conductance
 /// matrix G (bit-identical to the overload above when `g_lu` was built
 /// from `net.conductance_matrix()`).
 Vector steady_state(const LuFactorization& g_lu, const Vector& power,
-                    double ambient_celsius);
+                    util::Celsius ambient);
 
 /// Allocation-free variant: writes the solution into `out` (resized on
 /// first use, reused afterwards). `out` must not alias `power`.
 void steady_state_into(const LuFactorization& g_lu, const Vector& power,
-                       double ambient_celsius, Vector& out);
+                       util::Celsius ambient, Vector& out);
 
 /// Integration scheme for the transient solver.
 enum class Scheme {
@@ -48,7 +51,9 @@ class LuCache {
   /// Factorisation of G for steady-state solves.
   const LuFactorization& steady() const;
 
-  /// Factorisation of (C/dt + G) for the given *already rounded* dt.
+  /// Factorisation of (C/dt + G) for the given *already rounded* dt
+  /// [s]. Raw double: this is below the typed boundary, keyed by the
+  /// exact bit pattern the stepper rounded to.
   const LuFactorization& backward_euler(double dt) const;
 
  private:
@@ -71,7 +76,7 @@ class TransientSolver {
  public:
   /// `lu_cache` may be shared across solvers over the same network; when
   /// null a private cache is created.
-  TransientSolver(const RcNetwork& net, double ambient_celsius,
+  TransientSolver(const RcNetwork& net, util::Celsius ambient,
                   Scheme scheme = Scheme::kBackwardEuler,
                   std::shared_ptr<const LuCache> lu_cache = nullptr);
 
@@ -80,13 +85,15 @@ class TransientSolver {
   /// Initialise to the steady state for `power`.
   void initialize_steady_state(const Vector& power);
 
-  /// Advance by dt seconds with constant per-node power [W].
-  void step(const Vector& power, double dt);
+  /// Advance by `dt` with constant per-node power [W].
+  void step(const Vector& power, util::Seconds dt);
 
   /// Current absolute temperatures [deg C].
   const Vector& temperatures() const { return celsius_; }
-  double temperature(std::size_t node) const { return celsius_[node]; }
-  double ambient() const { return ambient_; }
+  util::Celsius temperature(std::size_t node) const {
+    return util::Celsius(celsius_[node]);
+  }
+  util::Celsius ambient() const { return util::Celsius(ambient_); }
 
  private:
   void step_backward_euler(const Vector& power, double dt);

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/units.h"
+
 namespace hydra::util {
 
 class HashSink {
@@ -34,6 +36,15 @@ class HashSink {
     if (v == 0.0) v = 0.0;
     return u64(std::bit_cast<std::uint64_t>(v));
   }
+
+  /// Dimensioned quantities hash as their raw value, so adopting strong
+  /// types in a config struct never changes its cache key.
+  template <class D>
+  HashSink& f64(Quantity<D> q) {
+    return f64(q.value());
+  }
+
+  HashSink& f64(Celsius c) { return f64(c.value()); }
 
   HashSink& boolean(bool v) {
     byte(v ? 1 : 0);

@@ -1,13 +1,200 @@
-// Physical unit helpers.
+// Physical unit helpers and dimensional strong types.
 //
-// The simulator mixes electrical, thermal and timing quantities; keeping
-// conversions in one place avoids the classic Celsius/Kelvin and
-// cycles/seconds mix-ups. Quantities are plain doubles in SI units (seconds,
-// watts, volts, hertz, metres); temperatures are degrees Celsius throughout
-// the public API because every threshold in the paper is quoted in Celsius.
+// The simulator mixes electrical, thermal and timing quantities; a
+// Kelvin/Celsius slip or a power-vs-energy mixup used to compile
+// silently and surface only as a subtly wrong thermal trace. This header
+// makes whole classes of those bugs ill-formed:
+//
+//  * `Quantity<Dim>` is a zero-overhead strong double tagged with the
+//    exponents of four base dimensions (temperature, time, power,
+//    voltage). Only dimensionally valid arithmetic compiles:
+//    `Watts * Seconds -> Joules`, `CelsiusDelta / Seconds ->
+//    CelsiusPerSecond`, `Watts + Seconds` is a compile error. A product
+//    or quotient whose dimensions cancel decays to plain `double`.
+//  * `Celsius` is an *affine* temperature point: two points subtract to
+//    a `CelsiusDelta`, a point plus a delta is a point, and adding two
+//    absolute temperatures does not compile (it is physically
+//    meaningless).
+//
+// Internal numeric kernels (the thermal solver, per-block power vectors)
+// unwrap to raw `double` at their boundary via `.value()` — bulk state
+// stays `std::vector<double>` so the allocation-free hot path is
+// untouched. Public APIs and config structs carry the strong types.
+//
+// Adding a new unit: pick the base-dimension exponents, add a `using`
+// alias below (and a literal in `literals` if it reads better at call
+// sites), then extend tests/units_test.cc with its arithmetic laws.
+// See DESIGN.md section 11.
 #pragma once
 
+#include <type_traits>
+
 namespace hydra::util {
+
+// ---------------------------------------------------------------------------
+// Dimension algebra. Exponents over the base dimensions used in this
+// codebase: thermodynamic temperature (as Celsius-sized degrees), time,
+// power and electric potential. Power is a base dimension here (rather
+// than mass*length^2/time^3) because watts and joules are what the
+// domain reasons in; energy is derived as power * time.
+
+template <int TempE, int TimeE, int PowerE, int VoltE>
+struct Dim {
+  static constexpr int temp = TempE;
+  static constexpr int time = TimeE;
+  static constexpr int power = PowerE;
+  static constexpr int volt = VoltE;
+};
+
+template <typename A, typename B>
+using DimProduct = Dim<A::temp + B::temp, A::time + B::time,
+                       A::power + B::power, A::volt + B::volt>;
+
+template <typename A, typename B>
+using DimQuotient = Dim<A::temp - B::temp, A::time - B::time,
+                        A::power - B::power, A::volt - B::volt>;
+
+template <typename D>
+inline constexpr bool kIsDimensionless =
+    D::temp == 0 && D::time == 0 && D::power == 0 && D::volt == 0;
+
+template <typename D>
+class Quantity;
+
+// A fully cancelled dimension decays to double so ratios (e.g.
+// `elapsed / total`) flow straight into ordinary arithmetic.
+template <typename D>
+using QuantityOrDouble =
+    std::conditional_t<kIsDimensionless<D>, double, Quantity<D>>;
+
+template <typename D>
+constexpr QuantityOrDouble<D> make_quantity(double v) {
+  if constexpr (kIsDimensionless<D>) {
+    return v;
+  } else {
+    return Quantity<D>(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantity: a double tagged with a dimension. Same-dimension quantities
+// add, subtract and compare; multiplication and division combine
+// dimensions; scalars rescale without changing the dimension.
+
+template <typename D>
+class Quantity {
+ public:
+  using Dimension = D;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// The underlying SI-coherent magnitude. This is the sanctioned escape
+  /// hatch into raw-double kernels; call it at the boundary, not in the
+  /// middle of policy logic.
+  constexpr double value() const { return v_; }
+
+  constexpr Quantity operator-() const { return Quantity(-v_); }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.v_ - b.v_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.v_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.v_ / s);
+  }
+  /// scalar / quantity inverts the dimension (e.g. 1.0 / Seconds -> Hertz).
+  friend constexpr QuantityOrDouble<DimQuotient<Dim<0, 0, 0, 0>, D>>
+  operator/(double s, Quantity a) {
+    return make_quantity<DimQuotient<Dim<0, 0, 0, 0>, D>>(s / a.v_);
+  }
+
+  friend constexpr bool operator==(Quantity a, Quantity b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(Quantity a, Quantity b) {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(Quantity a, Quantity b) {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator<=(Quantity a, Quantity b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(Quantity a, Quantity b) {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator>=(Quantity a, Quantity b) {
+    return a.v_ >= b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+template <typename A, typename B>
+constexpr QuantityOrDouble<DimProduct<A, B>> operator*(Quantity<A> a,
+                                                       Quantity<B> b) {
+  return make_quantity<DimProduct<A, B>>(a.value() * b.value());
+}
+
+template <typename A, typename B>
+constexpr QuantityOrDouble<DimQuotient<A, B>> operator/(Quantity<A> a,
+                                                        Quantity<B> b) {
+  return make_quantity<DimQuotient<A, B>>(a.value() / b.value());
+}
+
+template <typename D>
+constexpr Quantity<D> abs(Quantity<D> q) {
+  return q.value() < 0.0 ? -q : q;
+}
+
+// ---------------------------------------------------------------------------
+// The unit vocabulary of this codebase.
+
+using CelsiusDelta = Quantity<Dim<1, 0, 0, 0>>;  ///< temperature difference
+using Seconds = Quantity<Dim<0, 1, 0, 0>>;
+using Watts = Quantity<Dim<0, 0, 1, 0>>;
+using Volts = Quantity<Dim<0, 0, 0, 1>>;
+using Hertz = Quantity<Dim<0, -1, 0, 0>>;
+using Joules = Quantity<Dim<0, 1, 1, 0>>;  ///< watt-seconds
+using CelsiusPerSecond = Quantity<Dim<1, -1, 0, 0>>;
+/// Proportional gain of a controller whose error is a CelsiusDelta and
+/// whose output is dimensionless (a duty fraction or throttle).
+using PerCelsius = Quantity<Dim<-1, 0, 0, 0>>;
+/// Integral gain of the same controller family: output per (deg C * s).
+using PerCelsiusSecond = Quantity<Dim<-1, -1, 0, 0>>;
+/// Heat capacitance [J/K]; one Celsius-sized degree == one kelvin.
+using JoulesPerKelvin = Quantity<Dim<-1, 1, 1, 0>>;
+/// Thermal resistance [K/W].
+using KelvinPerWatt = Quantity<Dim<1, 0, -1, 0>>;
+/// Thermal conductance [W/K].
+using WattsPerKelvin = Quantity<Dim<-1, 0, 1, 0>>;
 
 inline constexpr double kKelvinOffset = 273.15;
 
@@ -16,6 +203,152 @@ constexpr double celsius_to_kelvin(double c) { return c + kKelvinOffset; }
 
 /// Convert Kelvin to degrees Celsius.
 constexpr double kelvin_to_celsius(double k) { return k - kKelvinOffset; }
+
+// ---------------------------------------------------------------------------
+// Celsius: an affine absolute-temperature point. Differences are
+// CelsiusDelta; absolute temperatures do not add or scale.
+
+class Celsius {
+ public:
+  constexpr Celsius() = default;
+  constexpr explicit Celsius(double deg) : v_(deg) {}
+
+  static constexpr Celsius from_kelvin(double k) {
+    return Celsius(kelvin_to_celsius(k));
+  }
+
+  /// Magnitude in degrees Celsius (boundary escape hatch, like
+  /// Quantity::value()).
+  constexpr double value() const { return v_; }
+  /// Magnitude in kelvin, for physics that needs absolute temperature.
+  constexpr double kelvin() const { return celsius_to_kelvin(v_); }
+
+  constexpr Celsius& operator+=(CelsiusDelta d) {
+    v_ += d.value();
+    return *this;
+  }
+  constexpr Celsius& operator-=(CelsiusDelta d) {
+    v_ -= d.value();
+    return *this;
+  }
+
+  friend constexpr CelsiusDelta operator-(Celsius a, Celsius b) {
+    return CelsiusDelta(a.v_ - b.v_);
+  }
+  friend constexpr Celsius operator+(Celsius a, CelsiusDelta d) {
+    return Celsius(a.v_ + d.value());
+  }
+  friend constexpr Celsius operator+(CelsiusDelta d, Celsius a) {
+    return Celsius(a.v_ + d.value());
+  }
+  friend constexpr Celsius operator-(Celsius a, CelsiusDelta d) {
+    return Celsius(a.v_ - d.value());
+  }
+
+  friend constexpr bool operator==(Celsius a, Celsius b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(Celsius a, Celsius b) {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(Celsius a, Celsius b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Celsius a, Celsius b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(Celsius a, Celsius b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Celsius a, Celsius b) {
+    return a.v_ >= b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Literals: `using namespace hydra::util::literals;` enables
+// `81.8_degC`, `0.3_dC`, `2e-6_s`, `3e9_Hz`, `1.3_V`, `95.0_W`, `1.0_J`.
+
+inline namespace literals {
+
+constexpr Celsius operator""_degC(long double v) {
+  return Celsius(static_cast<double>(v));
+}
+constexpr Celsius operator""_degC(unsigned long long v) {
+  return Celsius(static_cast<double>(v));
+}
+constexpr CelsiusDelta operator""_dC(long double v) {
+  return CelsiusDelta(static_cast<double>(v));
+}
+constexpr CelsiusDelta operator""_dC(unsigned long long v) {
+  return CelsiusDelta(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Watts operator""_W(long double v) {
+  return Watts(static_cast<double>(v));
+}
+constexpr Watts operator""_W(unsigned long long v) {
+  return Watts(static_cast<double>(v));
+}
+constexpr Joules operator""_J(long double v) {
+  return Joules(static_cast<double>(v));
+}
+constexpr Joules operator""_J(unsigned long long v) {
+  return Joules(static_cast<double>(v));
+}
+constexpr Hertz operator""_Hz(long double v) {
+  return Hertz(static_cast<double>(v));
+}
+constexpr Hertz operator""_Hz(unsigned long long v) {
+  return Hertz(static_cast<double>(v));
+}
+constexpr Volts operator""_V(long double v) {
+  return Volts(static_cast<double>(v));
+}
+constexpr Volts operator""_V(unsigned long long v) {
+  return Volts(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+// ---------------------------------------------------------------------------
+// Compile-time contracts. The strong types must stay layout-identical to
+// double (zero overhead) and the dimension algebra must obey the
+// physical laws the rest of the codebase relies on.
+
+static_assert(sizeof(Quantity<Dim<1, 0, 0, 0>>) == sizeof(double));
+static_assert(sizeof(Celsius) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<CelsiusDelta>);
+static_assert(std::is_trivially_copyable_v<Celsius>);
+
+static_assert(std::is_same_v<decltype(Watts(2.0) * Seconds(3.0)), Joules>);
+static_assert((Watts(2.0) * Seconds(3.0)).value() == 6.0);
+static_assert(std::is_same_v<decltype(Joules(6.0) / Seconds(3.0)), Watts>);
+static_assert(
+    std::is_same_v<decltype(CelsiusDelta(4.0) / Seconds(2.0)),
+                   CelsiusPerSecond>);
+static_assert(
+    std::is_same_v<decltype(CelsiusPerSecond(5.0) * Seconds(2.0)),
+                   CelsiusDelta>);
+static_assert(std::is_same_v<decltype(KelvinPerWatt(2.0) * Watts(3.0)),
+                             CelsiusDelta>);
+static_assert(std::is_same_v<decltype(JoulesPerKelvin(2.0) *
+                                      CelsiusDelta(3.0)),
+                             Joules>);
+// Cancelled dimensions decay to double:
+static_assert(std::is_same_v<decltype(Seconds(1.0) / Seconds(2.0)), double>);
+static_assert(std::is_same_v<decltype(Hertz(10.0) * Seconds(2.0)), double>);
+static_assert(std::is_same_v<decltype(1.0 / Seconds(2.0)), Hertz>);
+// Affine temperature:
+static_assert(std::is_same_v<decltype(Celsius(85.0) - Celsius(45.0)),
+                             CelsiusDelta>);
+static_assert(std::is_same_v<decltype(Celsius(45.0) + CelsiusDelta(1.0)),
+                             Celsius>);
+static_assert(Celsius(0.0).kelvin() == kKelvinOffset);
 
 /// Convenience multipliers for readable literals: `3.0 * kGiga` Hz.
 inline constexpr double kGiga = 1e9;
@@ -30,11 +363,27 @@ constexpr double cycles_to_seconds(double cycles, double hz) {
   return cycles / hz;
 }
 
+/// Typed variant of cycles_to_seconds.
+constexpr Seconds cycles_to_duration(double cycles, Hertz hz) {
+  return Seconds(cycles / hz.value());
+}
+
 /// Whole cycles (rounded up) covering `seconds` at clock `hz`.
+/// A duration that is an exact number of cycles must not round up to
+/// one extra: seconds*hz can land an ulp above the true integer when
+/// the duration itself is not exactly representable (15,000 cycles at
+/// 3 GHz is 5 us, whose nearest double is a hair high), so fractional
+/// parts within a relative ulp-scale tolerance count as exact.
 constexpr long long seconds_to_cycles(double seconds, double hz) {
   const double c = seconds * hz;
   const auto floor_c = static_cast<long long>(c);
-  return (static_cast<double>(floor_c) < c) ? floor_c + 1 : floor_c;
+  const double frac = c - static_cast<double>(floor_c);
+  return (frac > c * 1e-12) ? floor_c + 1 : floor_c;
+}
+
+/// Typed variant of seconds_to_cycles.
+constexpr long long duration_to_cycles(Seconds t, Hertz hz) {
+  return seconds_to_cycles(t.value(), hz.value());
 }
 
 }  // namespace hydra::util

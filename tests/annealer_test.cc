@@ -5,6 +5,7 @@
 #include "floorplan/ev7.h"
 #include "thermal/model_builder.h"
 #include "thermal/solver.h"
+#include "util/units.h"
 
 namespace hydra::floorplan {
 namespace {
@@ -38,7 +39,7 @@ TEST(Annealer, Ev7SpecsExcludeL2Ring) {
   EXPECT_EQ(specs.size(), kNumBlocks - 3);
   for (const auto& s : specs) {
     EXPECT_NE(s.name, block_name(BlockId::kL2));
-    EXPECT_GT(s.area, 0.0);
+    EXPECT_GT(s.area_m2, 0.0);
   }
   EXPECT_THROW(ev7_core_block_specs(std::vector<double>(3, 1.0)),
                std::invalid_argument);
@@ -65,8 +66,8 @@ TEST(Annealer, ResultTilesDieAndPreservesAreas) {
   for (const auto& spec : specs) {
     const auto idx = r.floorplan.index_of(spec.name);
     ASSERT_TRUE(idx.has_value()) << spec.name;
-    EXPECT_NEAR(r.floorplan.block(*idx).area(), spec.area,
-                spec.area * 1e-6);
+    EXPECT_NEAR(r.floorplan.block(*idx).area(), spec.area_m2,
+                spec.area_m2 * 1e-6);
   }
 }
 
@@ -128,7 +129,8 @@ TEST(Annealer, AnnealedLayoutWorksInThermalModel) {
       thermal::build_thermal_model(r.floorplan, thermal::Package{});
   thermal::Vector p(r.floorplan.size(), 1.0);
   const thermal::Vector t =
-      thermal::steady_state(model.network, model.expand_power(p), 45.0);
+      thermal::steady_state(model.network, model.expand_power(p),
+                            util::Celsius(45.0));
   EXPECT_EQ(t.size(), model.network.size());
 }
 

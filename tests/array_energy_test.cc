@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "power/array_energy.h"
+#include "util/units.h"
 #include "power/energy_model.h"
 #include "floorplan/ev7.h"
 
@@ -54,14 +55,17 @@ TEST(ArrayEnergy, VoltageSquaredScaling) {
 
 TEST(ArrayEnergy, PeakPowerMatchesEnergyTimesFrequency) {
   ArrayGeometry g{80, 64, 2, 1};
-  const double e = 2.0 * array_read_energy(g) + 1.0 * array_write_energy(g);
-  EXPECT_NEAR(array_peak_power(g, 3.0e9), e * 3.0e9, 1e-12);
+  const util::Joules e =
+      2.0 * array_read_energy(g) + 1.0 * array_write_energy(g);
+  EXPECT_NEAR(array_peak_power(g, util::Hertz(3.0e9)).value(),
+              (e * util::Hertz(3.0e9)).value(), 1e-12);
 }
 
 TEST(ArrayEnergy, RejectsDegenerateInputs) {
   EXPECT_THROW(array_read_energy({0, 64, 1, 1}), std::invalid_argument);
   EXPECT_THROW(array_read_energy({64, 0, 1, 1}), std::invalid_argument);
-  EXPECT_THROW(array_peak_power({64, 64, 1, 1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(array_peak_power({64, 64, 1, 1}, util::Hertz(0.0)),
+               std::invalid_argument);
 }
 
 TEST(ArrayEnergy, RegisterFilePeakPowerIsWattsScale) {
@@ -69,7 +73,9 @@ TEST(ArrayEnergy, RegisterFilePeakPowerIsWattsScale) {
   // at 3 GHz lands in the single-digit-watts range — the same scale as
   // the calibrated EnergyModel entry (which folds in utilisation
   // assumptions and the paper's total-power calibration).
-  const double watts = array_peak_power(int_register_file_geometry(), 3.0e9);
+  const double watts =
+      array_peak_power(int_register_file_geometry(), util::Hertz(3.0e9))
+          .value();
   EXPECT_GT(watts, 0.2);
   EXPECT_LT(watts, 40.0);
 }
@@ -93,7 +99,8 @@ TEST(ArrayEnergy, DerivedPeaksAreOrderOfMagnitudeComparable) {
       {floorplan::BlockId::kBPred, bpred_geometry()},
   };
   for (const Pair& p : pairs) {
-    const double derived = array_peak_power(p.geometry, 3.0e9);
+    const double derived =
+        array_peak_power(p.geometry, util::Hertz(3.0e9)).value();
     const double calibrated = em.spec(p.id).peak_watts;
     EXPECT_GT(derived, calibrated / 20.0)
         << floorplan::block_name(p.id);

@@ -3,78 +3,84 @@
 
 #include "control/low_pass.h"
 #include "control/pi_controller.h"
+#include "util/units.h"
 
 namespace hydra::control {
 namespace {
 
+using util::CelsiusDelta;
+using util::PerCelsius;
+using util::PerCelsiusSecond;
+using util::Seconds;
+
 TEST(PiController, ProportionalOnly) {
-  PiController pi(2.0, 0.0, -10.0, 10.0);
-  EXPECT_DOUBLE_EQ(pi.update(3.0, 0.1), 6.0);
-  EXPECT_DOUBLE_EQ(pi.update(-1.0, 0.1), -2.0);
+  PiController pi(PerCelsius(2.0), PerCelsiusSecond(0.0), -10.0, 10.0);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(3.0), Seconds(0.1)), 6.0);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(-1.0), Seconds(0.1)), -2.0);
 }
 
 TEST(PiController, IntegralAccumulates) {
-  PiController pi(0.0, 1.0, -10.0, 10.0);
-  EXPECT_DOUBLE_EQ(pi.update(1.0, 1.0), 1.0);
-  EXPECT_DOUBLE_EQ(pi.update(1.0, 1.0), 2.0);
-  EXPECT_DOUBLE_EQ(pi.update(-2.0, 1.0), 0.0);
+  PiController pi(PerCelsius(0.0), PerCelsiusSecond(1.0), -10.0, 10.0);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(1.0), Seconds(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(1.0), Seconds(1.0)), 2.0);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(-2.0), Seconds(1.0)), 0.0);
 }
 
 TEST(PiController, OutputClamped) {
-  PiController pi(0.0, 1.0, 0.0, 1.0);
-  for (int i = 0; i < 100; ++i) pi.update(1.0, 1.0);
+  PiController pi(PerCelsius(0.0), PerCelsiusSecond(1.0), 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) pi.update(CelsiusDelta(1.0), Seconds(1.0));
   EXPECT_DOUBLE_EQ(pi.last_output(), 1.0);
 }
 
 TEST(PiController, AntiWindupReleasesImmediately) {
-  PiController pi(0.0, 1.0, 0.0, 1.0);
+  PiController pi(PerCelsius(0.0), PerCelsiusSecond(1.0), 0.0, 1.0);
   // Drive hard into saturation.
-  for (int i = 0; i < 1000; ++i) pi.update(5.0, 1.0);
+  for (int i = 0; i < 1000; ++i) pi.update(CelsiusDelta(5.0), Seconds(1.0));
   EXPECT_DOUBLE_EQ(pi.last_output(), 1.0);
   // A single step of negative error must start reducing the output —
   // a wound-up integrator would stay pinned for many steps.
-  const double out = pi.update(-0.5, 1.0);
+  const double out = pi.update(CelsiusDelta(-0.5), Seconds(1.0));
   EXPECT_LT(out, 1.0);
 }
 
 TEST(PiController, LastUnclampedExceedsRangeInSaturation) {
-  PiController pi(1.0, 1.0, 0.0, 1.0);
-  pi.update(5.0, 1.0);
+  PiController pi(PerCelsius(1.0), PerCelsiusSecond(1.0), 0.0, 1.0);
+  pi.update(CelsiusDelta(5.0), Seconds(1.0));
   EXPECT_GT(pi.last_unclamped(), 1.0);
   EXPECT_DOUBLE_EQ(pi.last_output(), 1.0);
 }
 
 TEST(PiController, SetIntegratorWarmStart) {
-  PiController pi(0.0, 1.0, 0.0, 1.0);
+  PiController pi(PerCelsius(0.0), PerCelsiusSecond(1.0), 0.0, 1.0);
   pi.set_integrator(0.5);
-  EXPECT_DOUBLE_EQ(pi.update(0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(0.0), Seconds(1.0)), 0.5);
 }
 
 TEST(PiController, ConvergesOnFirstOrderPlant) {
   // Plant: x' = -x + u ; target x = 1. PI should settle near u = 1.
-  PiController pi(0.5, 2.0, 0.0, 5.0);
+  PiController pi(PerCelsius(0.5), PerCelsiusSecond(2.0), 0.0, 5.0);
   double x = 0.0;
   const double dt = 0.01;
   for (int i = 0; i < 20'000; ++i) {
-    const double u = pi.update(1.0 - x, dt);
+    const double u = pi.update(CelsiusDelta(1.0 - x), Seconds(dt));
     x += dt * (-x + u);
   }
   EXPECT_NEAR(x, 1.0, 0.01);
 }
 
 TEST(PiController, RejectsBadArguments) {
-  EXPECT_THROW(PiController(1.0, 1.0, 1.0, 1.0), std::invalid_argument);
-  PiController pi(1.0, 1.0, 0.0, 1.0);
-  EXPECT_THROW(pi.update(1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(pi.update(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(PiController(PerCelsius(1.0), PerCelsiusSecond(1.0), 1.0, 1.0), std::invalid_argument);
+  PiController pi(PerCelsius(1.0), PerCelsiusSecond(1.0), 0.0, 1.0);
+  EXPECT_THROW(pi.update(CelsiusDelta(1.0), Seconds(0.0)), std::invalid_argument);
+  EXPECT_THROW(pi.update(CelsiusDelta(1.0), Seconds(-1.0)), std::invalid_argument);
 }
 
 TEST(PiController, ResetClearsState) {
-  PiController pi(0.0, 1.0, 0.0, 10.0);
-  pi.update(3.0, 1.0);
+  PiController pi(PerCelsius(0.0), PerCelsiusSecond(1.0), 0.0, 10.0);
+  pi.update(CelsiusDelta(3.0), Seconds(1.0));
   pi.reset();
   EXPECT_DOUBLE_EQ(pi.integrator(), 0.0);
-  EXPECT_DOUBLE_EQ(pi.update(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pi.update(CelsiusDelta(1.0), Seconds(1.0)), 1.0);
 }
 
 TEST(FirstOrderLowPass, PrimesOnFirstSample) {

@@ -82,7 +82,7 @@ TEST(EngineCacheKey, DistinguishesConfigs) {
   const SimConfig base = short_config();
 
   SimConfig hotter = base;
-  hotter.package.ambient_celsius += 1.0;
+  hotter.package.ambient += util::CelsiusDelta(1.0);
   SimConfig longer = base;
   longer.run_instructions += 1;
   SimConfig other_ladder = base;
@@ -122,7 +122,7 @@ TEST(EngineBaseline, KeyedByConfigHash) {
   EXPECT_EQ(&b0, &b_ladder) << "DTM-only knobs must share the baseline";
 
   SimConfig hot = base;
-  hot.package.ambient_celsius += 5.0;
+  hot.package.ambient += util::CelsiusDelta(5.0);
   const RunResult& b_hot = runner.baseline(profile, hot);
   EXPECT_NE(&b0, &b_hot);
   EXPECT_GT(b_hot.max_true_celsius, b0.max_true_celsius);

@@ -21,7 +21,7 @@ sensor::SensorConfig quiet() {
   sensor::SensorConfig cfg;
   cfg.enable_noise = false;
   cfg.enable_offset = false;
-  cfg.quantization = 0.0;
+  cfg.quantization = util::CelsiusDelta(0.0);
   return cfg;
 }
 

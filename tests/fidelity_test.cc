@@ -8,6 +8,7 @@
 #include "core/fallback_policy.h"
 #include "core/local_toggle_policy.h"
 #include "power/voltage_freq.h"
+#include "util/units.h"
 #include "workload/spec_profiles.h"
 
 namespace hydra {
@@ -242,8 +243,8 @@ core::ThermalSample sample_at(double max_temp, double t) {
   core::ThermalSample s;
   s.sensed_celsius.assign(18, max_temp - 2.0);
   s.sensed_celsius[0] = max_temp;
-  s.max_sensed = max_temp;
-  s.time_seconds = t;
+  s.max_sensed = util::Celsius(max_temp);
+  s.time = util::Seconds(t);
   return s;
 }
 
@@ -259,7 +260,7 @@ TEST(LocalTogglePolicy, RampsIssueGatingUnderStress) {
 
 TEST(LocalTogglePolicy, DecaysWhenCool) {
   core::LocalToggleConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   core::LocalTogglePolicy policy(core::DtmThresholds{}, cfg);
   double t = 0.0;
   for (int i = 0; i < 20; ++i) policy.update(sample_at(84.0, t += 1e-4));
@@ -270,7 +271,7 @@ TEST(LocalTogglePolicy, DecaysWhenCool) {
 
 TEST(FallbackPolicy, RidesFetchGatingToExhaustionFirst) {
   core::FallbackConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   core::FallbackPolicy policy(ladder(), core::DtmThresholds{}, cfg);
   double t = 0.0;
   core::DtmCommand cmd;
@@ -283,7 +284,7 @@ TEST(FallbackPolicy, RidesFetchGatingToExhaustionFirst) {
 
 TEST(FallbackPolicy, AddsDvsOnlyInExtremis) {
   core::FallbackConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   core::FallbackPolicy policy(ladder(), core::DtmThresholds{}, cfg);
   double t = 0.0;
   core::DtmCommand cmd;
@@ -296,7 +297,7 @@ TEST(FallbackPolicy, AddsDvsOnlyInExtremis) {
 
 TEST(FallbackPolicy, ReleasesDvsAfterCoolingFiltered) {
   core::FallbackConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   cfg.release_filter_samples = 2;
   core::FallbackPolicy policy(ladder(), core::DtmThresholds{}, cfg);
   double t = 0.0;

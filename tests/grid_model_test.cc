@@ -6,6 +6,7 @@
 #include "thermal/grid_model.h"
 #include "thermal/model_builder.h"
 #include "thermal/solver.h"
+#include "util/units.h"
 
 namespace hydra::thermal {
 namespace {
@@ -60,7 +61,7 @@ TEST_F(GridModelTest, SteadyStateConservesHeat) {
   const GridThermalModel grid(fp_, pkg_, {8, 8});
   Vector p(fp_.size(), 1.0);
   const Vector t =
-      steady_state(grid.network(), grid.expand_power(p), 45.0);
+      steady_state(grid.network(), grid.expand_power(p), util::Celsius(45.0));
   Vector rise(t.size());
   for (std::size_t i = 0; i < t.size(); ++i) rise[i] = t[i] - 45.0;
   const Vector flow = grid.network().conductance_matrix().multiply(rise);
@@ -75,7 +76,7 @@ TEST_F(GridModelTest, HotBlockIsHottestRegion) {
   const std::size_t reg = static_cast<std::size_t>(BlockId::kIntReg);
   p[reg] = 8.0;
   const Vector t =
-      steady_state(grid.network(), grid.expand_power(p), 45.0);
+      steady_state(grid.network(), grid.expand_power(p), util::Celsius(45.0));
   const Vector per_block = grid.block_temperatures(t);
   for (std::size_t b = 0; b < fp_.size(); ++b) {
     if (b != reg) {
@@ -98,9 +99,9 @@ TEST_F(GridModelTest, AgreesWithBlockModelOnBlockAverages) {
   }
   p[static_cast<std::size_t>(BlockId::kIntReg)] += 4.0;
 
-  const Vector tg = steady_state(grid.network(), grid.expand_power(p), 45.0);
+  const Vector tg = steady_state(grid.network(), grid.expand_power(p), util::Celsius(45.0));
   const Vector tb =
-      steady_state(block.network, block.expand_power(p), 45.0);
+      steady_state(block.network, block.expand_power(p), util::Celsius(45.0));
   const Vector per_block = grid.block_temperatures(tg);
   for (std::size_t b = 0; b < fp_.size(); ++b) {
     EXPECT_NEAR(per_block[b], tb[b], 3.0) << fp_.block(b).name;
@@ -114,9 +115,9 @@ TEST_F(GridModelTest, FinerGridResolvesHotterPeak) {
   const GridThermalModel coarse(fp_, pkg_, {8, 8});
   const GridThermalModel fine(fp_, pkg_, {24, 24});
   const double peak_coarse = coarse.max_cell_temperature(
-      steady_state(coarse.network(), coarse.expand_power(p), 45.0));
+      steady_state(coarse.network(), coarse.expand_power(p), util::Celsius(45.0)));
   const double peak_fine = fine.max_cell_temperature(
-      steady_state(fine.network(), fine.expand_power(p), 45.0));
+      steady_state(fine.network(), fine.expand_power(p), util::Celsius(45.0)));
   EXPECT_GE(peak_fine, peak_coarse - 0.2);
 }
 
@@ -127,7 +128,7 @@ TEST_F(GridModelTest, ResolutionConvergence) {
   auto peak = [&](std::size_t n) {
     const GridThermalModel g(fp_, pkg_, {n, n});
     return g.max_cell_temperature(
-        steady_state(g.network(), g.expand_power(p), 45.0));
+        steady_state(g.network(), g.expand_power(p), util::Celsius(45.0)));
   };
   const double p8 = peak(8);
   const double p16 = peak(16);
@@ -139,13 +140,13 @@ TEST_F(GridModelTest, TransientMatchesSteadyStateEventually) {
   const GridThermalModel grid(fp_, pkg_, {8, 8});
   Vector p(fp_.size(), 1.5);
   const Vector full = grid.expand_power(p);
-  const Vector ss = steady_state(grid.network(), full, 45.0);
-  TransientSolver solver(grid.network(), 45.0);
+  const Vector ss = steady_state(grid.network(), full, util::Celsius(45.0));
+  TransientSolver solver(grid.network(), util::Celsius(45.0));
   // March far past every block time constant (sink excepted: start there).
   solver.set_temperatures(ss);
-  for (int i = 0; i < 500; ++i) solver.step(full, 1e-3);
+  for (int i = 0; i < 500; ++i) solver.step(full, util::Seconds(1e-3));
   for (std::size_t i = 0; i < ss.size(); ++i) {
-    EXPECT_NEAR(solver.temperature(i), ss[i], 1e-6);
+    EXPECT_NEAR(solver.temperature(i).value(), ss[i], 1e-6);
   }
 }
 

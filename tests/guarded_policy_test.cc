@@ -68,8 +68,8 @@ struct Harness {
   core::DtmCommand feed(std::vector<double> readings) {
     core::ThermalSample s;
     s.sensed_celsius = std::move(readings);
-    s.max_sensed = 0.0;  // the guard recomputes this for the inner policy
-    s.time_seconds = 1e-4 * static_cast<double>(tick++);
+    s.max_sensed = util::Celsius(0.0);  // the guard recomputes this for the inner policy
+    s.time = util::Seconds(1e-4 * static_cast<double>(tick++));
     return guard->update(s);
   }
 
@@ -103,9 +103,9 @@ TEST(GuardedPolicy, CleanReadingsPassThroughWithPessimismBias) {
   core::DtmCommand cmd;
   for (int k = 0; k < 10; ++k) cmd = h.feed({80, 80, 80, 80, 80});
   EXPECT_EQ(h.stub->updates, 10);
-  const double bias = tight().pessimism_bias_celsius;
+  const double bias = tight().pessimism_bias.value();
   for (double v : h.stub->last.sensed_celsius) EXPECT_DOUBLE_EQ(v, 80 + bias);
-  EXPECT_DOUBLE_EQ(h.stub->last.max_sensed, 80 + bias);
+  EXPECT_DOUBLE_EQ(h.stub->last.max_sensed.value(), 80 + bias);
   EXPECT_DOUBLE_EQ(cmd.fetch_gate_fraction, 0.5);
   EXPECT_FALSE(cmd.clock_gate);
   EXPECT_FALSE(h.guard->failsafe_engaged());
@@ -121,10 +121,10 @@ TEST(GuardedPolicy, DeadSensorIsSubstitutedImmediately) {
   // substitution margin, then the global pessimism bias.
   const core::GuardedPolicyConfig cfg = tight();
   EXPECT_DOUBLE_EQ(h.stub->last.sensed_celsius[0],
-                   80 + cfg.substitution_margin_celsius +
-                       cfg.pessimism_bias_celsius);
+                   80 + cfg.substitution_margin.value() +
+                       cfg.pessimism_bias.value());
   EXPECT_DOUBLE_EQ(h.stub->last.sensed_celsius[1],
-                   80 + cfg.pessimism_bias_celsius);
+                   80 + cfg.pessimism_bias.value());
   h.feed({kNan, 80, 80, 80, 80});
   EXPECT_EQ(h.guard->stats().quarantine_entries, 1u);
   EXPECT_EQ(h.guard->stats().rejected_readings, 2u);
@@ -178,7 +178,8 @@ TEST(GuardedPolicy, NoUsableSensorsForcesMaximalResponse) {
   EXPECT_TRUE(cmd.clock_gate);
   // With nothing to vote with the inner policy is fed above-emergency
   // readings so every policy takes its strongest action.
-  EXPECT_GT(h.stub->last.max_sensed, core::DtmThresholds{}.emergency_celsius);
+  EXPECT_GT(h.stub->last.max_sensed.value(),
+            core::DtmThresholds{}.emergency.value());
 }
 
 TEST(GuardedPolicy, RecoveryBackoffDoublesAfterRelapse) {
@@ -302,7 +303,7 @@ TEST(GuardedSim, UnguardedPolicyViolatesUnderStuckLowSensor) {
   const SimConfig cfg = fault_config(kFaultCases[0].campaign);
   const RunResult r = run_crafty(PolicyKind::kHybrid, cfg, /*guarded=*/false);
   EXPECT_GT(r.violation_fraction, 0.0);
-  EXPECT_GT(r.max_true_celsius, cfg.thresholds.emergency_celsius);
+  EXPECT_GT(r.max_true_celsius, cfg.thresholds.emergency.value());
 }
 
 TEST(GuardedSim, AllSensorsDeadEngagesFailsafeAndStaysSafe) {

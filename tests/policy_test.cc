@@ -8,6 +8,7 @@
 #include "core/hybrid_policy.h"
 #include "core/proactive_policy.h"
 #include "power/voltage_freq.h"
+#include "util/units.h"
 
 namespace hydra::core {
 namespace {
@@ -23,8 +24,8 @@ ThermalSample at(double max_temp, double t_seconds) {
   ThermalSample s;
   s.sensed_celsius.assign(kBlocks, max_temp - 2.0);
   s.sensed_celsius[13] = max_temp;  // IntReg-ish slot
-  s.max_sensed = max_temp;
-  s.time_seconds = t_seconds;
+  s.max_sensed = util::Celsius(max_temp);
+  s.time = util::Seconds(t_seconds);
   return s;
 }
 
@@ -64,7 +65,7 @@ TEST(DvsPolicy, NoiseSpikeDoesNotRaiseVoltage) {
 TEST(DvsPolicy, HysteresisBlocksRaiseNearTrigger) {
   DvsPolicyConfig cfg;
   cfg.raise_filter_samples = 1;
-  cfg.hysteresis = 0.3;
+  cfg.hysteresis = util::CelsiusDelta(0.3);
   DvsPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
   policy.update(at(kTrigger + 1.0, t += 1e-4));
@@ -134,7 +135,7 @@ TEST(FetchGatingPolicy, IntegralRampsUpUnderStress) {
 
 TEST(FetchGatingPolicy, IntegralDecaysWhenCool) {
   FetchGatingConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   FetchGatingPolicy policy(DtmThresholds{}, cfg);
   double t = 0.0;
   for (int i = 0; i < 20; ++i) policy.update(at(kTrigger + 2.0, t += 1e-4));
@@ -145,7 +146,7 @@ TEST(FetchGatingPolicy, IntegralDecaysWhenCool) {
 
 TEST(FetchGatingPolicy, SaturatesAtCap) {
   FetchGatingConfig cfg;
-  cfg.ki = 1e6;
+  cfg.ki = util::PerCelsiusSecond(1e6);
   cfg.max_gate_fraction = 0.75;
   FetchGatingPolicy policy(DtmThresholds{}, cfg);
   double t = 0.0;
@@ -199,7 +200,7 @@ TEST(PiHybridPolicy, UsesFetchGatingForMildStress) {
 
 TEST(PiHybridPolicy, CrossesOverToDvsUnderSevereStress) {
   HybridConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
   DtmCommand cmd;
@@ -213,7 +214,7 @@ TEST(PiHybridPolicy, CrossesOverToDvsUnderSevereStress) {
 
 TEST(PiHybridPolicy, ReturnsToFetchGatingAfterCooling) {
   HybridConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   cfg.release_filter_samples = 2;
   PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
@@ -227,7 +228,7 @@ TEST(PiHybridPolicy, ReturnsToFetchGatingAfterCooling) {
 
 TEST(PiHybridPolicy, GateNeverExceedsCrossover) {
   HybridConfig cfg;
-  cfg.ki = 60000.0;
+  cfg.ki = util::PerCelsiusSecond(60000.0);
   cfg.crossover_gate_fraction = 0.25;
   cfg.crossover_margin = 1e9;  // never cross over: pure capped FG
   PiHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
@@ -241,7 +242,7 @@ TEST(PiHybridPolicy, GateNeverExceedsCrossover) {
 // -------------------------------------------------------------------- Hyb
 TEST(HybridPolicy, ThreeLevelEscalation) {
   HybridConfig cfg;
-  cfg.dvs_threshold_offset = 1.1;
+  cfg.dvs_threshold_offset = util::CelsiusDelta(1.1);
   cfg.escalate_filter_samples = 1;
   HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
@@ -263,7 +264,7 @@ TEST(HybridPolicy, ThreeLevelEscalation) {
 
 TEST(HybridPolicy, EscalationToDvsIsDebounced) {
   HybridConfig cfg;
-  cfg.dvs_threshold_offset = 1.1;
+  cfg.dvs_threshold_offset = util::CelsiusDelta(1.1);
   cfg.escalate_filter_samples = 2;
   HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
@@ -299,10 +300,10 @@ TEST(HybridPolicy, FetchGatingReleasesFreely) {
 
 TEST(HybridPolicy, DvsReleaseIsFilteredAndStepsToFg) {
   HybridConfig cfg;
-  cfg.dvs_threshold_offset = 1.1;
+  cfg.dvs_threshold_offset = util::CelsiusDelta(1.1);
   cfg.escalate_filter_samples = 1;
   cfg.release_filter_samples = 2;
-  cfg.hysteresis = 0.3;
+  cfg.hysteresis = util::CelsiusDelta(0.3);
   HybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
   policy.update(at(kTrigger + 2.0, t += 1e-4));
@@ -329,7 +330,7 @@ TEST(HybridPolicy, ResetClearsEverything) {
 TEST(ProactiveHybridPolicy, ActsOnPredictedTemperature) {
   ProactiveConfig cfg;
   cfg.hybrid.escalate_filter_samples = 1;
-  cfg.horizon_seconds = 10e-4;  // 10 sample periods ahead
+  cfg.horizon = util::Seconds(10e-4);  // 10 sample periods ahead
   cfg.slope_filter_alpha = 1.0;  // no smoothing: deterministic test
   ProactiveHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
@@ -359,7 +360,7 @@ TEST(ProactiveHybridPolicy, SteadyTemperatureBehavesLikeHyb) {
 TEST(ProactiveHybridPolicy, FallingTemperatureReleasesEarlier) {
   ProactiveConfig cfg;
   cfg.hybrid.escalate_filter_samples = 1;
-  cfg.horizon_seconds = 10e-4;
+  cfg.horizon = util::Seconds(10e-4);
   cfg.slope_filter_alpha = 1.0;
   ProactiveHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   double t = 0.0;
@@ -377,9 +378,9 @@ TEST(ProactiveHybridPolicy, ResetClearsSlopeState) {
   ProactiveHybridPolicy policy(binary_ladder(), DtmThresholds{}, cfg);
   policy.update(at(kTrigger - 3.0, 1e-4));
   policy.update(at(kTrigger - 1.0, 2e-4));
-  EXPECT_GT(policy.slope(), 0.0);
+  EXPECT_GT(policy.slope().value(), 0.0);
   policy.reset();
-  EXPECT_DOUBLE_EQ(policy.slope(), 0.0);
+  EXPECT_DOUBLE_EQ(policy.slope().value(), 0.0);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "thermal/rc_network.h"
 #include "thermal/solver.h"
 #include "util/rng.h"
+#include "util/units.h"
 #include "workload/spec_profiles.h"
 #include "arch/core.h"
 
@@ -24,19 +25,24 @@ namespace {
 thermal::RcNetwork random_network(util::Rng& rng, std::size_t nodes) {
   thermal::RcNetwork net;
   for (std::size_t i = 0; i < nodes; ++i) {
-    net.add_node("n" + std::to_string(i), rng.uniform(0.1, 5.0));
+    // Appends rather than operator+: see the PR105651 note below.
+    std::string name = "n";
+    name += std::to_string(i);
+    net.add_node(name, util::JoulesPerKelvin(rng.uniform(0.1, 5.0)));
   }
   // Spanning chain guarantees connectivity; extra random edges.
   for (std::size_t i = 1; i < nodes; ++i) {
-    net.connect(i - 1, i, rng.uniform(0.2, 4.0));
+    net.connect(i - 1, i, util::KelvinPerWatt(rng.uniform(0.2, 4.0)));
   }
   for (std::size_t e = 0; e < nodes; ++e) {
     const std::size_t a = rng.below(nodes);
     const std::size_t b = rng.below(nodes);
-    if (a != b) net.connect(a, b, rng.uniform(0.2, 4.0));
+    if (a != b) net.connect(a, b, util::KelvinPerWatt(rng.uniform(0.2, 4.0)));
   }
-  net.connect_to_ambient(rng.below(nodes), rng.uniform(0.5, 3.0));
-  net.connect_to_ambient(rng.below(nodes), rng.uniform(0.5, 3.0));
+  net.connect_to_ambient(rng.below(nodes),
+                         util::KelvinPerWatt(rng.uniform(0.5, 3.0)));
+  net.connect_to_ambient(rng.below(nodes),
+                         util::KelvinPerWatt(rng.uniform(0.5, 3.0)));
   return net;
 }
 
@@ -52,7 +58,7 @@ TEST_P(RandomNetworkSweep, SteadyStateBalancesHeat) {
     w = rng.uniform(0.0, 4.0);
     total += w;
   }
-  const thermal::Vector t = thermal::steady_state(net, p, 45.0);
+  const thermal::Vector t = thermal::steady_state(net, p, util::Celsius(45.0));
   // Heat into the network equals heat out: G * rise sums to total power.
   thermal::Vector rise(nodes);
   for (std::size_t i = 0; i < nodes; ++i) rise[i] = t[i] - 45.0;
@@ -76,9 +82,9 @@ TEST_P(RandomNetworkSweep, SteadyStateIsLinearInPower) {
     p2[i] = rng.uniform(0.0, 3.0);
     sum[i] = p1[i] + p2[i];
   }
-  const thermal::Vector t1 = thermal::steady_state(net, p1, 0.0);
-  const thermal::Vector t2 = thermal::steady_state(net, p2, 0.0);
-  const thermal::Vector ts = thermal::steady_state(net, sum, 0.0);
+  const thermal::Vector t1 = thermal::steady_state(net, p1, util::Celsius(0.0));
+  const thermal::Vector t2 = thermal::steady_state(net, p2, util::Celsius(0.0));
+  const thermal::Vector ts = thermal::steady_state(net, sum, util::Celsius(0.0));
   for (std::size_t i = 0; i < nodes; ++i) {
     EXPECT_NEAR(ts[i], t1[i] + t2[i], 1e-8);
   }
@@ -91,14 +97,15 @@ TEST_P(RandomNetworkSweep, BackwardEulerAgreesWithRk4) {
   thermal::Vector p(nodes, 0.0);
   for (double& w : p) w = rng.uniform(0.0, 3.0);
 
-  thermal::TransientSolver be(net, 45.0, thermal::Scheme::kBackwardEuler);
-  thermal::TransientSolver rk(net, 45.0, thermal::Scheme::kRk4);
+  thermal::TransientSolver be(net, util::Celsius(45.0),
+                              thermal::Scheme::kBackwardEuler);
+  thermal::TransientSolver rk(net, util::Celsius(45.0), thermal::Scheme::kRk4);
   for (int i = 0; i < 3000; ++i) {
-    be.step(p, 0.002);
-    rk.step(p, 0.002);
+    be.step(p, util::Seconds(0.002));
+    rk.step(p, util::Seconds(0.002));
   }
   for (std::size_t i = 0; i < nodes; ++i) {
-    EXPECT_NEAR(be.temperature(i), rk.temperature(i), 0.05);
+    EXPECT_NEAR(be.temperature(i).value(), rk.temperature(i).value(), 0.05);
   }
 }
 
@@ -108,11 +115,11 @@ TEST_P(RandomNetworkSweep, TransientConvergesToSteadyState) {
   const thermal::RcNetwork net = random_network(rng, nodes);
   thermal::Vector p(nodes, 0.0);
   for (double& w : p) w = rng.uniform(0.0, 3.0);
-  const thermal::Vector ss = thermal::steady_state(net, p, 45.0);
-  thermal::TransientSolver solver(net, 45.0);
-  for (int i = 0; i < 40'000; ++i) solver.step(p, 0.01);
+  const thermal::Vector ss = thermal::steady_state(net, p, util::Celsius(45.0));
+  thermal::TransientSolver solver(net, util::Celsius(45.0));
+  for (int i = 0; i < 40'000; ++i) solver.step(p, util::Seconds(0.01));
   for (std::size_t i = 0; i < nodes; ++i) {
-    EXPECT_NEAR(solver.temperature(i), ss[i], 1e-4);
+    EXPECT_NEAR(solver.temperature(i).value(), ss[i], 1e-4);
   }
 }
 
@@ -154,8 +161,15 @@ TEST_P(RandomFloorplanSweep, PoweredBlockIsAlwaysHottest) {
   static std::vector<std::string>* names = new std::vector<std::string>();
   for (int c = 0; c < cols; ++c) {
     for (int r = 0; r < rows; ++r) {
-      names->push_back("b" + std::to_string(GetParam()) + "_" +
-                       std::to_string(c) + "_" + std::to_string(r));
+      // Built by appends: chained operator+ trips GCC 12's -Wrestrict
+      // false positive inside libstdc++ (PR105651) under -Werror.
+      std::string name = "b";
+      name += std::to_string(GetParam());
+      name += '_';
+      name += std::to_string(c);
+      name += '_';
+      name += std::to_string(r);
+      names->push_back(std::move(name));
       fp.add({names->back(), xs[c], ys[r], xs[c + 1] - xs[c],
               ys[r + 1] - ys[r]});
     }
@@ -167,7 +181,7 @@ TEST_P(RandomFloorplanSweep, PoweredBlockIsAlwaysHottest) {
   thermal::Vector p(fp.size(), 0.0);
   p[hot] = 6.0;
   const thermal::Vector t =
-      thermal::steady_state(model.network, model.expand_power(p), 45.0);
+      thermal::steady_state(model.network, model.expand_power(p), util::Celsius(45.0));
   for (std::size_t i = 0; i < fp.size(); ++i) {
     if (i != hot) {
       EXPECT_GE(t[hot], t[i]);
@@ -188,18 +202,21 @@ TEST_P(LadderSweep, MonotoneAndBounded) {
   const power::VoltageFrequencyCurve curve;
   const power::DvsLadder ladder(curve, steps, frac);
   ASSERT_EQ(ladder.size(), static_cast<std::size_t>(steps));
-  EXPECT_DOUBLE_EQ(ladder.point(0).voltage, curve.v_nominal());
-  EXPECT_NEAR(ladder.point(ladder.lowest_level()).voltage,
-              frac * curve.v_nominal(), 1e-12);
+  EXPECT_DOUBLE_EQ(ladder.point(0).voltage.value(), curve.v_nominal().value());
+  EXPECT_NEAR(ladder.point(ladder.lowest_level()).voltage.value(),
+              frac * curve.v_nominal().value(), 1e-12);
   for (std::size_t i = 1; i < ladder.size(); ++i) {
-    EXPECT_LT(ladder.point(i).voltage, ladder.point(i - 1).voltage);
-    EXPECT_LT(ladder.point(i).frequency, ladder.point(i - 1).frequency);
+    EXPECT_LT(ladder.point(i).voltage.value(),
+              ladder.point(i - 1).voltage.value());
+    EXPECT_LT(ladder.point(i).frequency.value(),
+              ladder.point(i - 1).frequency.value());
     // Power scales faster than frequency: V^2 f falls faster than f.
-    const double pf = ladder.point(i).voltage * ladder.point(i).voltage *
-                      ladder.point(i).frequency;
-    const double pf_prev = ladder.point(i - 1).voltage *
-                           ladder.point(i - 1).voltage *
-                           ladder.point(i - 1).frequency;
+    const double pf = ladder.point(i).voltage.value() *
+                      ladder.point(i).voltage.value() *
+                      ladder.point(i).frequency.value();
+    const double pf_prev = ladder.point(i - 1).voltage.value() *
+                           ladder.point(i - 1).voltage.value() *
+                           ladder.point(i - 1).frequency.value();
     const double f_ratio =
         ladder.point(i).frequency / ladder.point(i - 1).frequency;
     EXPECT_LT(pf / pf_prev, f_ratio);

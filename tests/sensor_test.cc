@@ -4,16 +4,20 @@
 #include <limits>
 
 #include "sensor/sensor.h"
+#include "util/units.h"
 #include "util/stats.h"
 
 namespace hydra::sensor {
 namespace {
 
+using util::CelsiusDelta;
+using util::Hertz;
+
 SensorConfig quiet() {
   SensorConfig cfg;
   cfg.enable_noise = false;
   cfg.enable_offset = false;
-  cfg.quantization = 0.0;
+  cfg.quantization = CelsiusDelta(0.0);
   return cfg;
 }
 
@@ -42,18 +46,18 @@ TEST(SensorBank, RejectsShortTruthVector) {
 TEST(SensorBank, OffsetsAreFixedNegativeAndBounded) {
   SensorConfig cfg;
   cfg.enable_noise = false;
-  cfg.quantization = 0.0;
-  cfg.max_offset = 2.0;
+  cfg.quantization = CelsiusDelta(0.0);
+  cfg.max_offset = CelsiusDelta(2.0);
   SensorBank bank(50, cfg);
   for (std::size_t i = 0; i < bank.count(); ++i) {
-    EXPECT_LE(bank.offset(i), 0.0);
-    EXPECT_GE(bank.offset(i), -2.0);
+    EXPECT_LE(bank.offset(i).value(), 0.0);
+    EXPECT_GE(bank.offset(i).value(), -2.0);
   }
   // Offsets are applied verbatim and stay fixed across samples.
   const auto s1 = bank.sample(std::vector<double>(50, 85.0));
   const auto s2 = bank.sample(std::vector<double>(50, 85.0));
   for (std::size_t i = 0; i < 50; ++i) {
-    EXPECT_DOUBLE_EQ(s1[i], 85.0 + bank.offset(i));
+    EXPECT_DOUBLE_EQ(s1[i], 85.0 + bank.offset(i).value());
     EXPECT_DOUBLE_EQ(s1[i], s2[i]);
   }
 }
@@ -61,8 +65,8 @@ TEST(SensorBank, OffsetsAreFixedNegativeAndBounded) {
 TEST(SensorBank, NoiseHasConfiguredSpread) {
   SensorConfig cfg;
   cfg.enable_offset = false;
-  cfg.quantization = 0.0;
-  cfg.noise_sigma = 0.4;
+  cfg.quantization = CelsiusDelta(0.0);
+  cfg.noise_sigma = CelsiusDelta(0.4);
   SensorBank bank(1, cfg);
   util::RunningStats stats;
   for (int i = 0; i < 20'000; ++i) {
@@ -90,7 +94,7 @@ TEST(SensorBank, QuantizationSnapsToGrid) {
   SensorConfig cfg;
   cfg.enable_noise = false;
   cfg.enable_offset = false;
-  cfg.quantization = 0.25;
+  cfg.quantization = CelsiusDelta(0.25);
   SensorBank bank(1, cfg);
   const double v = bank.sample({85.13})[0];
   EXPECT_DOUBLE_EQ(v, 85.25);
@@ -115,13 +119,13 @@ TEST(SensorBank, SampleMaxMatchesMaxOfSample) {
 
 TEST(SensorBank, RejectsBadConfig) {
   SensorConfig cfg;
-  cfg.sample_rate_hz = 0.0;
+  cfg.sample_rate = Hertz(0.0);
   EXPECT_THROW(SensorBank(1, cfg), std::invalid_argument);
   cfg = SensorConfig{};
-  cfg.sample_rate_hz = std::numeric_limits<double>::infinity();
+  cfg.sample_rate = Hertz(std::numeric_limits<double>::infinity());
   EXPECT_THROW(SensorBank(1, cfg), std::invalid_argument);
   cfg = SensorConfig{};
-  cfg.noise_sigma = -1.0;
+  cfg.noise_sigma = CelsiusDelta(-1.0);
   EXPECT_THROW(SensorBank(1, cfg), std::invalid_argument);
   EXPECT_THROW(SensorBank(0, SensorConfig{}), std::invalid_argument);
 }

@@ -34,7 +34,7 @@ TEST(System, BaselineRunsAtNominalFrequency) {
   EXPECT_GT(r.ipc, 0.5);
   // Without DTM the clock never changes: wall time == cycles / f_nom.
   EXPECT_NEAR(r.wall_seconds,
-              static_cast<double>(r.cycles) / fast_config().f_nominal,
+              static_cast<double>(r.cycles) / fast_config().f_nominal.value(),
               r.wall_seconds * 1e-9);
   EXPECT_DOUBLE_EQ(r.mean_gate_fraction, 0.0);
   EXPECT_DOUBLE_EQ(r.dvs_low_fraction, 0.0);
@@ -133,7 +133,7 @@ TEST(System, TraceCallbackFires) {
     EXPECT_GT(st.time_seconds, last_t);
     last_t = st.time_seconds;
     EXPECT_GT(st.power_watts, 0.0);
-    EXPECT_GT(st.frequency, 0.0);
+    EXPECT_GT(st.frequency.value(), 0.0);
   });
   system.run();
   EXPECT_GT(calls, 10);
@@ -152,7 +152,7 @@ TEST(Experiment, MakeLadderFollowsConfig) {
   cfg.v_low_fraction = 0.8;
   const power::DvsLadder ladder = make_ladder(cfg);
   EXPECT_EQ(ladder.size(), 5u);
-  EXPECT_NEAR(ladder.point(4).voltage, 0.8 * 1.3, 1e-12);
+  EXPECT_NEAR(ladder.point(4).voltage.value(), 0.8 * 1.3, 1e-12);
 }
 
 TEST(Experiment, PolicyKindNames) {
@@ -236,7 +236,7 @@ TEST_P(SafetySweep, NoViolations) {
       runner.run(workload::spec2000_profile(bench), kind, {});
   EXPECT_DOUBLE_EQ(r.dtm.violation_fraction, 0.0) << bench;
   EXPECT_LE(r.dtm.max_true_celsius,
-            cfg.thresholds.emergency_celsius + 1e-9);
+            cfg.thresholds.emergency.value() + 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -247,9 +247,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          PolicyKind::kHybrid,
                                          PolicyKind::kClockGating),
                        ::testing::Values("mesa", "crafty", "gzip", "art")),
-    [](const auto& info) {
-      std::string name = policy_kind_name(std::get<0>(info.param)) +
-                         std::string("_") + std::get<1>(info.param);
+    [](const auto& suite_info) {
+      std::string name =
+          policy_kind_name(std::get<0>(suite_info.param)) +
+          std::string("_") + std::get<1>(suite_info.param);
       std::erase_if(name, [](char c) { return !std::isalnum(c) && c != '_'; });
       return name;
     });

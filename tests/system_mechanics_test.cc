@@ -39,7 +39,7 @@ TEST(SystemMechanics, TransitionsBoundedBySensorSamples) {
   System system(hot(), cfg, make_policy(PolicyKind::kDvs, {}, cfg));
   const RunResult r = system.run();
   const double sensor_period =
-      1.0 / cfg.sensor.sample_rate_hz / cfg.time_scale;
+      1.0 / (cfg.sensor.sample_rate.value() * cfg.time_scale);
   const double samples = r.wall_seconds / sensor_period;
   EXPECT_LE(static_cast<double>(r.dvs_transitions), samples + 1.0);
 }

@@ -10,11 +10,16 @@
 #include "thermal/package.h"
 #include "thermal/rc_network.h"
 #include "thermal/solver.h"
+#include "util/units.h"
 
 namespace hydra::thermal {
 namespace {
 
 using floorplan::BlockId;
+using util::Celsius;
+using util::JoulesPerKelvin;
+using util::KelvinPerWatt;
+using util::Seconds;
 
 // ----------------------------------------------------------------- linalg
 TEST(Linalg, IdentitySolve) {
@@ -86,35 +91,35 @@ TEST(Linalg, ReusableFactorization) {
 // -------------------------------------------------------------- network
 TEST(RcNetwork, RejectsBadInputs) {
   RcNetwork net;
-  EXPECT_THROW(net.add_node("bad", 0.0), std::invalid_argument);
-  const std::size_t a = net.add_node("a", 1.0);
-  const std::size_t b = net.add_node("b", 1.0);
-  EXPECT_THROW(net.connect(a, a, 1.0), std::invalid_argument);
-  EXPECT_THROW(net.connect(a, b, 0.0), std::invalid_argument);
-  EXPECT_THROW(net.connect(a, 5, 1.0), std::invalid_argument);
-  EXPECT_THROW(net.connect_to_ambient(a, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_node("bad", JoulesPerKelvin(0.0)), std::invalid_argument);
+  const std::size_t a = net.add_node("a", JoulesPerKelvin(1.0));
+  const std::size_t b = net.add_node("b", JoulesPerKelvin(1.0));
+  EXPECT_THROW(net.connect(a, a, KelvinPerWatt(1.0)), std::invalid_argument);
+  EXPECT_THROW(net.connect(a, b, KelvinPerWatt(0.0)), std::invalid_argument);
+  EXPECT_THROW(net.connect(a, 5, KelvinPerWatt(1.0)), std::invalid_argument);
+  EXPECT_THROW(net.connect_to_ambient(a, KelvinPerWatt(-1.0)), std::invalid_argument);
 }
 
 TEST(RcNetwork, ConductanceMatrixStructure) {
   RcNetwork net;
-  const std::size_t a = net.add_node("a", 1.0);
-  const std::size_t b = net.add_node("b", 1.0);
-  net.connect(a, b, 2.0);              // g = 0.5
-  net.connect_to_ambient(a, 4.0);      // g = 0.25
+  const std::size_t a = net.add_node("a", JoulesPerKelvin(1.0));
+  const std::size_t b = net.add_node("b", JoulesPerKelvin(1.0));
+  net.connect(a, b, KelvinPerWatt(2.0));              // g = 0.5
+  net.connect_to_ambient(a, KelvinPerWatt(4.0));      // g = 0.25
   const Matrix g = net.conductance_matrix();
   EXPECT_DOUBLE_EQ(g(0, 0), 0.75);
   EXPECT_DOUBLE_EQ(g(1, 1), 0.5);
   EXPECT_DOUBLE_EQ(g(0, 1), -0.5);
   EXPECT_DOUBLE_EQ(g(1, 0), -0.5);
-  EXPECT_DOUBLE_EQ(net.total_ambient_conductance(), 0.25);
+  EXPECT_DOUBLE_EQ(net.total_ambient_conductance().value(), 0.25);
 }
 
 TEST(RcNetwork, ParallelResistancesAccumulate) {
   RcNetwork net;
-  const std::size_t a = net.add_node("a", 1.0);
-  const std::size_t b = net.add_node("b", 1.0);
-  net.connect(a, b, 2.0);
-  net.connect(a, b, 2.0);
+  const std::size_t a = net.add_node("a", JoulesPerKelvin(1.0));
+  const std::size_t b = net.add_node("b", JoulesPerKelvin(1.0));
+  net.connect(a, b, KelvinPerWatt(2.0));
+  net.connect(a, b, KelvinPerWatt(2.0));
   const Matrix g = net.conductance_matrix();
   EXPECT_DOUBLE_EQ(g(0, 1), -1.0);
 }
@@ -124,114 +129,114 @@ TEST(RcNetwork, ParallelResistancesAccumulate) {
 /// exponential with tau = R*C.
 TEST(Solver, SingleNodeSteadyState) {
   RcNetwork net;
-  const std::size_t n = net.add_node("n", 2.0);
-  net.connect_to_ambient(n, 3.0);
-  const Vector t = steady_state(net, {5.0}, 45.0);
+  const std::size_t n = net.add_node("n", JoulesPerKelvin(2.0));
+  net.connect_to_ambient(n, KelvinPerWatt(3.0));
+  const Vector t = steady_state(net, {5.0}, Celsius(45.0));
   EXPECT_NEAR(t[0], 45.0 + 15.0, 1e-12);
 }
 
 TEST(Solver, SingleNodeTransientExponential) {
   RcNetwork net;
-  net.add_node("n", 2.0);           // C = 2
-  net.connect_to_ambient(0, 3.0);   // R = 3, tau = 6 s
-  TransientSolver solver(net, 45.0, Scheme::kRk4);
+  net.add_node("n", JoulesPerKelvin(2.0));           // C = 2
+  net.connect_to_ambient(0, KelvinPerWatt(3.0));   // R = 3, tau = 6 s
+  TransientSolver solver(net, Celsius(45.0), Scheme::kRk4);
   const double power = 5.0;
   // Step for one tau in small increments; expect 1 - e^-1 of the rise.
   const double tau = 6.0;
   const int steps = 600;
   for (int i = 0; i < steps; ++i) {
-    solver.step({power}, tau / steps);
+    solver.step({power}, Seconds(tau / steps));
   }
   const double expected = 45.0 + 15.0 * (1.0 - std::exp(-1.0));
-  EXPECT_NEAR(solver.temperature(0), expected, 0.01);
+  EXPECT_NEAR(solver.temperature(0).value(), expected, 0.01);
 }
 
 TEST(Solver, BackwardEulerMatchesRk4) {
   RcNetwork net;
-  const std::size_t a = net.add_node("a", 1.0);
-  const std::size_t b = net.add_node("b", 4.0);
-  net.connect(a, b, 2.0);
-  net.connect_to_ambient(b, 1.0);
-  TransientSolver be(net, 40.0, Scheme::kBackwardEuler);
-  TransientSolver rk(net, 40.0, Scheme::kRk4);
+  const std::size_t a = net.add_node("a", JoulesPerKelvin(1.0));
+  const std::size_t b = net.add_node("b", JoulesPerKelvin(4.0));
+  net.connect(a, b, KelvinPerWatt(2.0));
+  net.connect_to_ambient(b, KelvinPerWatt(1.0));
+  TransientSolver be(net, Celsius(40.0), Scheme::kBackwardEuler);
+  TransientSolver rk(net, Celsius(40.0), Scheme::kRk4);
   const Vector p = {3.0, 0.5};
   for (int i = 0; i < 2000; ++i) {
-    be.step(p, 0.01);
-    rk.step(p, 0.01);
+    be.step(p, Seconds(0.01));
+    rk.step(p, Seconds(0.01));
   }
-  EXPECT_NEAR(be.temperature(a), rk.temperature(a), 0.05);
-  EXPECT_NEAR(be.temperature(b), rk.temperature(b), 0.05);
+  EXPECT_NEAR(be.temperature(a).value(), rk.temperature(a).value(), 0.05);
+  EXPECT_NEAR(be.temperature(b).value(), rk.temperature(b).value(), 0.05);
 }
 
 TEST(Solver, TransientConvergesToSteadyState) {
   RcNetwork net;
-  const std::size_t a = net.add_node("a", 1.0);
-  const std::size_t b = net.add_node("b", 2.0);
-  net.connect(a, b, 1.5);
-  net.connect_to_ambient(a, 2.0);
-  net.connect_to_ambient(b, 5.0);
+  const std::size_t a = net.add_node("a", JoulesPerKelvin(1.0));
+  const std::size_t b = net.add_node("b", JoulesPerKelvin(2.0));
+  net.connect(a, b, KelvinPerWatt(1.5));
+  net.connect_to_ambient(a, KelvinPerWatt(2.0));
+  net.connect_to_ambient(b, KelvinPerWatt(5.0));
   const Vector p = {2.0, 1.0};
-  const Vector ss = steady_state(net, p, 45.0);
-  TransientSolver solver(net, 45.0);
-  for (int i = 0; i < 20000; ++i) solver.step(p, 0.01);
-  EXPECT_NEAR(solver.temperature(a), ss[0], 1e-6);
-  EXPECT_NEAR(solver.temperature(b), ss[1], 1e-6);
+  const Vector ss = steady_state(net, p, Celsius(45.0));
+  TransientSolver solver(net, Celsius(45.0));
+  for (int i = 0; i < 20000; ++i) solver.step(p, Seconds(0.01));
+  EXPECT_NEAR(solver.temperature(a).value(), ss[0], 1e-6);
+  EXPECT_NEAR(solver.temperature(b).value(), ss[1], 1e-6);
 }
 
 TEST(Solver, InitializeSteadyStateIsFixedPoint) {
   RcNetwork net;
-  net.add_node("a", 1.0);
-  net.add_node("b", 2.0);
-  net.connect(0, 1, 1.0);
-  net.connect_to_ambient(1, 1.0);
+  net.add_node("a", JoulesPerKelvin(1.0));
+  net.add_node("b", JoulesPerKelvin(2.0));
+  net.connect(0, 1, KelvinPerWatt(1.0));
+  net.connect_to_ambient(1, KelvinPerWatt(1.0));
   const Vector p = {4.0, 0.0};
-  TransientSolver solver(net, 45.0);
+  TransientSolver solver(net, Celsius(45.0));
   solver.initialize_steady_state(p);
-  const double before = solver.temperature(0);
-  for (int i = 0; i < 100; ++i) solver.step(p, 0.05);
-  EXPECT_NEAR(solver.temperature(0), before, 1e-9);
+  const double before = solver.temperature(0).value();
+  for (int i = 0; i < 100; ++i) solver.step(p, Seconds(0.05));
+  EXPECT_NEAR(solver.temperature(0).value(), before, 1e-9);
 }
 
 TEST(Solver, ZeroPowerDecaysToAmbient) {
   RcNetwork net;
-  net.add_node("a", 1.0);
-  net.connect_to_ambient(0, 1.0);
-  TransientSolver solver(net, 45.0);
+  net.add_node("a", JoulesPerKelvin(1.0));
+  net.connect_to_ambient(0, KelvinPerWatt(1.0));
+  TransientSolver solver(net, Celsius(45.0));
   solver.set_temperatures({90.0});
-  for (int i = 0; i < 5000; ++i) solver.step({0.0}, 0.01);
-  EXPECT_NEAR(solver.temperature(0), 45.0, 1e-6);
+  for (int i = 0; i < 5000; ++i) solver.step({0.0}, Seconds(0.01));
+  EXPECT_NEAR(solver.temperature(0).value(), 45.0, 1e-6);
 }
 
 TEST(Solver, RejectsBadArguments) {
   RcNetwork net;
-  net.add_node("a", 1.0);
-  net.connect_to_ambient(0, 1.0);
-  TransientSolver solver(net, 45.0);
-  EXPECT_THROW(solver.step({1.0, 2.0}, 0.1), std::invalid_argument);
-  EXPECT_THROW(solver.step({1.0}, 0.0), std::invalid_argument);
+  net.add_node("a", JoulesPerKelvin(1.0));
+  net.connect_to_ambient(0, KelvinPerWatt(1.0));
+  TransientSolver solver(net, Celsius(45.0));
+  EXPECT_THROW(solver.step({1.0, 2.0}, Seconds(0.1)), std::invalid_argument);
+  EXPECT_THROW(solver.step({1.0}, Seconds(0.0)), std::invalid_argument);
   EXPECT_THROW(solver.set_temperatures({1.0, 2.0}), std::invalid_argument);
-  EXPECT_THROW(steady_state(net, {1.0, 2.0}, 45.0), std::invalid_argument);
+  EXPECT_THROW(steady_state(net, {1.0, 2.0}, Celsius(45.0)), std::invalid_argument);
 }
 
 TEST(RcNetwork, CapacitanceScalingSpeedsDynamics) {
   RcNetwork slow;
-  slow.add_node("a", 10.0);
-  slow.connect_to_ambient(0, 1.0);
+  slow.add_node("a", JoulesPerKelvin(10.0));
+  slow.connect_to_ambient(0, KelvinPerWatt(1.0));
   RcNetwork fast;
-  fast.add_node("a", 10.0);
-  fast.connect_to_ambient(0, 1.0);
+  fast.add_node("a", JoulesPerKelvin(10.0));
+  fast.connect_to_ambient(0, KelvinPerWatt(1.0));
   fast.scale_capacitances(10.0);
-  EXPECT_DOUBLE_EQ(fast.capacitance(0), 1.0);
+  EXPECT_DOUBLE_EQ(fast.capacitance(0).value(), 1.0);
 
-  TransientSolver s_slow(slow, 45.0);
-  TransientSolver s_fast(fast, 45.0);
+  TransientSolver s_slow(slow, Celsius(45.0));
+  TransientSolver s_fast(fast, Celsius(45.0));
   // After the same wall time the scaled network is much closer to its
   // (identical) steady state.
   for (int i = 0; i < 100; ++i) {
-    s_slow.step({5.0}, 0.01);
-    s_fast.step({5.0}, 0.01);
+    s_slow.step({5.0}, Seconds(0.01));
+    s_fast.step({5.0}, Seconds(0.01));
   }
-  EXPECT_GT(s_fast.temperature(0), s_slow.temperature(0));
+  EXPECT_GT(s_fast.temperature(0).value(), s_slow.temperature(0).value());
 }
 
 // ------------------------------------------------------- model builder
@@ -253,7 +258,7 @@ TEST_F(ModelBuilderTest, SteadyStateConservesHeat) {
   // sink-to-ambient rise weighted by conductance equals P_total * R_eq.
   Vector p(fp_.size(), 0.0);
   p[static_cast<std::size_t>(BlockId::kIntReg)] = 10.0;
-  const Vector t = steady_state(model_.network, model_.expand_power(p), 45.0);
+  const Vector t = steady_state(model_.network, model_.expand_power(p), Celsius(45.0));
   // Heat out = sum over ambient-connected nodes of g_i * rise_i.
   // total_ambient_conductance * mean weighted rise == 10 W.
   // Verify via an energy-balance reconstruction:
@@ -269,7 +274,7 @@ TEST_F(ModelBuilderTest, SteadyStateConservesHeat) {
 TEST_F(ModelBuilderTest, PoweredBlockIsHottest) {
   Vector p(fp_.size(), 0.0);
   p[static_cast<std::size_t>(BlockId::kIntReg)] = 8.0;
-  const Vector t = steady_state(model_.network, model_.expand_power(p), 45.0);
+  const Vector t = steady_state(model_.network, model_.expand_power(p), Celsius(45.0));
   const std::size_t reg = static_cast<std::size_t>(BlockId::kIntReg);
   for (std::size_t i = 0; i < fp_.size(); ++i) {
     if (i != reg) {
@@ -290,9 +295,9 @@ TEST_F(ModelBuilderTest, UniformPowerGivesSinkDrivenRise) {
   for (std::size_t i = 0; i < fp_.size(); ++i) {
     p[i] = total * fp_.block(i).area() / fp_.die_area();
   }
-  const Vector t = steady_state(model_.network, model_.expand_power(p), 45.0);
+  const Vector t = steady_state(model_.network, model_.expand_power(p), Celsius(45.0));
   const double sink = t[model_.sink_center];
-  EXPECT_NEAR(sink - 45.0, total * pkg_.r_convec, total * 0.35);
+  EXPECT_NEAR(sink - 45.0, total * pkg_.r_convec.value(), total * 0.35);
   // Die is hotter than the sink.
   EXPECT_GT(t[static_cast<std::size_t>(BlockId::kIntReg)], sink);
 }
@@ -312,9 +317,9 @@ TEST_F(ModelBuilderTest, SinkTimeConstantDwarfsSilicon) {
   // Paper: "over these time scales, the heat sink temperature changes
   // little" — the sink's C/G must exceed a silicon block's by orders of
   // magnitude.
-  const double c_block =
+  const JoulesPerKelvin c_block =
       model_.network.capacitance(static_cast<std::size_t>(BlockId::kIntReg));
-  const double c_sink = model_.network.capacitance(model_.sink_center);
+  const JoulesPerKelvin c_sink = model_.network.capacitance(model_.sink_center);
   EXPECT_GT(c_sink / c_block, 100.0);
 }
 

@@ -118,7 +118,7 @@ TEST(TraceIo, RecordedTraceDrivesSyntheticStatistics) {
     const arch::MicroOp op = replay.next();
     if (arch::is_fp(op.cls)) ++fp_ops;
   }
-  EXPECT_NEAR(fp_ops / 100'000.0, profile.frac_fp_add + profile.frac_fp_mul,
+  EXPECT_NEAR(double(fp_ops) / 100'000.0, profile.frac_fp_add + profile.frac_fp_mul,
               0.05);
 }
 

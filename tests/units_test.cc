@@ -1,0 +1,157 @@
+// Tests for the dimensional strong-type layer (src/util/units.h): unit
+// round-trips, arithmetic laws, the zero-overhead layout contract, and a
+// metamorphic property of the typed thermal plumbing (doubling input
+// power doubles the steady-state rise above ambient — the RC network is
+// linear, so if the typed API perturbed the solver the factor would
+// drift off exactly 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+
+#include "floorplan/ev7.h"
+#include "thermal/model_builder.h"
+#include "thermal/package.h"
+#include "thermal/solver.h"
+#include "util/units.h"
+
+namespace hydra::util {
+namespace {
+
+using namespace hydra::util::literals;
+
+// ------------------------------------------------------------ round trips
+TEST(Units, KelvinCelsiusRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(85.0)), 85.0);
+  EXPECT_DOUBLE_EQ(Celsius(45.0).kelvin(), 318.15);
+  EXPECT_DOUBLE_EQ(Celsius::from_kelvin(Celsius(81.8).kelvin()).value(), 81.8);
+}
+
+TEST(Units, CycleConversionRoundTrip) {
+  const Hertz f(3.0e9);
+  const Seconds t = cycles_to_duration(15'000.0, f);
+  EXPECT_DOUBLE_EQ(t.value(), 5e-6);
+  EXPECT_EQ(duration_to_cycles(t, f), 15'000);
+  // Rounding is up: a hair over one cycle costs two.
+  EXPECT_EQ(duration_to_cycles(Seconds(1.1 / 3.0e9), f), 2);
+}
+
+// --------------------------------------------------------- arithmetic laws
+TEST(Units, EnergyIsPowerTimesTime) {
+  const Joules e = Watts(95.0) * Seconds(2.0);
+  EXPECT_DOUBLE_EQ(e.value(), 190.0);
+  const Watts back = e / Seconds(2.0);
+  EXPECT_DOUBLE_EQ(back.value(), 95.0);
+}
+
+TEST(Units, ThermalOhmsLaw) {
+  // dT = R * P and P = G * dT round-trip.
+  const CelsiusDelta rise = KelvinPerWatt(1.0) * Watts(40.0);
+  EXPECT_DOUBLE_EQ(rise.value(), 40.0);
+  const Watts p = WattsPerKelvin(0.5) * rise;
+  EXPECT_DOUBLE_EQ(p.value(), 20.0);
+  const Joules heat = JoulesPerKelvin(2.0) * rise;
+  EXPECT_DOUBLE_EQ(heat.value(), 80.0);
+}
+
+TEST(Units, RatesAndGains) {
+  const CelsiusPerSecond slope = CelsiusDelta(5.0) / Seconds(2.0);
+  EXPECT_DOUBLE_EQ(slope.value(), 2.5);
+  const CelsiusDelta extrapolated = slope * Seconds(4.0);
+  EXPECT_DOUBLE_EQ(extrapolated.value(), 10.0);
+  // An integral controller: gain [1/(degC s)] * error [degC] * dt [s]
+  // accumulates a dimensionless output.
+  const double delta = PerCelsiusSecond(600.0) * CelsiusDelta(0.5) *
+                       Seconds(1e-4);
+  EXPECT_DOUBLE_EQ(delta, 0.03);
+}
+
+TEST(Units, DimensionlessRatiosDecayToDouble) {
+  static_assert(std::is_same_v<decltype(Seconds(1.0) / Seconds(4.0)), double>);
+  EXPECT_DOUBLE_EQ(Seconds(1.0) / Seconds(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(Hertz(10.0e3) * Seconds(0.5), 5'000.0);
+  const Hertz inv = 1.0 / Seconds(2.0);
+  EXPECT_DOUBLE_EQ(inv.value(), 0.5);
+}
+
+TEST(Units, AffineCelsius) {
+  const Celsius trigger = 81.8_degC;
+  const Celsius emergency = 85_degC;
+  const CelsiusDelta margin = emergency - trigger;
+  EXPECT_NEAR(margin.value(), 3.2, 1e-12);
+  EXPECT_EQ(trigger + margin, emergency);
+  EXPECT_TRUE(trigger < emergency);
+  Celsius t = 45_degC;
+  t += 2.5_dC;
+  EXPECT_DOUBLE_EQ(t.value(), 47.5);
+}
+
+TEST(Units, QuantityAlgebra) {
+  CelsiusDelta h(0.3);
+  h *= 2.0;
+  EXPECT_DOUBLE_EQ(h.value(), 0.6);
+  EXPECT_DOUBLE_EQ((-h).value(), -0.6);
+  EXPECT_DOUBLE_EQ(abs(-h).value(), 0.6);
+  CelsiusDelta sum = h + CelsiusDelta(0.4);
+  sum -= CelsiusDelta(0.5);
+  EXPECT_DOUBLE_EQ(sum.value(), 0.5);
+  EXPECT_DOUBLE_EQ((sum / 2.0).value(), 0.25);
+  EXPECT_TRUE(sum > h - h);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((2e-6_s).value(), 2e-6);
+  EXPECT_DOUBLE_EQ((3e9_Hz).value(), 3e9);
+  EXPECT_DOUBLE_EQ((1.3_V).value(), 1.3);
+  EXPECT_DOUBLE_EQ((95_W).value(), 95.0);
+  EXPECT_DOUBLE_EQ((1.5_J).value(), 1.5);
+  EXPECT_DOUBLE_EQ((81.8_degC).value(), 81.8);
+  EXPECT_DOUBLE_EQ((0.3_dC).value(), 0.3);
+}
+
+// ----------------------------------------------------- layout (zero cost)
+TEST(Units, ZeroOverheadLayout) {
+  EXPECT_EQ(sizeof(Celsius), sizeof(double));
+  EXPECT_EQ(sizeof(CelsiusDelta), sizeof(double));
+  EXPECT_EQ(sizeof(Watts), sizeof(double));
+  EXPECT_EQ(sizeof(Joules), sizeof(double));
+  EXPECT_EQ(sizeof(Seconds), sizeof(double));
+  EXPECT_EQ(sizeof(Hertz), sizeof(double));
+  EXPECT_EQ(sizeof(Volts), sizeof(double));
+  static_assert(std::is_trivially_copyable_v<Watts>);
+  static_assert(std::is_trivially_destructible_v<Celsius>);
+}
+
+// ------------------------------------------- metamorphic thermal property
+TEST(Units, SteadyStateRiseIsLinearInPower) {
+  const auto fp = floorplan::ev7_floorplan();
+  const thermal::Package pkg{};
+  const thermal::ThermalModel model = thermal::build_thermal_model(fp, pkg);
+
+  thermal::Vector block_power(model.num_blocks, 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) {
+    block_power[i] = 1.0 + 0.37 * static_cast<double>(i % 5);
+  }
+  thermal::Vector doubled = block_power;
+  for (double& w : doubled) w *= 2.0;
+
+  const Celsius ambient = pkg.ambient;
+  const thermal::Vector t1 = thermal::steady_state(
+      model.network, model.expand_power(block_power), ambient);
+  const thermal::Vector t2 = thermal::steady_state(
+      model.network, model.expand_power(doubled), ambient);
+
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    const double rise1 = t1[i] - ambient.value();
+    const double rise2 = t2[i] - ambient.value();
+    ASSERT_GT(rise1, 0.0);
+    // Linearity must hold to solver precision: the typed plumbing may
+    // not perturb the numbers at all.
+    EXPECT_NEAR(rise2 / rise1, 2.0, 1e-9) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hydra::util

@@ -89,10 +89,10 @@ TEST(SyntheticTrace, MixMatchesProfile) {
   const long n = 400'000;
   for (long i = 0; i < n; ++i) ++counts[static_cast<int>(t.next().cls)];
   const double tol = 0.05;
-  EXPECT_NEAR(counts[0] / double(n), p.frac_int_alu, tol);
-  EXPECT_NEAR(counts[4] / double(n), p.frac_load, tol);
-  EXPECT_NEAR(counts[5] / double(n), p.frac_store, tol);
-  EXPECT_NEAR(counts[6] / double(n), p.frac_branch, tol);
+  EXPECT_NEAR(double(counts[0]) / double(n), p.frac_int_alu, tol);
+  EXPECT_NEAR(double(counts[4]) / double(n), p.frac_load, tol);
+  EXPECT_NEAR(double(counts[5]) / double(n), p.frac_store, tol);
+  EXPECT_NEAR(double(counts[6]) / double(n), p.frac_branch, tol);
 }
 
 TEST(SyntheticTrace, ClassIsStaticPerPc) {
@@ -126,7 +126,7 @@ TEST(SyntheticTrace, DependencyDistancesInRange) {
       ++n;
     }
   }
-  EXPECT_NEAR(sum / n, p.mean_dep_distance, 1.0);
+  EXPECT_NEAR(sum / double(n), p.mean_dep_distance, 1.0);
 }
 
 TEST(SyntheticTrace, PcStaysInFootprint) {
@@ -161,8 +161,8 @@ TEST(SyntheticTrace, MemoryRegionsRespectFractions) {
     }
   }
   ASSERT_GT(mem, 0);
-  EXPECT_NEAR(warm / double(mem), 0.10, 0.02);
-  EXPECT_NEAR(stream / double(mem), 0.01, 0.005);
+  EXPECT_NEAR(double(warm) / double(mem), 0.10, 0.02);
+  EXPECT_NEAR(double(stream) / double(mem), 0.01, 0.005);
   EXPECT_GT(hot, mem / 2);
 }
 
@@ -210,12 +210,12 @@ TEST(SyntheticTrace, BranchBiasIsPerStaticBranch) {
   for (const auto& [pc, tt] : outcomes) {
     if (tt.second < 100) continue;
     ++sampled;
-    const double rate = tt.first / double(tt.second);
+    const double rate = double(tt.first) / double(tt.second);
     if (rate < 0.12 || rate > 0.88) ++biased;
   }
   ASSERT_GT(sampled, 50);
   // Most static branches are strongly biased (easy to predict).
-  EXPECT_GT(biased / double(sampled), 0.8);
+  EXPECT_GT(double(biased) / double(sampled), 0.8);
 }
 
 TEST(SyntheticTrace, PhasesRotate) {
@@ -246,7 +246,7 @@ TEST(SyntheticTrace, PhaseIlpScaleChangesDistances) {
         ++n;
       }
     }
-    return sum / n;
+    return sum / double(n);
   };
   EXPECT_GT(mean_dist(hi), mean_dist(lo) * 1.5);
 }

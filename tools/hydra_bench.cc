@@ -39,6 +39,7 @@
 #include "sim/model_cache.h"
 #include "sim/system.h"
 #include "thermal/solver.h"
+#include "util/units.h"
 #include "util/config.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -78,13 +79,13 @@ struct SolverBench {
 SolverBench solver_throughput(const sim::SimConfig& cfg, long long steps) {
   const auto shared = sim::ModelCache::global().get(cfg);
   thermal::TransientSolver solver(shared->model.network,
-                                  cfg.package.ambient_celsius,
+                                  cfg.package.ambient,
                                   thermal::Scheme::kBackwardEuler,
                                   shared->lu_cache);
   std::vector<double> watts(floorplan::kNumBlocks, 2.0);
   const thermal::Vector power = shared->model.expand_power(watts);
   solver.initialize_steady_state(power);
-  const double dt = 1e-4;
+  const util::Seconds dt(1e-4);
   // Warm the dt memo (first step factorises the LU for this dt).
   solver.step(power, dt);
   const std::uint64_t allocs_before =
