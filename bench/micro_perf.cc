@@ -79,6 +79,50 @@ void BM_CoreCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreCycle);
 
+// Gated-fetch variant of BM_CoreCycle: exercises the duty-cycle
+// accumulators and the issue-scan sleep/consumer-list machinery under a
+// starved pipeline — the regime harsh DTM actuation puts the core in.
+void BM_CoreCycleGated(benchmark::State& state) {
+  workload::SyntheticTrace trace(workload::spec2000_profile("gzip"));
+  arch::CoreConfig cfg;
+  arch::Core core(cfg, trace);
+  core.set_fetch_gate_fraction(0.7);
+  for (int i = 0; i < 100'000; ++i) core.cycle();  // warm
+  for (auto _ : state) {
+    core.cycle();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ipc"] = core.stats().ipc();
+}
+BENCHMARK(BM_CoreCycleGated);
+
+// The O(1) bulk idle advance vs the per-cycle loop it replaces. Bulk
+// processes `span` idle cycles per iteration at constant cost; the loop
+// variant pays per cycle. items/s is idle cycles retired per second.
+void BM_CoreIdleBulk(benchmark::State& state) {
+  workload::SyntheticTrace trace(workload::spec2000_profile("gzip"));
+  arch::Core core(arch::CoreConfig{}, trace);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core.idle_cycles(span, false);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(span));
+}
+BENCHMARK(BM_CoreIdleBulk)->ArgName("span")->Arg(64)->Arg(4096);
+
+void BM_CoreIdleLoop(benchmark::State& state) {
+  workload::SyntheticTrace trace(workload::spec2000_profile("gzip"));
+  arch::Core core(arch::CoreConfig{}, trace);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < span; ++i) core.idle_cycle(false);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(span));
+}
+BENCHMARK(BM_CoreIdleLoop)->ArgName("span")->Arg(64)->Arg(4096);
+
 void BM_ThermalBackwardEulerStep(benchmark::State& state) {
   const auto fp = floorplan::ev7_floorplan();
   const auto model = thermal::build_thermal_model(fp, thermal::Package{});
@@ -100,6 +144,31 @@ void BM_ThermalBackwardEulerStep(benchmark::State& state) {
       static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
 }
 BENCHMARK(BM_ThermalBackwardEulerStep);
+
+// Same step as above through the fused operator: per step two contiguous
+// matvecs instead of an LU solve. Shares the backward-Euler contract that
+// the warmed path never allocates.
+void BM_ThermalFusedStep(benchmark::State& state) {
+  const auto fp = floorplan::ev7_floorplan();
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::TransientSolver solver(model.network, util::Celsius(45.0),
+                                  thermal::Scheme::kFusedBE);
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
+  solver.step(power, util::Seconds(3.3e-6));  // warm: build the operator
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    solver.step(power, util::Seconds(3.3e-6));
+  }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_step"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_ThermalFusedStep);
 
 void BM_ThermalRk4Step(benchmark::State& state) {
   const auto fp = floorplan::ev7_floorplan();
@@ -144,6 +213,23 @@ void BM_PowerEvaluation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PowerEvaluation);
+
+// Batch leakage evaluation — the per-block exp chain with the
+// voltage-scale division and constants hoisted, as run once per thermal
+// step on the power hot path.
+void BM_LeakageBatch(benchmark::State& state) {
+  const auto fp = floorplan::ev7_floorplan();
+  const power::LeakageModel leak(fp);
+  const std::vector<double> temps(floorplan::kNumBlocks, 83.0);
+  std::vector<double> out(floorplan::kNumBlocks, 0.0);
+  for (auto _ : state) {
+    leak.power_into(temps, util::Volts(1.3), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(floorplan::kNumBlocks));
+}
+BENCHMARK(BM_LeakageBatch);
 
 void BM_SensorSample(benchmark::State& state) {
   sensor::SensorBank bank(floorplan::kNumBlocks, sensor::SensorConfig{});

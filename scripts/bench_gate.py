@@ -32,16 +32,34 @@ import json
 import shutil
 import sys
 
-THROUGHPUT_KEYS = ["solver_steps_per_second"]
-ZERO_KEYS = ["solver_allocs_per_step", "system_allocs_per_run"]
+THROUGHPUT_KEYS = [
+    "solver_steps_per_second",
+    "solver_fused_steps_per_second",
+    # End-to-end suite throughput (instructions retired per wall-second on
+    # the 1-thread pass).  This is the metric the hot-loop overhaul is
+    # gated on: it covers the bulk idle-skip, the issue-scan fast path and
+    # the fused thermal step together, and is host-size independent.
+    "suite_instr_per_second",
+]
+ZERO_KEYS = [
+    "solver_allocs_per_step",
+    "solver_fused_allocs_per_step",
+    "system_allocs_per_run",
+]
 EXACT_KEYS = ["suite_cache_misses"]
 # Informational only: wall times and speedup depend on the runner's core
-# count and load, so they are printed but never gated.
+# count and load, so they are printed but never gated.  idle_skip_fraction
+# and the feature flags are printed so a gate log records which fast paths
+# the candidate was measured with.
 INFO_KEYS = [
     "suite_wall_seconds_1_thread",
     "suite_wall_seconds_n_threads",
     "speedup",
     "threads",
+    "hardware_concurrency",
+    "idle_skip_fraction",
+    "fused_be",
+    "bulk_idle_skip",
 ]
 
 
@@ -53,7 +71,17 @@ def load(path):
 def compare(baseline, candidate, throughput_floor):
     """Return a list of failure strings (empty = gate passes)."""
     failures = []
+    # suite_instr_per_second is only comparable when both runs simulated
+    # the same per-run workload: a shortened smoke run spends most of its
+    # wall time in warmup and would trip the floor spuriously.
+    same_workload = (baseline.get("suite_run_instructions") ==
+                     candidate.get("suite_run_instructions"))
     for key in THROUGHPUT_KEYS:
+        if key == "suite_instr_per_second" and not same_workload:
+            print(f"  {key}: skipped (suite_run_instructions "
+                  f"{candidate.get('suite_run_instructions')} != baseline "
+                  f"{baseline.get('suite_run_instructions')})")
+            continue
         base = baseline.get(key)
         cand = candidate.get(key)
         if base is None or cand is None:
@@ -92,7 +120,10 @@ def compare(baseline, candidate, throughput_floor):
 def self_test(throughput_floor):
     baseline = {
         "solver_steps_per_second": 900000.0,
+        "solver_fused_steps_per_second": 1100000.0,
+        "suite_instr_per_second": 900000.0,
         "solver_allocs_per_step": 0,
+        "solver_fused_allocs_per_step": 0,
         "system_allocs_per_run": 0,
         "suite_cache_misses": 18,
     }
@@ -103,13 +134,30 @@ def self_test(throughput_floor):
     regressed = dict(baseline)
     regressed["solver_steps_per_second"] = (
         baseline["solver_steps_per_second"] * throughput_floor * 0.5)
+    regressed["suite_instr_per_second"] = (
+        baseline["suite_instr_per_second"] * throughput_floor * 0.5)
     regressed["system_allocs_per_run"] = 3
+    regressed["solver_fused_allocs_per_step"] = 1
     print("self-test: regressed candidate must fail")
     failures = compare(baseline, regressed, throughput_floor)
-    expected = {"solver_steps_per_second", "system_allocs_per_run"}
+    expected = {
+        "solver_steps_per_second",
+        "suite_instr_per_second",
+        "system_allocs_per_run",
+        "solver_fused_allocs_per_step",
+    }
     caught = {f.split(":")[0] for f in failures}
     if not expected <= caught:
         print(f"self-test FAILED: caught {caught}, expected {expected}")
+        return 1
+    print("self-test: shortened smoke run must not trip the suite floor")
+    short = dict(baseline)
+    short["suite_run_instructions"] = 40000
+    short["suite_instr_per_second"] = 1.0  # warmup-dominated, incomparable
+    base_full = dict(baseline)
+    base_full["suite_run_instructions"] = 400000
+    if compare(base_full, short, throughput_floor):
+        print("self-test FAILED: mismatched-workload candidate rejected")
         return 1
     print("self-test passed: gate rejects injected regressions")
     return 0

@@ -17,6 +17,11 @@ Rules (each has a stable id used in the allowlist):
 * ``no-naked-kelvin`` — the 273.15 (or ``+ 273``/``- 273``) Kelvin
   offset may appear only in util/units.h; everyone else converts via
   ``celsius_to_kelvin``/``kelvin_to_celsius`` or Celsius::kelvin().
+* ``no-per-cycle-loop`` — looping over ``idle_cycle()`` outside the
+  core itself reintroduces the O(n) idle path that
+  ``Core::idle_cycles(n)`` replaced; call the bulk advance instead.
+  (System keeps one reference loop for the bit-identity check — it is
+  allowlisted.)
 
 False positives are silenced in ``scripts/hydra_lint_allow.txt``, one
 ``<rule-id> <path>:<identifier-or-token>`` per line (``#`` comments).
@@ -66,6 +71,11 @@ AMBIENT_RNG = re.compile(r"\b(std::)?(rand|srand)\s*\(|"
                          r"\bstd::random_device\b|[^_\w\.]time\s*\(")
 
 KELVIN_LITERAL = re.compile(r"273\.15|[-+]\s*273(?:\.0*)?\b")
+
+# A call to the per-cycle idle advance (idle_cycles, the bulk form, has
+# an `s` and deliberately does not match).
+IDLE_CYCLE_CALL = re.compile(r"\bidle_cycle\s*\(")
+LOOP_HEADER = re.compile(r"\b(for|while)\s*\(")
 
 
 def load_allowlist(path=ALLOWLIST):
@@ -161,6 +171,18 @@ def lint_file(path, rel, allow):
                     f"Kelvin offset literal '{m.group(0).strip()}' outside "
                     "util/units.h; use celsius_to_kelvin()/.kelvin()"))
 
+        if in_src and not rel.startswith("src/arch/core"):
+            # Loop header on the same line or within the two preceding
+            # lines (covers the usual brace styles without a real parse).
+            if IDLE_CYCLE_CALL.search(line):
+                context = lines[max(0, lineno - 3):lineno]
+                if (any(LOOP_HEADER.search(l) for l in context)
+                        and ("no-per-cycle-loop", rel) not in allow):
+                    findings.append((
+                        "no-per-cycle-loop", where,
+                        "loop over idle_cycle(); use the O(1) "
+                        "Core::idle_cycles(n) bulk advance"))
+
         if in_src:
             m = AMBIENT_RNG.search(line)
             if m and ("no-ambient-rng", rel) not in allow:
@@ -217,6 +239,12 @@ SEEDED = {
     "no-ambient-rng": "int f() {\n  return rand();\n}\n",
     "util-no-obs": '#include "obs/obs.h"\n',
     "no-naked-kelvin": "double f(double c) {\n  return c + 273.15;\n}\n",
+    "no-per-cycle-loop":
+        "void f(Core& c) {\n"
+        "  for (int i = 0; i < 100; ++i) {\n"
+        "    c.idle_cycle(true);\n"
+        "  }\n"
+        "}\n",
 }
 
 SEEDED_PATH = {
@@ -224,6 +252,7 @@ SEEDED_PATH = {
     "no-ambient-rng": "src/sim/seeded.cc",
     "util-no-obs": "src/util/seeded.h",
     "no-naked-kelvin": "src/thermal/seeded.cc",
+    "no-per-cycle-loop": "src/sim/seeded_loop.cc",
 }
 
 
@@ -248,7 +277,12 @@ def self_test():
         # Comments and strings must not trip any rule.
         clean = tmproot / "src" / "util" / "clean.h"
         clean.write_text('// rand() and 273.15 in a comment\n'
-                         'const char* k = "std::random_device";\n')
+                         'const char* k = "std::random_device";\n'
+                         '// for (;;) core.idle_cycle(true);  in a comment\n'
+                         'void g(Core& c) {\n'
+                         '  for (int i = 0; i < 2; ++i) '
+                         'c.idle_cycles(64, true);  // bulk form is fine\n'
+                         '}\n')
         extra = [f for f in run_lint(tmproot, allow=set())
                  if "clean.h" in f[1]]
         status = "ok" if not extra else "FAIL"

@@ -1,0 +1,98 @@
+#!/usr/bin/env sh
+# Profile the simulator's hot loop and emit a per-function hot-spot table.
+#
+# Builds a Release binary with frame pointers kept (so call stacks unwind
+# cheaply), runs a representative single-core DTM simulation, and writes
+# a flat per-function profile to $HYDRA_PROFILE_DIR/hotspots.txt. This is
+# the table the hot-loop work in DESIGN.md §12 was driven by: before
+# touching a line, check that the line is actually hot.
+#
+# Profiler selection, best first, by what the host has installed:
+#   * perf       — sampling profiler, lowest distortion; needs kernel
+#                  perf_event access (perf_event_paranoid <= 2 or root).
+#   * cachegrind — valgrind instrumentation; slow but needs no kernel
+#                  support, also yields cache-miss counts.
+#   * gprof      — -pg instrumented build; always available with gcc.
+#
+# Usage: scripts/profile.sh [benchmark] [policy]
+#   (defaults: gzip hyb; HYDRA_RUN_INSTRUCTIONS / HYDRA_WARMUP_INSTRUCTIONS
+#    shorten or lengthen the profiled run.)
+#
+# The script is best-effort by design — CI runs it in a never-failing
+# optional job — but it still exits nonzero if no profiler produced a
+# table, so local misconfiguration is visible.
+set -eu
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+
+BENCHMARK="${1:-gzip}"
+POLICY="${2:-hyb}"
+OUT_DIR="${HYDRA_PROFILE_DIR:-profile-out}"
+RUN_INSTRUCTIONS="${HYDRA_RUN_INSTRUCTIONS:-2000000}"
+WARMUP_INSTRUCTIONS="${HYDRA_WARMUP_INSTRUCTIONS:-200000}"
+
+mkdir -p "$OUT_DIR"
+HOTSPOTS="$OUT_DIR/hotspots.txt"
+
+run_args="benchmark=$BENCHMARK policy=$POLICY \
+run_instructions=$RUN_INSTRUCTIONS warmup_instructions=$WARMUP_INSTRUCTIONS"
+
+build() {
+  # $1 = build dir, $2 = extra CXX flags.
+  cmake -B "$1" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="$2" >/dev/null
+  cmake --build "$1" -j "$(nproc)" --target hydra_run >/dev/null
+}
+
+header() {
+  {
+    echo "hydra hot-spot profile"
+    echo "  profiler:  $1"
+    echo "  workload:  $BENCHMARK / $POLICY ($RUN_INSTRUCTIONS instructions)"
+    echo "  host:      $(uname -sr), $(nproc) cpus"
+    echo
+  } > "$HOTSPOTS"
+}
+
+# perf needs both the binary and permission to open perf events; probe
+# with a trivial counting run before committing to the instrumented build.
+if command -v perf >/dev/null 2>&1 && perf stat -e task-clock true \
+    >/dev/null 2>&1; then
+  echo "== profiling with perf =="
+  build build-profile "-fno-omit-frame-pointer -g"
+  perf record -g --call-graph fp -o "$OUT_DIR/perf.data" -- \
+    ./build-profile/tools/hydra_run $run_args >/dev/null
+  header perf
+  perf report --stdio --no-children --percent-limit 0.5 \
+    -i "$OUT_DIR/perf.data" >> "$HOTSPOTS"
+elif command -v valgrind >/dev/null 2>&1; then
+  echo "== profiling with cachegrind =="
+  build build-profile "-fno-omit-frame-pointer -g"
+  valgrind --tool=cachegrind \
+    --cachegrind-out-file="$OUT_DIR/cachegrind.out" \
+    ./build-profile/tools/hydra_run $run_args >/dev/null
+  header cachegrind
+  if command -v cg_annotate >/dev/null 2>&1; then
+    cg_annotate "$OUT_DIR/cachegrind.out" >> "$HOTSPOTS"
+  else
+    echo "(cg_annotate unavailable; raw output in cachegrind.out)" \
+      >> "$HOTSPOTS"
+  fi
+elif command -v gprof >/dev/null 2>&1; then
+  echo "== profiling with gprof =="
+  build build-profile-pg "-fno-omit-frame-pointer -g -pg"
+  # gmon.out lands in the working directory of the profiled process.
+  (cd "$OUT_DIR" &&
+    "$REPO_ROOT/build-profile-pg/tools/hydra_run" $run_args >/dev/null)
+  header gprof
+  gprof -b -p ./build-profile-pg/tools/hydra_run "$OUT_DIR/gmon.out" \
+    >> "$HOTSPOTS"
+else
+  echo "profile.sh: no profiler found (tried perf, valgrind, gprof)" >&2
+  exit 1
+fi
+
+echo "== top of $HOTSPOTS =="
+head -n 30 "$HOTSPOTS"
+echo "(full table in $HOTSPOTS)"

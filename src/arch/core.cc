@@ -1,7 +1,10 @@
 #include "arch/core.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace hydra::arch {
@@ -24,6 +27,10 @@ Core::Core(const CoreConfig& cfg, TraceSource& trace)
     throw std::invalid_argument("core widths/capacities must be positive");
   }
   rob_.resize(static_cast<std::size_t>(cfg_.rob_entries));
+  slot_state_.assign(rob_.size(), kSlotIssued);
+  scan_mask_.assign((rob_.size() + 63) / 64, 0);
+  consumer_head_.assign(rob_.size(), -1);
+  consumer_next_.assign(rob_.size(), -1);
   frontend_.resize(static_cast<std::size_t>(cfg_.frontend_entries));
   set_frequency(cfg_.nominal_frequency_hz);
 }
@@ -58,9 +65,15 @@ void Core::update_predictor(std::uint64_t pc, bool taken) {
 
 int Core::forwarding_state(std::size_t rob_offset, std::uint64_t addr) const {
   // Walk younger -> older from just before the load: the youngest older
-  // store to the same word determines the outcome.
+  // store to the same word determines the outcome. Ring indices wrap
+  // with a compare instead of a per-step modulo (rob_offset <= size, so
+  // head + offset < 2 * size).
+  const std::size_t rob_size = rob_.size();
+  std::size_t idx = rob_head_ + rob_offset;
+  if (idx >= rob_size) idx -= rob_size;
   for (std::size_t j = rob_offset; j-- > 0;) {
-    const RobEntry& e = rob_[(rob_head_ + j) % rob_.size()];
+    idx = idx == 0 ? rob_size - 1 : idx - 1;
+    const RobEntry& e = rob_[idx];
     if (e.cls == OpClass::kStore && e.mem_addr == addr) {
       return e.issued ? 1 : -1;
     }
@@ -72,6 +85,14 @@ bool Core::mshr_available() const {
   if (cfg_.mshr_entries <= 0) return true;
   std::erase_if(mshrs_, [this](std::int64_t r) { return r <= now_; });
   return static_cast<int>(mshrs_.size()) < cfg_.mshr_entries;
+}
+
+std::int64_t Core::mshr_min_release() const {
+  // Only meaningful right after mshr_available() returned false, so all
+  // outstanding release times are > now_.
+  std::int64_t m = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t r : mshrs_) m = std::min(m, r);
+  return m;
 }
 
 void Core::mshr_allocate(std::int64_t release_cycle) {
@@ -108,18 +129,16 @@ int Core::queue_class(OpClass cls) const {
 
 Core::RobEntry& Core::rob_at_seq(std::uint64_t seq) {
   assert(seq >= head_seq_ && seq - head_seq_ < rob_count_);
-  return rob_[(rob_head_ + (seq - head_seq_)) % rob_.size()];
+  std::size_t idx = rob_head_ + static_cast<std::size_t>(seq - head_seq_);
+  if (idx >= rob_.size()) idx -= rob_.size();
+  return rob_[idx];
 }
 
 const Core::RobEntry& Core::rob_at_seq(std::uint64_t seq) const {
   assert(seq >= head_seq_ && seq - head_seq_ < rob_count_);
-  return rob_[(rob_head_ + (seq - head_seq_)) % rob_.size()];
-}
-
-bool Core::source_ready(std::uint64_t src_seq) const {
-  if (src_seq < head_seq_) return true;  // producer already committed
-  const RobEntry& producer = rob_at_seq(src_seq);
-  return producer.issued && producer.done_cycle <= now_;
+  std::size_t idx = rob_head_ + static_cast<std::size_t>(seq - head_seq_);
+  if (idx >= rob_.size()) idx -= rob_.size();
+  return rob_[idx];
 }
 
 int Core::ifetch_latency(std::uint64_t pc) {
@@ -229,8 +248,9 @@ void Core::do_fetch() {
         stop_after = true;  // taken-branch fetch break
       }
     }
-    frontend_[(frontend_head_ + frontend_count_) % frontend_.size()] = {
-        op, mispredicted};
+    std::size_t tail = frontend_head_ + frontend_count_;
+    if (tail >= frontend_.size()) tail -= frontend_.size();
+    frontend_[tail] = {op, mispredicted};
     ++frontend_count_;
     if (mispredicted) {
       fetch_halted_ = true;
@@ -241,8 +261,10 @@ void Core::do_fetch() {
 }
 
 void Core::do_rename() {
+  const std::size_t rob_size = rob_.size();
+  const std::size_t fe_size = frontend_.size();
   for (int i = 0; i < cfg_.rename_width && frontend_count_ > 0; ++i) {
-    if (rob_count_ >= rob_.size()) break;
+    if (rob_count_ >= rob_size) break;
     const FrontendOp& fop = frontend_[frontend_head_];
     const int qc = queue_class(fop.op.cls);
     const int cap = qc == 0   ? cfg_.int_queue_entries
@@ -250,7 +272,9 @@ void Core::do_rename() {
                               : cfg_.ls_queue_entries;
     if (queue_count_[qc] >= cap) break;
 
-    RobEntry& e = rob_[(rob_head_ + rob_count_) % rob_.size()];
+    std::size_t tail = rob_head_ + rob_count_;
+    if (tail >= rob_size) tail -= rob_size;
+    RobEntry& e = rob_[tail];
     e.cls = fop.op.cls;
     e.num_srcs = fop.op.num_srcs;
     e.seq = next_seq_;
@@ -258,6 +282,12 @@ void Core::do_rename() {
     e.issued = false;
     e.done_cycle = 0;
     e.mispredicted = fop.mispredicted;
+    slot_state_[tail] = kSlotBlocked;
+    assert(consumer_head_[tail] == -1);  // emptied when the slot issued
+    scan_mask_[tail >> 6] |= std::uint64_t{1} << (tail & 63);
+    // A fresh entry may be issuable immediately: cancel any issue-scan
+    // sleep so the next do_issue looks at it.
+    issue_wake_cycle_ = 0;
     // Producers that predate the trace (distance beyond the first
     // instruction) are treated as always ready: keep only in-range ones.
     int kept = 0;
@@ -271,7 +301,7 @@ void Core::do_rename() {
     ++queue_count_[qc];
     // `fop` aliases the ring's front slot: account for it before popping.
     interval_.add(is_fp(fop.op.cls) ? BlockId::kFPMap : BlockId::kIntMap);
-    frontend_head_ = (frontend_head_ + 1) % frontend_.size();
+    if (++frontend_head_ == fe_size) frontend_head_ = 0;
     --frontend_count_;
   }
 }
@@ -285,6 +315,30 @@ void Core::do_issue() {
       return;
     }
   }
+  // Issue-scan sleep: a previous scan proved nothing can issue before
+  // this cycle (rename cancels the sleep when it dispatches an entry).
+  // The skipped scans are side-effect-free no-ops, so skipping them is
+  // invisible in the simulated results.
+  if (now_ < issue_wake_cycle_) return;
+
+  // Unissued entries in flight == total issue-queue occupancy.
+  if (queue_count_[0] + queue_count_[1] + queue_count_[2] == 0) return;
+
+  const std::size_t rob_size = rob_.size();
+
+  // Wake-time bookkeeping for the sleep above: the earliest future cycle
+  // at which any scanned entry could become issuable, and whether any
+  // rejection had a cause (functional-unit limits) the wake time cannot
+  // bound. Entries parked on a consumer list need no wake entry: their
+  // producer is older, so it is scanned earlier (or parked behind a
+  // still-older producer) and either issued (no sleep) or contributed
+  // its own wake time — inductively down to the oldest unissued entry,
+  // which is always on the scan set because its sources are all issued
+  // or committed.
+  std::int64_t wake = std::numeric_limits<std::int64_t>::max();
+  bool fu_limited = false;
+
+  const int issue_width = cfg_.issue_width;
   int issued_total = 0;
   int alu_used = 0;
   int mul_used = 0;
@@ -292,12 +346,55 @@ void Core::do_issue() {
   int fpmul_used = 0;
   int mem_used = 0;
 
-  for (std::size_t k = 0; k < rob_count_; ++k) {
-    if (issued_total >= cfg_.issue_width) break;
-    RobEntry& e = rob_[(rob_head_ + k) % rob_.size()];
-    if (e.issued) continue;
+  // Examine one scan-set entry; returns true when it issued (and so may
+  // have re-inserted parked consumers into the scan set).
+  auto visit = [&](std::size_t cur) -> bool {
+    std::int64_t st = slot_state_[cur];
+    assert(st != kSlotIssued);  // issued slots are never on the scan set
+    if (st == kSlotBlocked) {
+      // Resolve readiness: once every producer has issued, the earliest-
+      // ready cycle is fixed (committed producers were ready before now_
+      // and contribute nothing). Identical truth value to the old
+      // per-source source_ready() conjunction.
+      const RobEntry& e = rob_[cur];
+      std::int64_t rc = 0;
+      std::size_t block_pidx = rob_size;
+      for (int s = 0; s < e.num_srcs; ++s) {
+        const std::uint64_t ss = e.src_seq[s];
+        if (ss < head_seq_) continue;  // producer already committed
+        std::size_t pidx =
+            rob_head_ + static_cast<std::size_t>(ss - head_seq_);
+        if (pidx >= rob_size) pidx -= rob_size;
+        if (!rob_[pidx].issued) {
+          block_pidx = pidx;
+          break;
+        }
+        rc = std::max(rc, rob_[pidx].done_cycle);
+      }
+      if (block_pidx != rob_size) {
+        // Park on the unissued producer's consumer list, off the scan
+        // set; the producer's issue re-inserts it — exactly when a full
+        // scan could first observe it unblocked.
+        consumer_next_[cur] = consumer_head_[block_pidx];
+        consumer_head_[block_pidx] = static_cast<std::int32_t>(cur);
+        scan_mask_[cur >> 6] &= ~(std::uint64_t{1} << (cur & 63));
+        return false;
+      }
+      slot_state_[cur] = st = rc;
+    }
+    if (st > now_) {
+      wake = std::min(wake, st);
+      return false;
+    }
 
-    // Functional-unit availability.
+    RobEntry& e = rob_[cur];
+    // Age offset of this entry (distance from the ROB head slot).
+    const std::size_t k =
+        cur >= rob_head_ ? cur - rob_head_ : cur + rob_size - rob_head_;
+
+    // Functional-unit availability (checked after readiness: both must
+    // hold for an issue, so the order is behaviour-neutral, and the
+    // readiness reject is by far the more common one).
     bool fu_ok = false;
     switch (e.cls) {
       case OpClass::kIntAlu:
@@ -318,16 +415,10 @@ void Core::do_issue() {
         fu_ok = mem_used < cfg_.mem_ports;
         break;
     }
-    if (!fu_ok) continue;
-
-    bool ready = true;
-    for (int s = 0; s < e.num_srcs; ++s) {
-      if (!source_ready(e.src_seq[s])) {
-        ready = false;
-        break;
-      }
+    if (!fu_ok) {
+      fu_limited = true;
+      return false;
     }
-    if (!ready) continue;
 
     // Issue.
     int latency = 0;
@@ -366,7 +457,7 @@ void Core::do_issue() {
         bool forwarded = false;
         if (cfg_.store_forwarding) {
           const int fwd = forwarding_state(k, e.mem_addr);
-          if (fwd < 0) continue;  // older store address unresolved: wait
+          if (fwd < 0) return false;  // older store address unresolved: wait
           if (fwd > 0) {
             latency = 1;  // store-to-load forwarding from the store queue
             forwarded = true;
@@ -374,7 +465,10 @@ void Core::do_issue() {
         }
         if (!forwarded) {
           const bool l1_hit = dcache_.probe(e.mem_addr);
-          if (!l1_hit && !mshr_available()) continue;  // structural stall
+          if (!l1_hit && !mshr_available()) {  // structural stall
+            wake = std::min(wake, mshr_min_release());
+            return false;
+          }
           latency = load_store_latency(e.mem_addr);
           if (!l1_hit) mshr_allocate(now_ + latency);
         }
@@ -386,7 +480,10 @@ void Core::do_issue() {
       case OpClass::kStore: {
         // Address generation; data drains from the store queue post-commit.
         const bool l1_hit = dcache_.probe(e.mem_addr);
-        if (!l1_hit && !mshr_available()) continue;  // structural stall
+        if (!l1_hit && !mshr_available()) {  // structural stall
+          wake = std::min(wake, mshr_min_release());
+          return false;
+        }
         const int fill = load_store_latency(e.mem_addr);
         if (!l1_hit) mshr_allocate(now_ + fill);
         latency = cfg_.int_alu_latency;
@@ -402,20 +499,84 @@ void Core::do_issue() {
                   : qc == 1 ? BlockId::kFPQ
                             : BlockId::kLdStQ);
     e.issued = true;
+    slot_state_[cur] = kSlotIssued;
+    scan_mask_[cur >> 6] &= ~(std::uint64_t{1} << (cur & 63));
     e.done_cycle = now_ + latency;
     ++issued_total;
+
+    // Wake parked consumers: back onto the scan set (still kSlotBlocked,
+    // so their next visit re-resolves against all sources). Consumers
+    // are strictly younger, so they land at later traversal positions
+    // and this scan still reaches them — matching the old full scan,
+    // where an entry whose producer issued earlier in the same pass
+    // resolved in that same pass.
+    for (std::int32_t c = consumer_head_[cur]; c >= 0;) {
+      const std::int32_t nc = consumer_next_[c];
+      scan_mask_[static_cast<std::size_t>(c) >> 6] |=
+          std::uint64_t{1} << (c & 63);
+      c = nc;
+    }
+    consumer_head_[cur] = -1;
 
     if (e.cls == OpClass::kBranch && e.mispredicted) {
       redirect_cycle_ = e.done_cycle + cfg_.mispredict_penalty;
     }
+    return true;
+  };
+
+  // Age-ordered traversal of the scan set: the live ROB region
+  // [rob_head_, rob_head_ + rob_count_) as up to two linear slot spans
+  // (slot order within a span IS age order, and every slot of the
+  // wrapped span is younger than the whole first span). Only live
+  // unissued unparked slots ever have their bit set, so whole words can
+  // be consumed after masking the span edges.
+  auto scan_span = [&](std::size_t lo, std::size_t hi) {
+    std::size_t wi = lo >> 6;
+    const std::size_t wlast = (hi - 1) >> 6;
+    std::uint64_t lo_mask = ~std::uint64_t{0} << (lo & 63);
+    for (; wi <= wlast; ++wi) {
+      const std::uint64_t hi_mask =
+          (wi == wlast && (hi & 63) != 0)
+              ? ~std::uint64_t{0} >> (64 - (hi & 63))
+              : ~std::uint64_t{0};
+      const std::uint64_t span_mask = lo_mask & hi_mask;
+      lo_mask = ~std::uint64_t{0};
+      std::uint64_t w = scan_mask_[wi] & span_mask;
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        w &= w - 1;
+        if (visit((wi << 6) + static_cast<std::size_t>(b))) {
+          if (issued_total >= issue_width) return true;
+          // The issue may have re-inserted consumers anywhere ahead;
+          // re-read this word's not-yet-visited remainder (later words
+          // are re-read when reached).
+          w = scan_mask_[wi] & span_mask & (~std::uint64_t{0} << b << 1);
+        }
+      }
+    }
+    return false;
+  };
+
+  const std::size_t tail = rob_head_ + rob_count_;
+  const bool width_full = scan_span(rob_head_, std::min(tail, rob_size));
+  if (!width_full && tail > rob_size) scan_span(0, tail - rob_size);
+
+  // Nothing issued and every rejection has a bounded wake time: sleep
+  // until the earliest of them. Issue events (which could unblock
+  // dependents) cannot happen before then, and rename cancels the sleep
+  // when it dispatches fresh entries.
+  if (issued_total == 0 && !fu_limited && wake > now_ &&
+      wake != std::numeric_limits<std::int64_t>::max()) {
+    issue_wake_cycle_ = wake;
   }
 }
 
 void Core::do_commit() {
+  const std::size_t rob_size = rob_.size();
   for (int i = 0; i < cfg_.commit_width && rob_count_ > 0; ++i) {
-    RobEntry& head = rob_[rob_head_];
+    const RobEntry& head = rob_[rob_head_];
     if (!head.issued || head.done_cycle > now_) break;
-    rob_head_ = (rob_head_ + 1) % rob_.size();
+    if (++rob_head_ == rob_size) rob_head_ = 0;
     --rob_count_;
     ++head_seq_;
     ++stats_.committed;
@@ -438,6 +599,16 @@ void Core::idle_cycle(bool clocked) {
   ++stats_.cycles;
   interval_.cycles += 1.0;
   if (clocked) interval_.clocked_cycles += 1.0;
+}
+
+void Core::idle_cycles(std::uint64_t n, bool clocked) {
+  // Bit-identical to n x idle_cycle(clocked): the counters are integers
+  // or integer-valued doubles (exact below 2^53), so adding n once gives
+  // the same bits as adding 1.0 n times.
+  now_ += static_cast<std::int64_t>(n);
+  stats_.cycles += n;
+  interval_.cycles += static_cast<double>(n);
+  if (clocked) interval_.clocked_cycles += static_cast<double>(n);
 }
 
 }  // namespace hydra::arch

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "arch/activity.h"
@@ -79,6 +80,13 @@ class Core {
   /// not).
   void idle_cycle(bool clocked);
 
+  /// Advance `n` idle cycles in O(1). Idle cycles touch no pipeline
+  /// state — only the cycle counters and the activity frame — and both
+  /// accumulate integer-valued doubles that stay exact below 2^53, so
+  /// this is bit-identical to calling idle_cycle(clocked) n times
+  /// (asserted by the fastpath bit-identity test).
+  void idle_cycles(std::uint64_t n, bool clocked);
+
   const CoreStats& stats() const { return stats_; }
   std::uint64_t committed() const { return stats_.committed; }
   std::uint64_t cycles() const { return stats_.cycles; }
@@ -104,6 +112,19 @@ class Core {
     bool mispredicted = false;
   };
 
+  // Dense per-ROB-slot issue state read by do_issue, so the common
+  // reject paths touch this 8-byte array instead of the 64-byte
+  // RobEntry:
+  //   kSlotIssued — entry issued;
+  //   kSlotBlocked — some producer unissued (entry sits on that
+  //                  producer's consumer list, off the scan set);
+  //   >= 0 — memoized earliest cycle every source is ready (final once
+  //          computed: done_cycle is fixed at issue and never changes,
+  //          so the per-cycle readiness test is one compare).
+  static constexpr std::int64_t kSlotIssued =
+      std::numeric_limits<std::int64_t>::max();
+  static constexpr std::int64_t kSlotBlocked = -1;
+
   void do_fetch();
   void do_rename();
   void do_issue();
@@ -120,8 +141,10 @@ class Core {
   /// MSHR availability / allocation for D-side misses.
   bool mshr_available() const;
   void mshr_allocate(std::int64_t release_cycle);
+  /// Earliest outstanding MSHR release (INT64_MAX when none): the wake
+  /// time for a scan stalled only on MSHR structural hazards.
+  std::int64_t mshr_min_release() const;
 
-  bool source_ready(std::uint64_t src_seq) const;
   RobEntry& rob_at_seq(std::uint64_t seq);
   const RobEntry& rob_at_seq(std::uint64_t seq) const;
   int queue_class(OpClass cls) const;  ///< 0=int, 1=fp, 2=ls
@@ -166,13 +189,37 @@ class Core {
 
   // Reorder buffer as a ring.
   std::vector<RobEntry> rob_;
+  std::vector<std::int64_t> slot_state_;  ///< see kSlot* above; tracks rob_
   std::size_t rob_head_ = 0;   ///< slot of oldest entry
   std::size_t rob_count_ = 0;
   std::uint64_t head_seq_ = 0; ///< seq of oldest in-ROB entry
   std::uint64_t next_seq_ = 0;
 
+  // Issue-scan set, one bit per ROB slot: entries do_issue must look at
+  // (fresh from rename, or source-ready cycle memoized in slot_state_).
+  // Issued entries and entries blocked on an unissued producer are off
+  // the set — a blocked entry is parked on that producer's consumer
+  // list (head/next form intrusive singly-linked lists over slots, -1
+  // terminated) and re-inserted the moment the producer issues, which is
+  // exactly when the old full scan could first observe it unblocked. An
+  // entry sits on at most one list: its bit and its list membership are
+  // mutually exclusive, and issue empties a producer's list before the
+  // slot can ever be recycled by rename.
+  std::vector<std::uint64_t> scan_mask_;
+  std::vector<std::int32_t> consumer_head_;
+  std::vector<std::int32_t> consumer_next_;
+
   // Issue-queue occupancy per class (int, fp, ls).
   int queue_count_[3] = {0, 0, 0};
+
+  // Issue-scan sleep: when a full scan issues nothing and proves nothing
+  // can become issuable before this cycle (all wake sources — producer
+  // done_cycles and MSHR releases — are accounted, and no entry was
+  // rejected on functional-unit limits), scans are skipped until then.
+  // Rename resets it to 0: a newly dispatched entry may be ready at
+  // once. Skipped scans are no-ops by construction, so results are
+  // identical to scanning every cycle.
+  std::int64_t issue_wake_cycle_ = 0;
 
   std::int64_t now_ = 0;
   CoreStats stats_;

@@ -50,4 +50,21 @@ util::Watts LeakageModel::power(BlockId id, double celsius,
                      std::exp(beta_per_kelvin_ * (celsius - t0_celsius_)));
 }
 
+void LeakageModel::power_into(const std::vector<double>& celsius,
+                              util::Volts voltage,
+                              std::vector<double>& out) const {
+  if (celsius.size() < floorplan::kNumBlocks ||
+      out.size() < floorplan::kNumBlocks) {
+    throw std::invalid_argument("leakage batch vectors too short");
+  }
+  // Same expression as power(), element for element, so the batch path
+  // is bit-identical; only the loop-invariant pieces are hoisted.
+  const double v_scale = voltage.value() / v_nominal_;
+  const double beta = beta_per_kelvin_;
+  const double t0 = t0_celsius_;
+  for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
+    out[i] = base_watts_[i] * v_scale * std::exp(beta * (celsius[i] - t0));
+  }
+}
+
 }  // namespace hydra::power

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "floorplan/block.h"
 #include "floorplan/floorplan.h"
@@ -28,6 +29,14 @@ class LeakageModel {
   /// and supply `voltage`.
   util::Watts power(floorplan::BlockId id, double celsius,
                     util::Volts voltage) const;
+
+  /// Batch evaluation for the thermal-step hot path: writes the leakage
+  /// of every block into `out[0..kNumBlocks)` (`out` must already hold
+  /// at least kNumBlocks entries; entries beyond are untouched). The
+  /// voltage-scale division and the beta/T0 loads are hoisted out of the
+  /// per-block std::exp chain; each element matches power() bit for bit.
+  void power_into(const std::vector<double>& celsius, util::Volts voltage,
+                  std::vector<double>& out) const;
 
   util::Celsius reference_temperature() const {
     return util::Celsius(t0_celsius_);

@@ -23,11 +23,14 @@ void PowerModel::block_power_into(const arch::ActivityFrame& frame,
     throw std::invalid_argument("temperature vector too short");
   }
   watts.resize(floorplan::kNumBlocks);
+  // Leakage for all blocks in one batch (the voltage scale and exp-chain
+  // constants are hoisted there), then the dynamic term is added on top.
+  // a + b is commutative in IEEE arithmetic, so the result is bit-equal
+  // to the old per-block (dynamic + leakage) sum.
+  leakage_.power_into(celsius, voltage, watts);
   for (std::size_t i = 0; i < floorplan::kNumBlocks; ++i) {
     const auto id = static_cast<floorplan::BlockId>(i);
-    watts[i] = (energy_.dynamic_power(frame, id, voltage, frequency) +
-                leakage_.power(id, celsius[i], voltage))
-                   .value();
+    watts[i] += energy_.dynamic_power(frame, id, voltage, frequency).value();
   }
 }
 

@@ -45,7 +45,9 @@ System::System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
       policy_(std::move(policy)),
       guard_(dynamic_cast<core::GuardedPolicy*>(policy_.get())),
       solver_(model_.network, cfg.package.ambient,
-              thermal::Scheme::kBackwardEuler, shared_->lu_cache) {
+              cfg.fused_thermal ? thermal::Scheme::kFusedBE
+                                : thermal::Scheme::kBackwardEuler,
+              shared_->lu_cache) {
   if (!cfg_.fault_campaign.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(
         sensors_, cfg_.fault_campaign, cfg_.time_scale);
@@ -311,18 +313,25 @@ void System::advance_until(std::uint64_t target_committed, bool measure,
   double next_event = next_event_time();
   while (core_.committed() < target_committed ||
          (run_out_interval && interval_cycles_ > 0)) {
-    long long cycles_to_event =
-        static_cast<long long>(std::ceil((next_event - t_) * freq_hz_));
-    if (cycles_to_event < 1) cycles_to_event = 1;
-    long long n = std::min<long long>(
-        cycles_to_event, cfg_.thermal_interval_cycles - interval_cycles_);
-    n = std::min<long long>(n, 4096);
+    const long long n =
+        chunk_cycles(next_event, t_, freq_hz_,
+                     cfg_.thermal_interval_cycles - interval_cycles_);
 
     const bool stalled = transition_active_ && cfg_.dvs_stall;
-    if (clock_gate_on_) {
-      for (long long i = 0; i < n; ++i) core_.idle_cycle(false);
-    } else if (stalled) {
-      for (long long i = 0; i < n; ++i) core_.idle_cycle(true);
+    if (clock_gate_on_ || stalled) {
+      // Idle spans touch no pipeline state, so the whole chunk advances
+      // in O(1); the result is bit-identical to the per-cycle loop
+      // (fastpath_test asserts it), which stays available behind the
+      // bulk_idle_skip knob as the reference path. A gated clock tree
+      // burns no base power (clocked=false); a stalled-but-clocked
+      // pipeline does.
+      if (cfg_.bulk_idle_skip) {
+        core_.idle_cycles(static_cast<std::uint64_t>(n), !clock_gate_on_);
+      } else {
+        for (long long i = 0; i < n; ++i) core_.idle_cycle(!clock_gate_on_);
+      }
+      // Counted on both paths so RunResults stay comparable bit-for-bit.
+      if (measure) acc_.idle_cycles += static_cast<std::uint64_t>(n);
     } else {
       for (long long i = 0; i < n; ++i) core_.cycle();
     }
@@ -440,6 +449,10 @@ RunResult System::run() {
     r.failsafe_fraction = acc_.failsafe / acc_.wall;
     r.fault_window_fraction = acc_.fault_window / acc_.wall;
     r.fault_violation_fraction = acc_.fault_violation / acc_.wall;
+  }
+  if (r.cycles > 0) {
+    r.idle_skip_fraction = static_cast<double>(acc_.idle_cycles) /
+                           static_cast<double>(r.cycles);
   }
   r.dvs_transitions = acc_.transitions;
   if (injector_) r.faulted_samples = injector_->counters().faulted_samples;

@@ -10,6 +10,8 @@
 // and a warm-up period runs before statistics are gathered.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
@@ -52,6 +54,11 @@ struct RunResult {
   double mean_power_watts = 0.0;
   std::string hottest_block;            ///< block with highest mean temp
   double hottest_mean_celsius = 0.0;
+  /// Fraction of measured cycles spent in idle spans (clock-gated quanta
+  /// or stalled DVS transitions) — the spans the bulk idle-skip fast path
+  /// advances in O(1). Counted identically whether the fast path or the
+  /// per-cycle reference loop executed them.
+  double idle_skip_fraction = 0.0;
 
   // --- Sensor-fault / supervision metrics (zero without a campaign) ---
   std::uint64_t faulted_samples = 0;     ///< sensor-samples corrupted
@@ -65,6 +72,22 @@ struct RunResult {
 
   bool thermally_safe() const { return violation_fraction == 0.0; }
 };
+
+/// Size of the next advance_until chunk: up to the next scheduled event,
+/// never past the thermal-interval boundary, capped at 4096 cycles so
+/// event-time comparisons stay responsive. Exposed as a free function so
+/// the fastpath property test can fuzz the boundary guarantees directly.
+/// The order of operations (clamp, then the two mins) is load-bearing:
+/// the measured wall time accumulates as n / freq per chunk, so chunk
+/// geometry must not change across code paths or results drift.
+inline long long chunk_cycles(double next_event_t, double t, double freq_hz,
+                              long long interval_cycles_remaining) {
+  long long n =
+      static_cast<long long>(std::ceil((next_event_t - t) * freq_hz));
+  if (n < 1) n = 1;
+  n = std::min(n, interval_cycles_remaining);
+  return std::min<long long>(n, 4096);
+}
 
 /// Periodic observation hook for examples/diagnostics (one call per
 /// thermal interval).
@@ -172,6 +195,7 @@ class System {
     std::size_t transitions = 0;
     std::uint64_t start_committed = 0;
     std::uint64_t start_cycles = 0;
+    std::uint64_t idle_cycles = 0;  ///< cycles advanced as idle spans
 
     /// Zero in place, keeping block_temp_weighted's storage (run() may
     /// be called repeatedly and must not allocate after the first call).
@@ -183,6 +207,7 @@ class System {
       transitions = 0;
       start_committed = 0;
       start_cycles = 0;
+      idle_cycles = 0;
     }
   } acc_;
 

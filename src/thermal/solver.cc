@@ -76,6 +76,41 @@ const LuFactorization& LuCache::backward_euler(double dt) const {
   return *it->second;
 }
 
+const FusedStepOperator& LuCache::fused(double dt) const {
+  const std::scoped_lock lock(mu_);
+  auto it = fused_cache_.find(dt);
+  if (it == fused_cache_.end()) {
+    static const obs::Counter builds =
+        obs::metrics().counter("thermal.fused_operator_builds");
+    builds.add();
+    const obs::ScopedSpan span(obs::tracer(), "thermal", "lu_factorize",
+                               "fused_be");
+    const std::size_t n = capacitance_.size();
+    Matrix a = g_;
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += capacitance_[i] / dt;
+    const LuFactorization lu(std::move(a));
+    auto op = std::make_unique<FusedStepOperator>();
+    op->m = Matrix(n, n);
+    op->n = Matrix(n, n);
+    // Column j of N is the solve against the j-th basis vector; M scales
+    // each column by that node's C/dt.
+    Vector basis(n, 0.0);
+    Vector col(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      basis[j] = 1.0;
+      lu.solve_into(basis, col);
+      basis[j] = 0.0;
+      const double c_over_dt = capacitance_[j] / dt;
+      for (std::size_t i = 0; i < n; ++i) {
+        op->n(i, j) = col[i];
+        op->m(i, j) = col[i] * c_over_dt;
+      }
+    }
+    it = fused_cache_.emplace(dt, std::move(op)).first;
+  }
+  return *it->second;
+}
+
 TransientSolver::TransientSolver(const RcNetwork& net, util::Celsius ambient,
                                  Scheme scheme,
                                  std::shared_ptr<const LuCache> lu_cache)
@@ -113,25 +148,41 @@ void TransientSolver::step(const Vector& power, util::Seconds dt) {
   if (dt.value() <= 0.0) {
     throw std::invalid_argument("time step must be positive");
   }
-  if (scheme_ == Scheme::kBackwardEuler) {
-    step_backward_euler(power, dt.value());
-  } else {
-    step_rk4(power, dt.value());
+  switch (scheme_) {
+    case Scheme::kBackwardEuler:
+      step_backward_euler(power, dt.value());
+      break;
+    case Scheme::kFusedBE:
+      step_fused_be(power, dt.value());
+      break;
+    case Scheme::kRk4:
+      step_rk4(power, dt.value());
+      break;
   }
 }
+
+namespace {
+
+// Round dt to 3 significant figures so DVS-induced variation in the
+// wall-clock length of a 10k-cycle interval maps onto a bounded set of
+// cached factorisations. The rounded dt is used for the integration
+// itself, keeping matrix and right-hand side consistent (sub-percent
+// step-length error, negligible against the ms-scale time constants).
+// Shared by both backward-Euler paths so they key the same cache entries
+// and integrate identical step lengths.
+double round_dt(double dt) {
+  const double mag = std::pow(10.0, std::floor(std::log10(dt)) - 2.0);
+  return std::round(dt / mag) * mag;
+}
+
+}  // namespace
 
 void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   static const obs::Counter be_steps =
       obs::metrics().counter("thermal.be_steps");
   be_steps.add();
   const std::size_t n = net_->size();
-  // Round dt to 3 significant figures so DVS-induced variation in the
-  // wall-clock length of a 10k-cycle interval maps onto a bounded set of
-  // cached factorisations. The rounded dt is used for the integration
-  // itself, keeping matrix and right-hand side consistent (sub-percent
-  // step-length error, negligible against the ms-scale time constants).
-  const double mag = std::pow(10.0, std::floor(std::log10(dt)) - 2.0);
-  dt = std::round(dt / mag) * mag;
+  dt = round_dt(dt);
   if (last_lu_ == nullptr || dt != last_dt_) {
     last_lu_ = &lu_cache_->backward_euler(dt);
     last_dt_ = dt;
@@ -142,6 +193,24 @@ void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   }
   last_lu_->solve_into(rhs_, rise_);
   for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_[i];
+}
+
+void TransientSolver::step_fused_be(const Vector& power, double dt) {
+  static const obs::Counter fused_steps =
+      obs::metrics().counter("thermal.fused_be_steps");
+  fused_steps.add();
+  const std::size_t n = net_->size();
+  dt = round_dt(dt);
+  if (last_fused_ == nullptr || dt != last_fused_dt_) {
+    last_fused_ = &lu_cache_->fused(dt);
+    last_fused_dt_ = dt;
+  }
+  // rise' = M rise + N P — all scratch preallocated, so the steady-state
+  // path allocates nothing (the operator itself is built on first use).
+  for (std::size_t i = 0; i < n; ++i) rise_[i] = celsius_[i] - ambient_;
+  last_fused_->m.multiply_into(rise_, tmp_);
+  last_fused_->n.multiply_into(power, rhs_);
+  for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + tmp_[i] + rhs_[i];
 }
 
 void TransientSolver::derivative_into(const Vector& rise, const Vector& power,

@@ -68,7 +68,9 @@ class ThreadPool {
   static void set_worker_start_hook(void (*hook)(std::size_t));
 
  private:
-  struct Queue {
+  // Cache-line aligned so two workers hammering adjacent per-worker
+  // queues (or the hot shared counters below) never false-share a line.
+  struct alignas(64) Queue {
     std::mutex mu;
     std::deque<std::function<void()>> jobs;
   };
@@ -80,9 +82,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex sleep_mu_;
   std::condition_variable wake_;
-  std::atomic<std::size_t> next_queue_{0};
-  std::atomic<std::size_t> pending_{0};
-  std::atomic<bool> stop_{false};
+  // Each hot atomic on its own cache line: next_queue_ is written by
+  // every submit, pending_ by submitters and all workers — sharing a
+  // line would bounce it between cores on every job.
+  alignas(64) std::atomic<std::size_t> next_queue_{0};
+  alignas(64) std::atomic<std::size_t> pending_{0};
+  alignas(64) std::atomic<bool> stop_{false};
 };
 
 }  // namespace hydra::util

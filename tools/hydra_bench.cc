@@ -33,6 +33,7 @@
 #include <iostream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -76,11 +77,11 @@ struct SolverBench {
 
 /// Backward-Euler steps/second on the shared thermal model, plus heap
 /// allocations over the measured loop (the warmed path must make none).
-SolverBench solver_throughput(const sim::SimConfig& cfg, long long steps) {
+SolverBench solver_throughput(const sim::SimConfig& cfg, long long steps,
+                              thermal::Scheme scheme) {
   const auto shared = sim::ModelCache::global().get(cfg);
   thermal::TransientSolver solver(shared->model.network,
-                                  cfg.package.ambient,
-                                  thermal::Scheme::kBackwardEuler,
+                                  cfg.package.ambient, scheme,
                                   shared->lu_cache);
   std::vector<double> watts(floorplan::kNumBlocks, 2.0);
   const thermal::Vector power = shared->model.expand_power(watts);
@@ -119,6 +120,7 @@ std::uint64_t system_allocs_per_run(sim::SimConfig cfg) {
 struct SuiteBench {
   double wall_seconds = 0.0;
   sim::RunCache::Stats cache;
+  sim::SuiteResult results;
 };
 
 /// Wall time of a hybrid-DTM suite on a pool of the given width. A fresh
@@ -127,13 +129,12 @@ SuiteBench suite_wall_seconds(const sim::SimConfig& cfg, std::size_t width) {
   util::ThreadPool pool(width);
   sim::ExperimentRunner runner(cfg, &pool);
   const auto start = std::chrono::steady_clock::now();
-  const sim::SuiteResult suite =
-      runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg);
+  sim::SuiteResult suite = runner.run_suite(sim::PolicyKind::kHybrid, {}, cfg);
   const double elapsed = seconds_since(start);
   if (suite.per_benchmark.empty()) {
     throw std::runtime_error("suite produced no results");
   }
-  return {elapsed, runner.cache_stats()};
+  return {elapsed, runner.cache_stats(), std::move(suite)};
 }
 
 }  // namespace
@@ -163,10 +164,16 @@ int main(int argc, char** argv) {
 
     std::printf("hydra_bench: solver throughput (%lld steps)...\n",
                 solver_steps);
-    const SolverBench solver = solver_throughput(cfg, solver_steps);
+    const SolverBench solver = solver_throughput(
+        cfg, solver_steps, thermal::Scheme::kBackwardEuler);
     std::printf("  %.0f backward-Euler steps/sec, %llu allocs\n",
                 solver.steps_per_second,
                 static_cast<unsigned long long>(solver.allocs));
+    const SolverBench fused = solver_throughput(
+        cfg, solver_steps, thermal::Scheme::kFusedBE);
+    std::printf("  %.0f fused-BE steps/sec, %llu allocs\n",
+                fused.steps_per_second,
+                static_cast<unsigned long long>(fused.allocs));
 
     std::printf("hydra_bench: repeated System::run() allocations...\n");
     const std::uint64_t system_allocs = system_allocs_per_run(cfg);
@@ -188,6 +195,27 @@ int main(int argc, char** argv) {
     const double speedup = wall_n > 0.0 ? wall_1 / wall_n : 1.0;
     std::printf("  speedup at %zu threads: %.2fx\n", threads, speedup);
 
+    // Suite throughput (measured instructions per wall-second) and the
+    // mean idle-skip fraction, both taken from the 1-thread pass so the
+    // numbers are comparable across hosts regardless of pool width.
+    std::uint64_t suite_instructions = 0;
+    double idle_skip_sum = 0.0;
+    std::size_t idle_skip_runs = 0;
+    for (const sim::ExperimentResult& r : suite_1.results.per_benchmark) {
+      suite_instructions += r.dtm.instructions + r.baseline.instructions;
+      idle_skip_sum += r.dtm.idle_skip_fraction;
+      idle_skip_sum += r.baseline.idle_skip_fraction;
+      idle_skip_runs += 2;
+    }
+    const double suite_instr_per_second =
+        wall_1 > 0.0 ? static_cast<double>(suite_instructions) / wall_1 : 0.0;
+    const double idle_skip_fraction =
+        idle_skip_runs > 0
+            ? idle_skip_sum / static_cast<double>(idle_skip_runs)
+            : 0.0;
+    std::printf("  suite throughput: %.0f instr/s, idle-skip %.3f\n",
+                suite_instr_per_second, idle_skip_fraction);
+
     std::ofstream out(out_path);
     if (!out) {
       throw std::runtime_error("cannot open '" + out_path + "' for write");
@@ -195,9 +223,13 @@ int main(int argc, char** argv) {
     util::JsonWriter w(out);
     w.begin_object();
     w.key("solver_steps_per_second").value(solver.steps_per_second);
+    w.key("solver_fused_steps_per_second").value(fused.steps_per_second);
     w.key("solver_steps_measured").value(solver_steps);
     w.key("solver_allocs_per_step")
         .value(static_cast<double>(solver.allocs) /
+               static_cast<double>(std::max<long long>(solver_steps, 1)));
+    w.key("solver_fused_allocs_per_step")
+        .value(static_cast<double>(fused.allocs) /
                static_cast<double>(std::max<long long>(solver_steps, 1)));
     w.key("system_allocs_per_run").value(system_allocs);
     w.key("suite_cache_hits").value(suite_n.cache.hits);
@@ -207,7 +239,14 @@ int main(int argc, char** argv) {
         .value(static_cast<unsigned long long>(cfg.run_instructions));
     w.key("suite_wall_seconds_1_thread").value(wall_1);
     w.key("suite_wall_seconds_n_threads").value(wall_n);
+    w.key("suite_instr_per_second").value(suite_instr_per_second);
+    w.key("idle_skip_fraction").value(idle_skip_fraction);
+    w.key("fused_be").value(cfg.fused_thermal);
+    w.key("bulk_idle_skip").value(cfg.bulk_idle_skip);
     w.key("threads").value(threads);
+    w.key("hardware_concurrency")
+        .value(static_cast<unsigned long long>(
+            std::thread::hardware_concurrency()));
     w.key("speedup").value(speedup);
     w.end_object();
     out << '\n';
