@@ -17,8 +17,15 @@ Two kinds of gate, matched to how noisy each metric is:
   gates on exact equality with the baseline: a change means the engine's
   memoization keys changed shape.
 
+* Warm-restart metrics (from the ext_cache_restart bench, passed via
+  ``--restart``) gate on absolute contracts, no baseline needed: the
+  warm hit rate must reach ``--restart-floor`` (default 0.999 — every
+  point served from disk) and both restart passes must reproduce the
+  cold results bit-identically.
+
 Usage:
   bench_gate.py --baseline BENCH_baseline.json --candidate BENCH_engine.json
+  bench_gate.py --baseline ... --candidate ... --restart BENCH_restart.json
   bench_gate.py --baseline ... --candidate ... --update   # refresh baseline
   bench_gate.py --self-test                               # gate the gate
 
@@ -66,6 +73,32 @@ INFO_KEYS = [
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def check_restart(restart, restart_floor):
+    """Gate the warm-restart contract (absolute, no baseline).
+
+    Returns a list of failure strings (empty = gate passes).
+    """
+    failures = []
+    rate = restart.get("restart_cache_hit_rate")
+    if rate is None:
+        failures.append("restart_cache_hit_rate: missing from restart bench")
+    else:
+        status = "ok" if rate >= restart_floor else "FAIL"
+        print(f"  restart_cache_hit_rate: {rate:.3f} "
+              f"(floor {restart_floor:.3f}) [{status}]")
+        if rate < restart_floor:
+            failures.append(
+                f"restart_cache_hit_rate: {rate:.3f} below floor "
+                f"{restart_floor:.3f} (warm restart recomputed work)")
+    for key in ("restart_bit_identical", "corrupt_recovery_bit_identical"):
+        val = restart.get(key)
+        status = "ok" if val == 1 else "FAIL"
+        print(f"  {key}: {val} (contract: 1) [{status}]")
+        if val != 1:
+            failures.append(f"{key}: {val} != 1 (restart changed results)")
+    return failures
 
 
 def compare(baseline, candidate, throughput_floor):
@@ -159,6 +192,28 @@ def self_test(throughput_floor):
     if compare(base_full, short, throughput_floor):
         print("self-test FAILED: mismatched-workload candidate rejected")
         return 1
+    restart_ok = {
+        "restart_cache_hit_rate": 1.0,
+        "restart_bit_identical": 1,
+        "corrupt_recovery_bit_identical": 1,
+    }
+    print("self-test: healthy restart bench must pass")
+    if check_restart(restart_ok, 0.999):
+        print("self-test FAILED: healthy restart bench was rejected")
+        return 1
+    print("self-test: cold restart / changed results must fail")
+    restart_bad = {
+        "restart_cache_hit_rate": 0.5,
+        "restart_bit_identical": 0,
+        "corrupt_recovery_bit_identical": 1,
+    }
+    restart_failures = check_restart(restart_bad, 0.999)
+    restart_caught = {f.split(":")[0] for f in restart_failures}
+    restart_expected = {"restart_cache_hit_rate", "restart_bit_identical"}
+    if not restart_expected <= restart_caught:
+        print(f"self-test FAILED: caught {restart_caught}, "
+              f"expected {restart_expected}")
+        return 1
     print("self-test passed: gate rejects injected regressions")
     return 0
 
@@ -169,6 +224,10 @@ def main():
     ap.add_argument("--candidate", help="fresh BENCH_engine.json")
     ap.add_argument("--throughput-floor", type=float, default=0.5,
                     help="minimum candidate/baseline throughput ratio")
+    ap.add_argument("--restart", help="BENCH_restart.json from the "
+                    "ext_cache_restart bench (optional)")
+    ap.add_argument("--restart-floor", type=float, default=0.999,
+                    help="minimum warm-restart cache hit rate")
     ap.add_argument("--update", action="store_true",
                     help="copy candidate over baseline instead of gating")
     ap.add_argument("--self-test", action="store_true",
@@ -187,6 +246,9 @@ def main():
     print(f"bench gate: {args.candidate} vs {args.baseline}")
     failures = compare(load(args.baseline), load(args.candidate),
                        args.throughput_floor)
+    if args.restart:
+        print(f"restart gate: {args.restart}")
+        failures += check_restart(load(args.restart), args.restart_floor)
     if failures:
         print("bench gate FAILED:")
         for f in failures:

@@ -22,6 +22,13 @@ Rules (each has a stable id used in the allowlist):
   ``Core::idle_cycles(n)`` replaced; call the bulk advance instead.
   (System keeps one reference loop for the bit-identity check — it is
   allowlisted.)
+* ``no-bare-catch`` — a ``catch (...)`` handler in src/ must either
+  propagate the exception (``throw;``, ``std::current_exception`` into
+  a promise/``rethrow_exception``) or visibly record it (an obs counter
+  or failure hook).  Silently swallowing an unknown exception is how a
+  fault-tolerant engine turns a bug into a wrong number.  The
+  supervision layer's legitimate containment sites are allowlisted by
+  file path.
 
 False positives are silenced in ``scripts/hydra_lint_allow.txt``, one
 ``<rule-id> <path>:<identifier-or-token>`` per line (``#`` comments).
@@ -76,6 +83,43 @@ KELVIN_LITERAL = re.compile(r"273\.15|[-+]\s*273(?:\.0*)?\b")
 # an `s` and deliberately does not match).
 IDLE_CYCLE_CALL = re.compile(r"\bidle_cycle\s*\(")
 LOOP_HEADER = re.compile(r"\b(for|while)\s*\(")
+
+BARE_CATCH = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+# Tokens that make a catch-all handler acceptable: it either rethrows,
+# forwards the exception object, or records the event.
+CATCH_PROPAGATES = re.compile(
+    r"\bthrow\b|rethrow_exception|current_exception|\bobs::|\.add\s*\(")
+
+
+def bare_catch_findings(text, rel, allow):
+    """Findings for catch (...) handlers that swallow silently."""
+    findings = []
+    for m in BARE_CATCH.finditer(text):
+        brace = text.find("{", m.end())
+        if brace < 0:
+            continue
+        depth = 0
+        end = brace
+        for i in range(brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        body = text[brace:end + 1]
+        if CATCH_PROPAGATES.search(body):
+            continue
+        if ("no-bare-catch", rel) in allow:
+            continue
+        lineno = text.count("\n", 0, m.start()) + 1
+        findings.append((
+            "no-bare-catch", f"{rel}:{lineno}",
+            "catch (...) swallows without rethrowing or recording; "
+            "propagate, count via obs, or allowlist this containment "
+            "site"))
+    return findings
 
 
 def load_allowlist(path=ALLOWLIST):
@@ -159,6 +203,9 @@ def lint_file(path, rel, allow):
     in_units_h = rel.endswith("util/units.h")
     in_util = rel.startswith("src/util/")
     in_src = rel.startswith("src/")
+
+    if in_src:
+        findings.extend(bare_catch_findings(text, rel, allow))
 
     for lineno, line in enumerate(lines, 1):
         where = f"{rel}:{lineno}"
@@ -245,6 +292,15 @@ SEEDED = {
         "    c.idle_cycle(true);\n"
         "  }\n"
         "}\n",
+    "no-bare-catch":
+        "void f() {\n"
+        "  try {\n"
+        "    g();\n"
+        "  } catch (...) {\n"
+        "    int swallowed = 0;\n"
+        "    (void)swallowed;\n"
+        "  }\n"
+        "}\n",
 }
 
 SEEDED_PATH = {
@@ -253,6 +309,7 @@ SEEDED_PATH = {
     "util-no-obs": "src/util/seeded.h",
     "no-naked-kelvin": "src/thermal/seeded.cc",
     "no-per-cycle-loop": "src/sim/seeded_loop.cc",
+    "no-bare-catch": "src/sim/seeded_catch.cc",
 }
 
 
@@ -282,6 +339,13 @@ def self_test():
                          'void g(Core& c) {\n'
                          '  for (int i = 0; i < 2; ++i) '
                          'c.idle_cycles(64, true);  // bulk form is fine\n'
+                         '}\n'
+                         'void h() {\n'
+                         '  try {\n'
+                         '    g();\n'
+                         '  } catch (...) {\n'
+                         '    throw;  // rethrowing catch-all is fine\n'
+                         '  }\n'
                          '}\n')
         extra = [f for f in run_lint(tmproot, allow=set())
                  if "clean.h" in f[1]]

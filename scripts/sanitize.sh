@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Run the concurrency-sensitive test labels (faults + perf) under the
-# sanitizers. ASan+UBSan catches lifetime/UB bugs in the engine's caches;
-# TSan catches data races in the thread pool, RunCache and LuCache.
+# Run the concurrency-sensitive test labels (faults + perf + recovery)
+# under the sanitizers. ASan+UBSan catches lifetime/UB bugs in the
+# engine's caches; TSan catches data races in the thread pool, RunCache,
+# LuCache and the persistent store's recovery/eviction paths (the chaos
+# test in recovery_test corrupts and re-opens the store under load).
 #
 # Usage: scripts/sanitize.sh [ADDRESS|THREAD|all]
 #
@@ -24,7 +26,7 @@ run_one() {
   # Exercise the pool with more workers than cores so TSan sees real
   # interleavings even on small CI machines.
   HYDRA_THREADS="${HYDRA_THREADS:-8}" \
-    ctest --test-dir "$builddir" -L 'faults|perf' --output-on-failure
+    ctest --test-dir "$builddir" -L 'faults|perf|recovery' --output-on-failure
 }
 
 case "${1:-all}" in

@@ -414,14 +414,17 @@ RunCache::Future ExperimentRunner::submit_baseline(
   const SimConfig bcfg = baseline_config(cfg);
   const std::uint64_t key =
       run_point_key(profile, PolicyKind::kNone, PolicyParams{}, bcfg);
-  return cache_.submit(key, *pool_, [profile, bcfg] {
-    // Per-job profiling span on this worker's wall-clock lane, so the
-    // trace shows pool occupancy per thread.
-    const obs::ScopedSpan span(obs::tracer(), "engine", "run",
-                               profile.name + "/baseline");
-    System system(profile, bcfg, nullptr);
-    return system.run();
-  });
+  return cache_.submit(
+      key, *pool_,
+      [profile, bcfg](const util::CancelToken& token) {
+        // Per-job profiling span on this worker's wall-clock lane, so the
+        // trace shows pool occupancy per thread.
+        const obs::ScopedSpan span(obs::tracer(), "engine", "run",
+                                   profile.name + "/baseline");
+        System system(profile, bcfg, nullptr);
+        return system.run(&token);
+      },
+      job_opts_);
 }
 
 RunCache::Future ExperimentRunner::submit_run(
@@ -434,12 +437,16 @@ RunCache::Future ExperimentRunner::submit_run(
     return submit_baseline(profile, cfg);
   }
   const std::uint64_t key = run_point_key(profile, kind, params, cfg);
-  return cache_.submit(key, *pool_, [profile, kind, params, cfg] {
-    const obs::ScopedSpan span(obs::tracer(), "engine", "run",
-                               profile.name + "/" + policy_kind_name(kind));
-    System system(profile, cfg, make_policy(kind, params, cfg));
-    return system.run();
-  });
+  return cache_.submit(
+      key, *pool_,
+      [profile, kind, params, cfg](const util::CancelToken& token) {
+        const obs::ScopedSpan span(
+            obs::tracer(), "engine", "run",
+            profile.name + "/" + policy_kind_name(kind));
+        System system(profile, cfg, make_policy(kind, params, cfg));
+        return system.run(&token);
+      },
+      job_opts_);
 }
 
 const RunResult& ExperimentRunner::baseline(

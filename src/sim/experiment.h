@@ -183,6 +183,25 @@ class ExperimentRunner {
   /// Memoization counters (for tests/diagnostics).
   RunCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// Supervision applied to every subsequently submitted run: per-job
+  /// deadline (cooperative, polled by System::run) and transient-retry
+  /// budget. Defaults are "no supervision", which keeps the engine's
+  /// default behaviour — and its exact memoization shape — unchanged.
+  void set_job_options(const RunCache::JobOptions& opts) {
+    job_opts_ = opts;
+  }
+  const RunCache::JobOptions& job_options() const { return job_opts_; }
+
+  /// Attach a crash-safe disk tier (see PersistentRunCache). Off by
+  /// default — persistence is opt-in per tool so benches and tests stay
+  /// deterministic under arbitrary HYDRA_CACHE_DIR environments.
+  void set_store(std::shared_ptr<PersistentRunCache> store) {
+    cache_.set_store(std::move(store));
+  }
+  std::shared_ptr<PersistentRunCache> store() const {
+    return cache_.store();
+  }
+
  private:
   RunCache::Future submit_run(const workload::WorkloadProfile& profile,
                               PolicyKind kind, const PolicyParams& params,
@@ -193,6 +212,7 @@ class ExperimentRunner {
   SimConfig base_cfg_;
   util::ThreadPool* pool_;
   RunCache cache_;
+  RunCache::JobOptions job_opts_{};
 };
 
 }  // namespace hydra::sim

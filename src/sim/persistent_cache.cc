@@ -1,0 +1,558 @@
+#include "sim/persistent_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace hydra::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Entry file layout (all integers little-endian):
+//   "HYRC"                      4 bytes  magic
+//   version                     u32
+//   key                         u64      (must match the filename)
+//   payload_size                u64
+//   payload                     payload_size bytes
+//   checksum                    u64      FNV-1a 64 over the payload
+// Any structural deviation — short file, magic/key mismatch, impossible
+// size, checksum mismatch, undecodable payload — classifies the file as
+// corrupt; a version we don't speak classifies it as stale.
+constexpr char kMagic[4] = {'H', 'Y', 'R', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+// Bounds-checked little-endian reader; every getter degrades to a
+// harmless default once `ok` drops, so decoding never reads out of
+// bounds regardless of how mangled the input is.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() {
+    if (!ok || data.size() - pos < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!ok || data.size() - pos < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return ok ? v : 0.0;
+  }
+
+  std::string str() {
+    const std::uint64_t len = u64();
+    if (!ok || len > data.size() - pos) {
+      ok = false;
+      return {};
+    }
+    std::string s(data.substr(pos, static_cast<std::size_t>(len)));
+    pos += static_cast<std::size_t>(len);
+    return s;
+  }
+};
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xfu];
+    v >>= 4;
+  }
+  return s;
+}
+
+bool parse_hex16(std::string_view s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+enum class FileStatus { kOk, kCorrupt, kStale };
+
+struct ParsedEntry {
+  FileStatus status = FileStatus::kCorrupt;
+  std::uint64_t checksum = 0;
+  std::string payload;
+};
+
+ParsedEntry parse_entry_file(const fs::path& p, std::uint64_t expected_key) {
+  ParsedEntry out;
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return out;
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return out;
+  if (raw.size() < kHeaderBytes + 8) return out;
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) return out;
+  Reader r{std::string_view(raw), sizeof(kMagic), true};
+  const std::uint32_t version = r.u32();
+  const std::uint64_t key = r.u64();
+  const std::uint64_t payload_size = r.u64();
+  if (!r.ok) return out;
+  if (version != kFormatVersion) {
+    // Structurally a store entry, just from another era of the format.
+    out.status = FileStatus::kStale;
+    return out;
+  }
+  if (key != expected_key) return out;
+  if (payload_size != raw.size() - kHeaderBytes - 8) return out;
+  const std::string_view payload(raw.data() + kHeaderBytes,
+                                 static_cast<std::size_t>(payload_size));
+  r.pos = kHeaderBytes + static_cast<std::size_t>(payload_size);
+  const std::uint64_t checksum = r.u64();
+  if (!r.ok || fnv1a64(payload) != checksum) return out;
+  out.status = FileStatus::kOk;
+  out.checksum = checksum;
+  out.payload.assign(payload);
+  return out;
+}
+
+std::uint64_t entry_key_of(const fs::path& p, bool& ok) {
+  std::uint64_t key = 0;
+  ok = p.extension() == ".run" && parse_hex16(p.stem().string(), key);
+  return key;
+}
+
+}  // namespace
+
+std::string serialize_run_result(const RunResult& r) {
+  std::string out;
+  out.reserve(256);
+  put_str(out, r.benchmark);
+  put_str(out, r.policy);
+  put_f64(out, r.wall_seconds);
+  put_u64(out, r.instructions);
+  put_u64(out, r.cycles);
+  put_f64(out, r.ipc);
+  put_f64(out, r.max_true_celsius);
+  put_f64(out, r.violation_fraction);
+  put_f64(out, r.above_trigger_fraction);
+  put_u64(out, static_cast<std::uint64_t>(r.dvs_transitions));
+  put_f64(out, r.mean_gate_fraction);
+  put_f64(out, r.mean_issue_gate_fraction);
+  put_f64(out, r.dvs_low_fraction);
+  put_f64(out, r.clock_gated_fraction);
+  put_f64(out, r.mean_power_watts);
+  put_str(out, r.hottest_block);
+  put_f64(out, r.hottest_mean_celsius);
+  put_f64(out, r.idle_skip_fraction);
+  put_u64(out, r.solver_guard_trips);
+  put_u64(out, r.faulted_samples);
+  put_u64(out, r.sensor_rejections);
+  put_u64(out, r.quarantine_entries);
+  put_f64(out, r.failsafe_fraction);
+  put_f64(out, r.fault_window_fraction);
+  put_f64(out, r.fault_violation_fraction);
+  return out;
+}
+
+bool deserialize_run_result(std::string_view payload, RunResult& out) {
+  Reader r{payload, 0, true};
+  out.benchmark = r.str();
+  out.policy = r.str();
+  out.wall_seconds = r.f64();
+  out.instructions = r.u64();
+  out.cycles = r.u64();
+  out.ipc = r.f64();
+  out.max_true_celsius = r.f64();
+  out.violation_fraction = r.f64();
+  out.above_trigger_fraction = r.f64();
+  out.dvs_transitions = static_cast<std::size_t>(r.u64());
+  out.mean_gate_fraction = r.f64();
+  out.mean_issue_gate_fraction = r.f64();
+  out.dvs_low_fraction = r.f64();
+  out.clock_gated_fraction = r.f64();
+  out.mean_power_watts = r.f64();
+  out.hottest_block = r.str();
+  out.hottest_mean_celsius = r.f64();
+  out.idle_skip_fraction = r.f64();
+  out.solver_guard_trips = r.u64();
+  out.faulted_samples = r.u64();
+  out.sensor_rejections = r.u64();
+  out.quarantine_entries = r.u64();
+  out.failsafe_fraction = r.f64();
+  out.fault_window_fraction = r.f64();
+  out.fault_violation_fraction = r.f64();
+  return r.ok && r.pos == payload.size();
+}
+
+PersistentRunCache::PersistentRunCache(Options opts)
+    : opts_(std::move(opts)) {
+  if (opts_.dir.empty()) {
+    throw std::runtime_error("persistent cache: empty directory");
+  }
+  if (opts_.shards == 0) opts_.shards = 1;
+  const std::scoped_lock lock(mu_);
+  recover_locked();
+}
+
+std::shared_ptr<PersistentRunCache> PersistentRunCache::from_env() {
+  const char* dir = std::getenv("HYDRA_CACHE_DIR");
+  if (dir == nullptr || dir[0] == '\0') return nullptr;
+  Options opts;
+  opts.dir = dir;
+  if (const char* cap = std::getenv("HYDRA_CACHE_MAX_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cap, &end, 10);
+    if (end != cap && v > 0) opts.max_bytes = v;
+  }
+  return std::make_shared<PersistentRunCache>(std::move(opts));
+}
+
+fs::path PersistentRunCache::shard_dir(std::uint64_t key) const {
+  std::ostringstream name;
+  name << "shard-";
+  const std::uint64_t shard = key % opts_.shards;
+  name << (shard < 10 ? "0" : "") << shard;
+  return fs::path(opts_.dir) / name.str();
+}
+
+fs::path PersistentRunCache::entry_path(std::uint64_t key) const {
+  return shard_dir(key) / (hex16(key) + ".run");
+}
+
+void PersistentRunCache::recover_locked() {
+  static const obs::Counter recoveries =
+      obs::metrics().counter("cache.disk_recoveries");
+  recoveries.add();
+  std::error_code ec;
+  fs::create_directories(opts_.dir, ec);
+  fs::create_directories(fs::path(opts_.dir) / "quarantine", ec);
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    fs::create_directories(fs::path(opts_.dir) / ("shard-" + std::string(s < 10 ? "0" : "") + std::to_string(s)), ec);
+  }
+  // Probe writability up front so a bad directory fails loudly at open,
+  // not silently per save.
+  {
+    const fs::path probe = fs::path(opts_.dir) / ".probe.tmp";
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    out << "ok";
+    out.close();
+    if (!out.good()) {
+      throw std::runtime_error("persistent cache: directory not writable: " +
+                               opts_.dir);
+    }
+    fs::remove(probe, ec);
+  }
+
+  // Census of the shards: delete abandoned temp files, validate every
+  // entry, quarantine anything corrupt, drop anything stale. Survivors
+  // are LRU-ordered by file modification time (oldest = first evicted).
+  struct Found {
+    std::uint64_t key;
+    IndexEntry entry;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    const fs::path dir = fs::path(opts_.dir) /
+                         ("shard-" + std::string(s < 10 ? "0" : "") +
+                          std::to_string(s));
+    for (const auto& de : fs::directory_iterator(dir, ec)) {
+      const fs::path p = de.path();
+      if (p.extension() == ".tmp" ||
+          p.filename().string().find(".tmp") != std::string::npos) {
+        fs::remove(p, ec);
+        ++stats_.tmp_removed;
+        continue;
+      }
+      bool name_ok = false;
+      const std::uint64_t key = entry_key_of(p, name_ok);
+      if (!name_ok) {
+        quarantine_locked(key, p);
+        continue;
+      }
+      const ParsedEntry parsed = parse_entry_file(p, key);
+      if (parsed.status == FileStatus::kStale) {
+        fs::remove(p, ec);
+        ++stats_.stale;
+        continue;
+      }
+      if (parsed.status == FileStatus::kCorrupt) {
+        quarantine_locked(key, p);
+        continue;
+      }
+      Found f;
+      f.key = key;
+      f.entry.path = p;
+      f.entry.bytes = fs::file_size(p, ec);
+      f.entry.checksum = parsed.checksum;
+      f.mtime = fs::last_write_time(p, ec);
+      found.push_back(std::move(f));
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.key < b.key;
+            });
+  index_.clear();
+  total_bytes_ = 0;
+  for (Found& f : found) {
+    f.entry.lru_tick = ++lru_clock_;
+    total_bytes_ += f.entry.bytes;
+    index_.emplace(f.key, std::move(f.entry));
+    ++stats_.recovered;
+  }
+
+  // The manifest recorded publish intents; entries are self-validating,
+  // so its only recovery job is to be readable past a torn final line
+  // (killed mid-append). Scan it for that tolerance, then compact it to
+  // the surviving index so it cannot grow without bound.
+  {
+    std::ifstream in(fs::path(opts_.dir) / "manifest.log");
+    std::string line;
+    while (std::getline(in, line)) {
+      std::uint64_t key = 0;
+      std::uint64_t checksum = 0;
+      const bool well_formed =
+          line.size() >= 35 && line[0] == 'P' && line[1] == ' ' &&
+          parse_hex16(std::string_view(line).substr(2, 16), key) &&
+          line[18] == ' ' &&
+          parse_hex16(std::string_view(line).substr(19, 16), checksum);
+      (void)well_formed;  // intents for missing entries become recomputes
+    }
+  }
+  compact_manifest_locked();
+  enforce_capacity_locked();
+}
+
+void PersistentRunCache::quarantine_locked(std::uint64_t key,
+                                           const fs::path& p) {
+  static const obs::Counter quarantined =
+      obs::metrics().counter("cache.disk_quarantined");
+  quarantined.add();
+  ++stats_.corrupt;
+  std::error_code ec;
+  const fs::path qdir = fs::path(opts_.dir) / "quarantine";
+  fs::create_directories(qdir, ec);
+  const fs::path dest =
+      qdir / (hex16(key) + "-" + std::to_string(++quarantine_seq_) + ".bad");
+  fs::rename(p, dest, ec);
+  if (ec) {
+    // Cross-device or exotic failure: fall back to copy+remove; if even
+    // that fails the file must at least stop being servable.
+    fs::copy_file(p, dest, fs::copy_options::overwrite_existing, ec);
+    fs::remove(p, ec);
+  }
+}
+
+void PersistentRunCache::append_manifest_locked(std::uint64_t key,
+                                                std::uint64_t checksum) {
+  std::ofstream out(fs::path(opts_.dir) / "manifest.log",
+                    std::ios::app | std::ios::binary);
+  out << "P " << hex16(key) << " " << hex16(checksum) << "\n";
+  out.flush();
+}
+
+void PersistentRunCache::compact_manifest_locked() {
+  const fs::path manifest = fs::path(opts_.dir) / "manifest.log";
+  const fs::path tmp = fs::path(opts_.dir) / "manifest.log.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    for (const auto& [key, entry] : index_) {
+      out << "P " << hex16(key) << " " << hex16(entry.checksum) << "\n";
+    }
+    out.flush();
+    if (!out.good()) return;  // keep the old manifest rather than lose it
+  }
+  std::error_code ec;
+  fs::rename(tmp, manifest, ec);
+}
+
+std::shared_ptr<const RunResult> PersistentRunCache::load(std::uint64_t key) {
+  const std::scoped_lock lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const ParsedEntry parsed = parse_entry_file(it->second.path, key);
+  if (parsed.status == FileStatus::kStale) {
+    std::error_code ec;
+    fs::remove(it->second.path, ec);
+    total_bytes_ -= std::min(total_bytes_, it->second.bytes);
+    index_.erase(it);
+    ++stats_.stale;
+    ++stats_.misses;
+    return nullptr;
+  }
+  auto result = std::make_shared<RunResult>();
+  if (parsed.status == FileStatus::kCorrupt ||
+      !deserialize_run_result(parsed.payload, *result)) {
+    // The entry rotted (or was tampered with) after we indexed it.
+    quarantine_locked(key, it->second.path);
+    total_bytes_ -= std::min(total_bytes_, it->second.bytes);
+    index_.erase(it);
+    ++stats_.misses;
+    return nullptr;
+  }
+  it->second.lru_tick = ++lru_clock_;
+  ++stats_.hits;
+  static const obs::Counter hits = obs::metrics().counter("cache.disk_hits");
+  hits.add();
+  return result;
+}
+
+void PersistentRunCache::save(std::uint64_t key, const RunResult& result) {
+  const std::string payload = serialize_run_result(result);
+  const std::uint64_t checksum = fnv1a64(payload);
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload.size() + 8);
+  blob.append(kMagic, sizeof(kMagic));
+  put_u32(blob, kFormatVersion);
+  put_u64(blob, key);
+  put_u64(blob, payload.size());
+  blob.append(payload);
+  put_u64(blob, checksum);
+
+  const std::scoped_lock lock(mu_);
+  if (index_.count(key) != 0) return;  // identical by construction (FNV key)
+  const fs::path final_path = entry_path(key);
+  const fs::path tmp_path =
+      shard_dir(key) /
+      (hex16(key) + ".tmp" + std::to_string(++lru_clock_));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out.good()) {
+      // Contained: the run stays memory-only; disk pressure or a broken
+      // volume must never take down the sweep.
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  // Write-ahead: intent is on record before the entry becomes visible.
+  append_manifest_locked(key, checksum);
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return;
+  }
+  IndexEntry entry;
+  entry.path = final_path;
+  entry.bytes = blob.size();
+  entry.checksum = checksum;
+  entry.lru_tick = ++lru_clock_;
+  total_bytes_ += entry.bytes;
+  index_.insert_or_assign(key, std::move(entry));
+  ++stats_.stores;
+  static const obs::Counter stores =
+      obs::metrics().counter("cache.disk_stores");
+  stores.add();
+  enforce_capacity_locked();
+}
+
+void PersistentRunCache::enforce_capacity_locked() {
+  while (total_bytes_ > opts_.max_bytes && !index_.empty()) {
+    auto victim = index_.begin();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->second.lru_tick < victim->second.lru_tick) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(victim->second.path, ec);
+    total_bytes_ -= std::min(total_bytes_, victim->second.bytes);
+    index_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+PersistentRunCache::Stats PersistentRunCache::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t PersistentRunCache::entries() const {
+  const std::scoped_lock lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t PersistentRunCache::total_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,125 @@
+// Crash-safe on-disk spill of the run cache.
+//
+// The expensive artifact of this codebase is a completed RunResult; the
+// in-memory RunCache dedupes it within one process, and this store makes
+// it durable across processes — the substrate the hydra_serve north-star
+// needs ("content-hash admission into a sharded persistent run cache").
+// A killed or crashed sweep restarts warm: every entry it managed to
+// commit is served from disk, everything else is recomputed, and nothing
+// corrupt is ever trusted.
+//
+// Durability model (DESIGN.md §13):
+//   * Entries live one-file-per-run under `<dir>/shard-NN/<key>.run`,
+//     sharded by the low bits of the FNV run key so directory listings
+//     stay short at serve scale.
+//   * Each file is versioned and checksummed (FNV-1a over the payload);
+//     writes go to a temp file in the same shard and are published with
+//     an atomic rename, so readers never observe a half-written entry.
+//   * A write-ahead manifest (`manifest.log`) records every publish
+//     intent before the rename. It is compacted on open; a torn final
+//     line (killed mid-append) is tolerated and ignored.
+//   * On open, leftover temp files are deleted and every entry is
+//     structurally validated; anything corrupt is quarantined into
+//     `<dir>/quarantine/` — never deleted (post-mortem evidence), never
+//     served, never fatal. A corrupt entry simply becomes a recompute.
+//   * Total size is bounded: past `max_bytes` the least-recently-used
+//     entries are evicted, so disk pressure degrades hit rate, not
+//     correctness.
+//
+// Thread-safe; all state is guarded by one mutex (the store backs cache
+// misses, not the simulation hot path).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/system.h"
+
+namespace hydra::sim {
+
+/// Serialize a RunResult to the store's portable binary payload (every
+/// double bit-exact; strings length-prefixed). Exposed for tests.
+std::string serialize_run_result(const RunResult& r);
+
+/// Inverse of serialize_run_result. Returns false (leaving `out`
+/// unspecified) on any structural problem — short buffer, trailing
+/// bytes, bad lengths.
+bool deserialize_run_result(std::string_view payload, RunResult& out);
+
+class PersistentRunCache {
+ public:
+  struct Options {
+    std::string dir;              ///< store root (created if absent)
+    std::size_t shards = 16;      ///< fan-out of the key space on disk
+    std::uint64_t max_bytes = 256ull << 20;  ///< LRU capacity bound
+  };
+
+  struct Stats {
+    // Lifetime counters for this handle.
+    std::uint64_t hits = 0;        ///< loads served (checksum verified)
+    std::uint64_t misses = 0;      ///< loads with no entry on disk
+    std::uint64_t stores = 0;      ///< entries published
+    std::uint64_t corrupt = 0;     ///< entries quarantined (open + load)
+    std::uint64_t stale = 0;       ///< version-mismatch entries dropped
+    std::uint64_t evictions = 0;   ///< entries evicted by the size bound
+    // Recovery census from open().
+    std::uint64_t recovered = 0;     ///< valid entries found on open
+    std::uint64_t tmp_removed = 0;   ///< abandoned temp files deleted
+  };
+
+  /// Open (and if necessary create) the store at `opts.dir`, running
+  /// crash recovery: delete temp files, quarantine corrupt entries,
+  /// compact the manifest. Throws std::runtime_error when the directory
+  /// cannot be created or is not writable.
+  explicit PersistentRunCache(Options opts);
+
+  /// The store for the HYDRA_CACHE_DIR environment variable (capacity
+  /// from HYDRA_CACHE_MAX_BYTES when set), or nullptr when unset.
+  static std::shared_ptr<PersistentRunCache> from_env();
+
+  /// Verified entry for `key`, or nullptr. A corrupt entry is
+  /// quarantined and reported as a miss; a version-mismatched entry is
+  /// deleted and reported as a miss.
+  std::shared_ptr<const RunResult> load(std::uint64_t key);
+
+  /// Durably publish `result` under `key` (temp file + manifest append
+  /// + atomic rename), then enforce the capacity bound. I/O errors are
+  /// contained: a failed save is counted and the run simply stays
+  /// memory-only.
+  void save(std::uint64_t key, const RunResult& result);
+
+  Stats stats() const;
+  std::size_t entries() const;
+  std::uint64_t total_bytes() const;
+  const std::string& dir() const { return opts_.dir; }
+
+ private:
+  struct IndexEntry {
+    std::filesystem::path path;
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;  ///< payload FNV (kept for compaction)
+    std::uint64_t lru_tick = 0;  ///< larger = more recently used
+  };
+
+  std::filesystem::path shard_dir(std::uint64_t key) const;
+  std::filesystem::path entry_path(std::uint64_t key) const;
+  void quarantine_locked(std::uint64_t key, const std::filesystem::path& p);
+  void enforce_capacity_locked();
+  void append_manifest_locked(std::uint64_t key, std::uint64_t checksum);
+  void compact_manifest_locked();
+  void recover_locked();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, IndexEntry> index_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t quarantine_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hydra::sim

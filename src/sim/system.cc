@@ -313,6 +313,11 @@ void System::advance_until(std::uint64_t target_committed, bool measure,
   double next_event = next_event_time();
   while (core_.committed() < target_committed ||
          (run_out_interval && interval_cycles_ > 0)) {
+    // Cooperative supervision point: at most one predicted-false branch
+    // per chunk when no token is armed, one atomic load when it is.
+    if (cancel_ != nullptr && cancel_->stop_requested()) {
+      cancel_->throw_if_stopped(benchmark_name_);
+    }
     const long long n =
         chunk_cycles(next_event, t_, freq_hz_,
                      cfg_.thermal_interval_cycles - interval_cycles_);
@@ -376,7 +381,9 @@ void System::warmup() {
   advance_until(core_.committed() + cfg_.warmup_instructions, false);
 }
 
-RunResult System::run() {
+RunResult System::run(const util::CancelToken* cancel) {
+  cancel_ = cancel;
+  const std::uint64_t guard_trips_before = solver_.fused_guard_trips();
   obs::Tracer& tracer = obs::tracer();
   if (tracer.enabled()) {
     sim_lane_ = tracer.new_lane(
@@ -455,6 +462,8 @@ RunResult System::run() {
                            static_cast<double>(r.cycles);
   }
   r.dvs_transitions = acc_.transitions;
+  r.solver_guard_trips = solver_.fused_guard_trips() - guard_trips_before;
+  cancel_ = nullptr;
   if (injector_) r.faulted_samples = injector_->counters().faulted_samples;
   if (guard_) {
     r.sensor_rejections = guard_->stats().rejected_readings;

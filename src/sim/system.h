@@ -29,6 +29,7 @@
 #include "sim/sim_config.h"
 #include "thermal/model_builder.h"
 #include "thermal/solver.h"
+#include "util/cancel.h"
 #include "workload/synthetic_trace.h"
 
 namespace hydra::sim {
@@ -59,6 +60,10 @@ struct RunResult {
   /// advances in O(1). Counted identically whether the fast path or the
   /// per-cycle reference loop executed them.
   double idle_skip_fraction = 0.0;
+  /// Times the fused-BE numerical guard rejected a step (NaN/Inf or
+  /// divergence) during this run and fell back to the reference LU
+  /// scheme. Zero on every healthy run.
+  std::uint64_t solver_guard_trips = 0;
 
   // --- Sensor-fault / supervision metrics (zero without a campaign) ---
   std::uint64_t faulted_samples = 0;     ///< sensor-samples corrupted
@@ -108,8 +113,20 @@ class System {
   System(const workload::WorkloadProfile& profile, const SimConfig& cfg,
          std::unique_ptr<core::DtmPolicy> policy);
 
-  /// Steady-state init + warm-up + measured run.
-  RunResult run();
+  /// Steady-state init + warm-up + measured run. `cancel`, when given,
+  /// is polled at chunk granularity: a requested stop (explicit cancel
+  /// or expired deadline) unwinds with the matching typed exception
+  /// (util::CancelledError / util::TimeoutError), leaving the System in
+  /// an unspecified but destructible state. Deterministic runs pass
+  /// nullptr and pay a single predicted-false branch per chunk.
+  RunResult run(const util::CancelToken* cancel = nullptr);
+
+  /// Test seam: poison the next fused-BE step (see
+  /// TransientSolver::inject_fused_fault_for_test). Lets tests assert
+  /// the guard event is visible end-to-end in RunResult and --metrics.
+  void inject_solver_fault_for_test() {
+    solver_.inject_fused_fault_for_test();
+  }
 
   /// Install an observer called once per thermal interval during the
   /// measured run.
@@ -213,6 +230,8 @@ class System {
 
   std::function<void(const StepTrace&)> trace_cb_;
   std::string benchmark_name_;
+  /// Cooperative stop signal for the current run() (null when absent).
+  const util::CancelToken* cancel_ = nullptr;
   std::uint64_t probe_auto_instructions_ = 300'000;
 
   // Preallocated scratch so the per-step hot path never allocates.

@@ -1,6 +1,7 @@
 #include "thermal/solver.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/obs.h"
@@ -195,11 +196,28 @@ void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_[i];
 }
 
+namespace {
+
+// Guard bound for the fused path: a temperature rise beyond this is
+// divergence, not physics (silicon melts three orders of magnitude
+// earlier). Deliberately loose so the guard can never veto a legitimate
+// transient.
+constexpr double kMaxPlausibleRise = 1.0e6;
+
+}  // namespace
+
 void TransientSolver::step_fused_be(const Vector& power, double dt) {
+  // After a guard trip the fused operator is suspect for good: stay on
+  // the reference LU scheme for the rest of this solver's life.
+  if (fused_disabled_) {
+    step_backward_euler(power, dt);
+    return;
+  }
   static const obs::Counter fused_steps =
       obs::metrics().counter("thermal.fused_be_steps");
   fused_steps.add();
   const std::size_t n = net_->size();
+  const double dt_in = dt;
   dt = round_dt(dt);
   if (last_fused_ == nullptr || dt != last_fused_dt_) {
     last_fused_ = &lu_cache_->fused(dt);
@@ -207,10 +225,33 @@ void TransientSolver::step_fused_be(const Vector& power, double dt) {
   }
   // rise' = M rise + N P — all scratch preallocated, so the steady-state
   // path allocates nothing (the operator itself is built on first use).
+  // The candidate update is validated in scratch before celsius_ is
+  // touched, so a rejected step leaves the state exactly as it was and
+  // the LU fallback recomputes the same step from the same inputs.
   for (std::size_t i = 0; i < n; ++i) rise_[i] = celsius_[i] - ambient_;
   last_fused_->m.multiply_into(rise_, tmp_);
   last_fused_->n.multiply_into(power, rhs_);
-  for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + tmp_[i] + rhs_[i];
+  if (inject_fused_fault_) {
+    inject_fused_fault_ = false;
+    tmp_[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rise = tmp_[i] + rhs_[i];
+    tmp_[i] = rise;
+    // !(|rise| < bound) also catches NaN (any comparison is false).
+    if (!(std::abs(rise) < kMaxPlausibleRise)) ok = false;
+  }
+  if (ok) {
+    for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + tmp_[i];
+    return;
+  }
+  ++fused_guard_trips_;
+  fused_disabled_ = true;
+  static const obs::Counter guard_trips =
+      obs::metrics().counter("thermal.fused_guard_trips");
+  guard_trips.add();
+  step_backward_euler(power, dt_in);
 }
 
 void TransientSolver::derivative_into(const Vector& rise, const Vector& power,

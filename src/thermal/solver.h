@@ -1,6 +1,7 @@
 // Steady-state and transient solvers for thermal RC networks.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -118,6 +119,18 @@ class TransientSolver {
   }
   util::Celsius ambient() const { return util::Celsius(ambient_); }
 
+  /// Times the fused-BE guard rejected a step (NaN/Inf or divergence)
+  /// and fell back to the reference LU path. After the first trip the
+  /// solver stays on LU for its lifetime — the fused operator is
+  /// suspect, and LU is the scheme it was validated against.
+  std::uint64_t fused_guard_trips() const { return fused_guard_trips_; }
+
+  /// Test seam: poison the next fused-BE step's candidate update with a
+  /// NaN, as a corrupted step operator would. The guard must catch it,
+  /// fall back to LU within the same step, and keep the run's results
+  /// identical to a pure-LU twin (recovery_test asserts this).
+  void inject_fused_fault_for_test() { inject_fused_fault_ = true; }
+
  private:
   void step_backward_euler(const Vector& power, double dt);
   void step_fused_be(const Vector& power, double dt);
@@ -136,6 +149,10 @@ class TransientSolver {
   const LuFactorization* last_lu_ = nullptr;
   double last_fused_dt_ = 0.0;
   const FusedStepOperator* last_fused_ = nullptr;
+  // Fused-BE numerical guard state (see step_fused_be).
+  std::uint64_t fused_guard_trips_ = 0;
+  bool fused_disabled_ = false;
+  bool inject_fused_fault_ = false;
   // Preallocated scratch so the per-step hot path never allocates.
   Vector rhs_;
   Vector rise_;

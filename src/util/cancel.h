@@ -1,0 +1,94 @@
+// Cooperative cancellation and the typed job-failure vocabulary.
+//
+// The experiment engine supervises every memoized run: a job may be
+// cancelled from outside (CancelToken::cancel), expire against a
+// per-job deadline, or classify its own failure as transient so the
+// supervisor retries it with backoff. All of it is cooperative — the
+// running simulation polls stop_requested() at thermal-interval
+// granularity and unwinds with a typed exception, so a stuck or
+// diverging job can never wedge a pool worker forever while siblings
+// starve. util sits at the dependency root: no obs here; the layers
+// above count these events.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "util/units.h"
+
+namespace hydra::util {
+
+/// A run was cancelled via CancelToken::cancel().
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A run outlived its per-job deadline.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A failure the thrower believes is worth retrying (I/O hiccup,
+/// resource pressure). The job supervisor retries these with bounded
+/// backoff; anything else fails the job on the first throw.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cooperative stop signal threaded into long-running jobs. cancel() is
+/// safe from any thread; the deadline is set once by the owner before
+/// the work starts and only read afterwards.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation (thread-safe, idempotent).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arm a deadline `timeout` from now. Zero or negative disarms. Call
+  /// before handing the token to the worker; not thread-safe against a
+  /// concurrent stop_requested().
+  void set_deadline_after(Seconds timeout) {
+    if (timeout.value() <= 0.0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(timeout.value()));
+    has_deadline_ = true;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// True when the job should unwind (cancelled or past its deadline).
+  bool stop_requested() const { return cancelled() || expired(); }
+
+  /// Throw the matching typed error if a stop is requested. `what`
+  /// names the work being abandoned (benchmark/policy) so the failure
+  /// that surfaces from a future is self-describing.
+  void throw_if_stopped(const std::string& what) const {
+    if (cancelled()) throw CancelledError("cancelled: " + what);
+    if (expired()) throw TimeoutError("deadline exceeded: " + what);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace hydra::util

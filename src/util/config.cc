@@ -1,11 +1,29 @@
 #include "util/config.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <stdexcept>
 
 namespace hydra::util {
 namespace {
+
+/// Edit distance for "did you mean" hints (small strings, O(n*m)).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
 
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
@@ -136,6 +154,31 @@ std::vector<std::string> Config::keys() const {
 
 void Config::merge(const Config& other) {
   for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+void Config::reject_unknown(const std::vector<std::string_view>& allowed,
+                            std::source_location where) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string msg = std::string(where.file_name()) + ":" +
+                      std::to_string(where.line()) +
+                      ": unknown config key '" + key + "'";
+    std::string_view best;
+    std::size_t best_dist = key.size();
+    for (const std::string_view cand : allowed) {
+      const std::size_t d = edit_distance(key, cand);
+      if (d < best_dist) {
+        best_dist = d;
+        best = cand;
+      }
+    }
+    if (!best.empty() && best_dist <= 3) {
+      msg += " (did you mean '" + std::string(best) + "'?)";
+    }
+    throw std::invalid_argument(msg);
+  }
 }
 
 }  // namespace hydra::util

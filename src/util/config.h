@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <source_location>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,15 @@ class Config {
 
   /// All keys in sorted order (for diagnostics).
   std::vector<std::string> keys() const;
+
+  /// Fail fast on option typos: throw std::invalid_argument when this
+  /// config holds a key outside `allowed`. The message is a one-line
+  /// diagnostic carrying the caller's file:line and the offending key
+  /// (plus the closest allowed spelling), so tools exit with an
+  /// actionable error instead of silently ignoring a misspelt flag.
+  void reject_unknown(
+      const std::vector<std::string_view>& allowed,
+      std::source_location where = std::source_location::current()) const;
 
   /// Merge `other` into this config; other's values win on conflict.
   void merge(const Config& other);

@@ -1,0 +1,479 @@
+// Fault-tolerant engine + crash-safe persistent cache: job supervision
+// (containment, typed failures, deadline, retry), the fused-BE numerical
+// guard, and chaos recovery of the on-disk store (corruption quarantine,
+// warm restart, bit-identical reproduction).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "sim/experiment.h"
+#include "sim/persistent_cache.h"
+#include "sim/run_cache.h"
+#include "sim/system.h"
+#include "util/cancel.h"
+#include "util/config.h"
+#include "util/thread_pool.h"
+
+namespace hydra::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+SimConfig short_config() {
+  SimConfig cfg = default_sim_config();
+  cfg.run_instructions = 60'000;
+  cfg.warmup_instructions = 20'000;
+  return cfg;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.max_true_celsius, b.max_true_celsius);
+  EXPECT_EQ(a.violation_fraction, b.violation_fraction);
+  EXPECT_EQ(a.dvs_transitions, b.dvs_transitions);
+  EXPECT_EQ(a.mean_gate_fraction, b.mean_gate_fraction);
+  EXPECT_EQ(a.dvs_low_fraction, b.dvs_low_fraction);
+  EXPECT_EQ(a.mean_power_watts, b.mean_power_watts);
+  EXPECT_EQ(a.hottest_block, b.hottest_block);
+  EXPECT_EQ(a.hottest_mean_celsius, b.hottest_mean_celsius);
+}
+
+/// Fresh per-test directory under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir.string();
+}
+
+RunResult tiny_result(const std::string& tag) {
+  RunResult r;
+  r.benchmark = tag;
+  r.policy = "test";
+  r.wall_seconds = 0.125;
+  r.instructions = 1000;
+  r.ipc = 2.5;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Job supervision.
+
+// Regression for the latent future-poisoning bug: a throwing job used to
+// leave its broken future cached forever, so every later submission of
+// the same key rethrew without ever recomputing.
+TEST(JobSupervision, ThrowingJobFailsFastAndResubmitRecomputes) {
+  util::ThreadPool pool(2);
+  RunCache cache;
+  auto failed = cache.submit(42, pool, []() -> RunResult {
+    throw std::runtime_error("injected job failure");
+  });
+  EXPECT_THROW(failed.get(), std::runtime_error);
+
+  // The key must not be poisoned: resubmission recomputes and succeeds.
+  auto ok = cache.submit(
+      42, pool, []() -> RunResult { return tiny_result("recomputed"); });
+  EXPECT_EQ(ok.get()->benchmark, "recomputed");
+
+  const RunCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(JobSupervision, ThrowingJobDoesNotBlockSiblings) {
+  util::ThreadPool pool(2);
+  RunCache cache;
+  std::vector<RunCache::Future> futures;
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    futures.push_back(cache.submit(key, pool, [key]() -> RunResult {
+      if (key == 3) throw std::runtime_error("one bad job");
+      return tiny_result("job-" + std::to_string(key));
+    }));
+  }
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    if (key == 3) {
+      EXPECT_THROW(futures[key].get(), std::runtime_error);
+    } else {
+      EXPECT_EQ(futures[key].get()->benchmark,
+                "job-" + std::to_string(key));
+    }
+  }
+  // Workers must all still be alive after the contained unwind.
+  auto after = cache.submit(
+      99, pool, []() -> RunResult { return tiny_result("after"); });
+  EXPECT_EQ(after.get()->benchmark, "after");
+}
+
+TEST(JobSupervision, DeadlineExpiryIsATypedTimeout) {
+  util::ThreadPool pool(1);
+  RunCache cache;
+  RunCache::JobOptions opts;
+  opts.timeout = util::Seconds(0.02);
+  auto future = cache.submit(
+      7, pool,
+      [](const util::CancelToken& token) -> RunResult {
+        for (;;) {
+          token.throw_if_stopped("spin-forever");
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      opts);
+  EXPECT_THROW(future.get(), util::TimeoutError);
+  const RunCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(JobSupervision, TransientFailuresRetryThenSucceed) {
+  util::ThreadPool pool(1);
+  RunCache cache;
+  RunCache::JobOptions opts;
+  opts.max_attempts = 3;
+  opts.backoff = util::Seconds(0.001);
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  auto future = cache.submit(
+      11, pool,
+      [attempts](const util::CancelToken&) -> RunResult {
+        if (attempts->fetch_add(1) < 2) {
+          throw util::TransientError("flaky dependency");
+        }
+        return tiny_result("third-time-lucky");
+      },
+      opts);
+  EXPECT_EQ(future.get()->benchmark, "third-time-lucky");
+  EXPECT_EQ(attempts->load(), 3);
+  const RunCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.computes, 3u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(JobSupervision, TransientFailureExhaustsAttemptBudget) {
+  util::ThreadPool pool(1);
+  RunCache cache;
+  RunCache::JobOptions opts;
+  opts.max_attempts = 2;
+  opts.backoff = util::Seconds(0.001);
+  auto future = cache.submit(
+      12, pool,
+      [](const util::CancelToken&) -> RunResult {
+        throw util::TransientError("always flaky");
+      },
+      opts);
+  EXPECT_THROW(future.get(), util::TransientError);
+  const RunCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(JobSupervision, CancelledTokenUnwindsSystemRun) {
+  SimConfig cfg = short_config();
+  System system(workload::spec2000_profile("gzip"), cfg, nullptr);
+  util::CancelToken token;
+  token.cancel();
+  EXPECT_THROW(system.run(&token), util::CancelledError);
+}
+
+TEST(JobSupervision, DeadlineUnwindsSystemRunMidFlight) {
+  SimConfig cfg = default_sim_config();
+  cfg.run_instructions = 50'000'000;  // far longer than the deadline
+  cfg.warmup_instructions = 20'000;
+  System system(workload::spec2000_profile("gzip"), cfg, nullptr);
+  util::CancelToken token;
+  token.set_deadline_after(util::Seconds(0.02));
+  EXPECT_THROW(system.run(&token), util::TimeoutError);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-BE numerical guard.
+
+// A poisoned fused step must be rejected before it touches the state,
+// recomputed via the reference LU scheme, and the whole run must come
+// out bit-identical to a run that never used the fused operator (the
+// trip happens on the very first step, so the faulted run is LU
+// end-to-end).
+TEST(SolverGuard, FusedFaultFallsBackToLuBitIdentically) {
+  SimConfig fused_cfg = short_config();
+  fused_cfg.fused_thermal = true;
+  SimConfig lu_cfg = fused_cfg;
+  lu_cfg.fused_thermal = false;
+
+  const workload::WorkloadProfile profile =
+      workload::spec2000_profile("crafty");
+  System faulted(profile, fused_cfg, nullptr);
+  faulted.inject_solver_fault_for_test();
+  const RunResult faulted_result = faulted.run();
+
+  System reference(profile, lu_cfg, nullptr);
+  const RunResult reference_result = reference.run();
+
+  EXPECT_EQ(faulted_result.solver_guard_trips, 1u);
+  EXPECT_EQ(reference_result.solver_guard_trips, 0u);
+  expect_identical(faulted_result, reference_result);
+}
+
+TEST(SolverGuard, HealthyFusedRunNeverTrips) {
+  SimConfig cfg = short_config();
+  cfg.fused_thermal = true;
+  System system(workload::spec2000_profile("gzip"), cfg, nullptr);
+  EXPECT_EQ(system.run().solver_guard_trips, 0u);
+}
+
+TEST(SolverGuard, TripIsCountedInMetricsRegistry) {
+  obs::Observability::instance().enable_all();
+  SimConfig cfg = short_config();
+  cfg.fused_thermal = true;
+  System system(workload::spec2000_profile("art"), cfg, nullptr);
+  system.inject_solver_fault_for_test();
+  const RunResult r = system.run();
+  obs::Observability::instance().disable_all();
+  ASSERT_EQ(r.solver_guard_trips, 1u);
+
+  const obs::MetricsSnapshot snap = obs::metrics().scrape();
+  std::uint64_t counted = 0;
+  for (const auto& [name, count] : snap.counters) {
+    if (name == "thermal.fused_guard_trips") counted = count;
+  }
+  EXPECT_GE(counted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent store: serialization, warm restart, chaos recovery.
+
+TEST(PersistentCache, SerializationRoundTripsBitExactly) {
+  RunResult r = tiny_result("roundtrip");
+  r.wall_seconds = 0.1234567890123456789;
+  r.max_true_celsius = 84.099999999999994;
+  r.hottest_block = "IntReg";
+  r.solver_guard_trips = 3;
+  const std::string payload = serialize_run_result(r);
+  RunResult back;
+  ASSERT_TRUE(deserialize_run_result(payload, back));
+  expect_identical(r, back);
+  EXPECT_EQ(back.solver_guard_trips, 3u);
+
+  // Structural damage must be detected, not misread.
+  RunResult scratch;
+  EXPECT_FALSE(deserialize_run_result(
+      std::string_view(payload).substr(0, payload.size() / 2), scratch));
+  EXPECT_FALSE(deserialize_run_result(payload + "x", scratch));
+  EXPECT_FALSE(deserialize_run_result("garbage", scratch));
+}
+
+TEST(PersistentCache, SaveLoadAndMissAccounting) {
+  PersistentRunCache::Options opts;
+  opts.dir = fresh_dir("pc_save_load");
+  PersistentRunCache store(opts);
+  EXPECT_EQ(store.load(1), nullptr);
+  store.save(1, tiny_result("stored"));
+  const auto loaded = store.load(1);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->benchmark, "stored");
+  const PersistentRunCache::Stats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(PersistentCache, ReopenRecoversCommittedEntries) {
+  const std::string dir = fresh_dir("pc_reopen");
+  {
+    PersistentRunCache::Options opts;
+    opts.dir = dir;
+    PersistentRunCache store(opts);
+    store.save(5, tiny_result("five"));
+    store.save(6, tiny_result("six"));
+  }
+  PersistentRunCache::Options opts;
+  opts.dir = dir;
+  PersistentRunCache store(opts);
+  EXPECT_EQ(store.stats().recovered, 2u);
+  ASSERT_NE(store.load(5), nullptr);
+  EXPECT_EQ(store.load(6)->benchmark, "six");
+}
+
+TEST(PersistentCache, LruEvictionBoundsDiskUsage) {
+  PersistentRunCache::Options opts;
+  opts.dir = fresh_dir("pc_lru");
+  opts.max_bytes = 512;  // roughly two entries
+  PersistentRunCache store(opts);
+  for (std::uint64_t key = 1; key <= 6; ++key) {
+    store.save(key, tiny_result("entry-" + std::to_string(key)));
+  }
+  EXPECT_LE(store.total_bytes(), opts.max_bytes);
+  EXPECT_GT(store.stats().evictions, 0u);
+  EXPECT_LT(store.entries(), 6u);
+  // The most recent save must have survived.
+  EXPECT_NE(store.load(6), nullptr);
+}
+
+TEST(PersistentCache, WarmRestartServesEverythingFromDisk) {
+  const std::string dir = fresh_dir("pc_warm_restart");
+  const SimConfig cfg = short_config();
+  std::vector<PointSpec> points;
+  points.push_back({workload::spec2000_profile("crafty"),
+                    PolicyKind::kHybrid, {}, cfg});
+  points.push_back({workload::spec2000_profile("gzip"),
+                    PolicyKind::kHybrid, {}, cfg});
+
+  std::vector<ExperimentResult> cold;
+  {
+    ExperimentRunner runner(cfg);
+    PersistentRunCache::Options opts;
+    opts.dir = dir;
+    runner.set_store(std::make_shared<PersistentRunCache>(opts));
+    cold = runner.run_points(points);
+    EXPECT_GT(runner.cache_stats().disk_stores, 0u);
+  }
+
+  // "Process restart": a fresh runner + fresh store handle on the same
+  // directory must serve every point from disk and change nothing.
+  ExperimentRunner runner(cfg);
+  PersistentRunCache::Options opts;
+  opts.dir = dir;
+  runner.set_store(std::make_shared<PersistentRunCache>(opts));
+  const std::vector<ExperimentResult> warm = runner.run_points(points);
+
+  const RunCache::Stats stats = runner.cache_stats();
+  EXPECT_EQ(stats.computes, 0u);
+  EXPECT_EQ(stats.disk_hits, stats.misses);
+  EXPECT_GT(stats.disk_hits, 0u);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    expect_identical(warm[i].dtm, cold[i].dtm);
+    expect_identical(warm[i].baseline, cold[i].baseline);
+    EXPECT_EQ(warm[i].slowdown, cold[i].slowdown);
+  }
+}
+
+// The chaos test of the acceptance criteria: SIGKILL-equivalent damage
+// to the store — corrupted checksums, truncated entries, stray temp
+// files, a torn manifest tail — must be quarantined or cleaned on the
+// next open, recomputed where needed, and must never change results.
+TEST(PersistentCache, ChaosCorruptionIsQuarantinedAndRecomputed) {
+  const std::string dir = fresh_dir("pc_chaos");
+  const SimConfig cfg = short_config();
+  std::vector<PointSpec> points;
+  for (const char* name : {"crafty", "gzip", "art"}) {
+    points.push_back({workload::spec2000_profile(name),
+                      PolicyKind::kHybrid, {}, cfg});
+  }
+
+  std::vector<ExperimentResult> cold;
+  {
+    ExperimentRunner runner(cfg);
+    PersistentRunCache::Options opts;
+    opts.dir = dir;
+    runner.set_store(std::make_shared<PersistentRunCache>(opts));
+    cold = runner.run_points(points);
+  }
+
+  // Wreck the store the way a crash mid-write (or a failing disk)
+  // would. Deterministic damage, no RNG: sort and pick.
+  std::vector<fs::path> entries;
+  for (const auto& de : fs::recursive_directory_iterator(dir)) {
+    if (de.path().extension() == ".run") entries.push_back(de.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  ASSERT_GE(entries.size(), 3u);
+  {
+    // Checksum corruption: flip a payload byte.
+    std::fstream f(entries[0],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    f.put('\x5a');
+  }
+  {
+    // SIGKILL mid-write: truncated entry.
+    std::error_code ec;
+    fs::resize_file(entries[1], fs::file_size(entries[1]) / 2, ec);
+    ASSERT_FALSE(ec);
+  }
+  {
+    // Abandoned temp file and garbage that was never a cache entry.
+    std::ofstream(entries[0].parent_path() / "0123.tmp99") << "partial";
+    std::ofstream(entries[0].parent_path() / "not-a-key.run")
+        << "not a cache entry";
+    // Torn manifest tail (killed mid-append).
+    std::ofstream(fs::path(dir) / "manifest.log",
+                  std::ios::app | std::ios::binary)
+        << "P 0123";
+  }
+
+  std::size_t recovered = 0;
+  std::size_t quarantined = 0;
+  std::vector<ExperimentResult> restarted;
+  RunCache::Stats stats;
+  {
+    ExperimentRunner runner(cfg);
+    PersistentRunCache::Options opts;
+    opts.dir = dir;
+    auto store = std::make_shared<PersistentRunCache>(opts);
+    const PersistentRunCache::Stats disk = store->stats();
+    recovered = disk.recovered;
+    quarantined = disk.corrupt;
+    EXPECT_GE(disk.tmp_removed, 1u);
+    runner.set_store(store);
+    restarted = runner.run_points(points);
+    stats = runner.cache_stats();
+  }
+
+  // Warm where possible, recompute only the damage, never abort.
+  EXPECT_GT(recovered, 0u);
+  EXPECT_GE(quarantined, 3u);  // flipped + truncated + garbage name
+  EXPECT_GT(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.computes, 2u);  // exactly the two damaged run entries
+  ASSERT_EQ(restarted.size(), cold.size());
+  for (std::size_t i = 0; i < restarted.size(); ++i) {
+    expect_identical(restarted[i].dtm, cold[i].dtm);
+    expect_identical(restarted[i].baseline, cold[i].baseline);
+  }
+
+  // Quarantined evidence is preserved, not deleted.
+  std::size_t evidence = 0;
+  for (const auto& de :
+       fs::directory_iterator(fs::path(dir) / "quarantine")) {
+    (void)de;
+    ++evidence;
+  }
+  EXPECT_GE(evidence, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Tool-facing config hardening (satellite of the same failure model).
+
+TEST(ConfigRejectUnknown, UnknownKeyDiagnosticCarriesFileLineAndSuggestion) {
+  util::Config cfg = util::Config::from_args({"benchmrk=crafty"});
+  try {
+    cfg.reject_unknown({"benchmark", "policy"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recovery_test.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("benchmrk"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'benchmark'"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ConfigRejectUnknown, KnownKeysPass) {
+  util::Config cfg = util::Config::from_args({"benchmark=crafty"});
+  EXPECT_NO_THROW(cfg.reject_unknown({"benchmark", "policy"}));
+}
+
+}  // namespace
+}  // namespace hydra::sim

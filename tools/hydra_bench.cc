@@ -143,6 +143,8 @@ int main(int argc, char** argv) {
   try {
     const util::Config args = util::Config::from_args(
         std::vector<std::string>(argv + 1, argv + argc));
+    args.reject_unknown({"out", "threads", "solver_steps",
+                         "run_instructions", "warmup_instructions"});
     const std::string out_path = args.get_string("out", "BENCH_engine.json");
     const std::size_t threads = static_cast<std::size_t>(args.get_int(
         "threads",

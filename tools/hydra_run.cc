@@ -24,6 +24,16 @@
 //   guard         true|false — wrap the policy in the fail-safe
 //                 sensor-fault supervisor (default false)
 //
+// Robustness (see DESIGN.md "Failure model"):
+//   cache_dir     crash-safe persistent run-cache directory; defaults to
+//                 $HYDRA_CACHE_DIR, empty disables persistence
+//   timeout_seconds  per-run wall-clock deadline (0 = none); an expired
+//                 run exits nonzero with a typed timeout diagnostic
+//   max_attempts  retry budget for runs that fail transiently (default 1)
+//
+// Unknown keys are rejected with a one-line file:line diagnostic and a
+// closest-spelling suggestion; the process exits nonzero.
+//
 // Observability outputs (any of these enables tracing + metrics for the
 // whole run; keys may be spelled with dashes or underscores, and a
 // leading `--` is accepted, so `--trace=out.json` works):
@@ -32,6 +42,7 @@
 //   metrics       metrics registry scrape as CSV (kind,name,field,value)
 //   summary_json  machine-readable run summary: results + engine cache
 //                 stats + merged metrics (consumed by CI's bench gate)
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -41,6 +52,7 @@
 
 #include "obs/obs.h"
 #include "sim/experiment.h"
+#include "sim/persistent_cache.h"
 #include "util/config.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -81,6 +93,7 @@ void emit_json(util::JsonWriter& w, const sim::ExperimentResult& r) {
   w.key("dvs_transitions").value(r.dtm.dvs_transitions);
   w.key("mean_power_watts").value(r.dtm.mean_power_watts);
   w.key("hottest_block").value(r.dtm.hottest_block);
+  w.key("solver_guard_trips").value(r.dtm.solver_guard_trips);
   w.key("faulted_samples").value(r.dtm.faulted_samples);
   w.key("sensor_rejections").value(r.dtm.sensor_rejections);
   w.key("quarantine_entries").value(r.dtm.quarantine_entries);
@@ -109,6 +122,12 @@ void emit_summary(std::ostream& os,
   w.key("run_cache").begin_object();
   w.key("hits").value(cache.hits);
   w.key("misses").value(cache.misses);
+  w.key("failures").value(cache.failures);
+  w.key("retries").value(cache.retries);
+  w.key("timeouts").value(cache.timeouts);
+  w.key("computes").value(cache.computes);
+  w.key("disk_hits").value(cache.disk_hits);
+  w.key("disk_stores").value(cache.disk_stores);
   w.end_object();
   w.key("trace_events").value(obs::tracer().size());
   const obs::MetricsSnapshot snap = obs::metrics().scrape();
@@ -133,6 +152,14 @@ int main(int argc, char** argv) {
     const util::Config cfg_args =
         util::Config::from_args(std::vector<std::string>(argv + 1,
                                                          argv + argc));
+    cfg_args.reject_unknown({
+        "benchmark", "policy", "format", "dvs_stall", "dvs_steps",
+        "v_low_fraction", "time_scale", "run_instructions",
+        "warmup_instructions", "seed", "fault_campaign", "crossover",
+        "guard", "trace", "trace_csv", "trace-csv", "metrics",
+        "summary_json", "summary-json", "cache_dir", "cache-dir",
+        "timeout_seconds", "max_attempts",
+    });
     const std::string bench = cfg_args.get_string("benchmark", "crafty");
     const std::string policy_name = cfg_args.get_string("policy", "hyb");
     const std::string format = cfg_args.get_string("format", "text");
@@ -179,6 +206,31 @@ int main(int argc, char** argv) {
 
     const sim::PolicyKind kind = parse_policy(policy_name);
     sim::ExperimentRunner runner(cfg);
+
+    // Job supervision: deadline + transient-retry budget for every run.
+    sim::RunCache::JobOptions job_opts;
+    job_opts.timeout = util::Seconds(
+        cfg_args.get_double("timeout_seconds", 0.0));
+    job_opts.max_attempts = static_cast<int>(
+        cfg_args.get_int("max_attempts", 1));
+    if (job_opts.max_attempts < 1) {
+      throw std::invalid_argument("max_attempts must be >= 1");
+    }
+    runner.set_job_options(job_opts);
+
+    // Crash-safe persistence is opt-in: an explicit cache_dir key, or
+    // the HYDRA_CACHE_DIR environment as the ambient default.
+    const char* env_cache = std::getenv("HYDRA_CACHE_DIR");
+    const std::string cache_dir = cfg_args.get_string(
+        "cache_dir",
+        cfg_args.get_string("cache-dir",
+                            env_cache != nullptr ? env_cache : ""));
+    if (!cache_dir.empty()) {
+      sim::PersistentRunCache::Options store_opts;
+      store_opts.dir = cache_dir;
+      runner.set_store(
+          std::make_shared<sim::PersistentRunCache>(std::move(store_opts)));
+    }
 
     std::vector<sim::PointSpec> points;
     if (bench == "all") {
