@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -375,22 +376,38 @@ void PersistentRunCache::recover_locked() {
     ++stats_.recovered;
   }
 
-  // The manifest recorded publish intents; entries are self-validating,
-  // so its only recovery job is to be readable past a torn final line
-  // (killed mid-append). Scan it for that tolerance, then compact it to
-  // the surviving index so it cannot grow without bound.
+  // The journal's recovery job: detect lost publishes. Entries are
+  // self-validating, so the journal is not what makes a publish durable
+  // — but a `P` intent whose key neither survived the census nor has a
+  // later deliberate-removal (`E`) record means a crash or disk fault
+  // ate a committed result, and that deserves a counter rather than a
+  // silent recompute. A torn final line (killed mid-append) simply
+  // fails the parse and is skipped. Afterwards the journal is compacted
+  // to the surviving index so it cannot grow without bound.
   {
+    static const obs::Counter lost =
+        obs::metrics().counter("cache.disk_lost_publishes");
+    std::map<std::uint64_t, bool> last_intent_is_publish;
     std::ifstream in(fs::path(opts_.dir) / "manifest.log");
     std::string line;
     while (std::getline(in, line)) {
+      const std::string_view v(line);
       std::uint64_t key = 0;
       std::uint64_t checksum = 0;
-      const bool well_formed =
-          line.size() >= 35 && line[0] == 'P' && line[1] == ' ' &&
-          parse_hex16(std::string_view(line).substr(2, 16), key) &&
-          line[18] == ' ' &&
-          parse_hex16(std::string_view(line).substr(19, 16), checksum);
-      (void)well_formed;  // intents for missing entries become recomputes
+      if (line.size() >= 35 && line[0] == 'P' && line[1] == ' ' &&
+          parse_hex16(v.substr(2, 16), key) && line[18] == ' ' &&
+          parse_hex16(v.substr(19, 16), checksum)) {
+        last_intent_is_publish[key] = true;
+      } else if (line.size() >= 18 && line[0] == 'E' && line[1] == ' ' &&
+                 parse_hex16(v.substr(2, 16), key)) {
+        last_intent_is_publish[key] = false;
+      }
+    }
+    for (const auto& [key, published] : last_intent_is_publish) {
+      if (published && index_.find(key) == index_.end()) {
+        ++stats_.lost_publishes;
+        lost.add();
+      }
     }
   }
   compact_manifest_locked();
@@ -417,11 +434,17 @@ void PersistentRunCache::quarantine_locked(std::uint64_t key,
   }
 }
 
-void PersistentRunCache::append_manifest_locked(std::uint64_t key,
+void PersistentRunCache::append_manifest_locked(char op, std::uint64_t key,
                                                 std::uint64_t checksum) {
+  // flush() hands the line to the OS, which survives process death
+  // (SIGKILL) — the crash model this store defends against. Media-level
+  // power-loss durability would need fsync and is out of scope; the
+  // journal only detects losses, the checksummed entries are the truth.
   std::ofstream out(fs::path(opts_.dir) / "manifest.log",
                     std::ios::app | std::ios::binary);
-  out << "P " << hex16(key) << " " << hex16(checksum) << "\n";
+  out << op << ' ' << hex16(key);
+  if (op == 'P') out << ' ' << hex16(checksum);
+  out << '\n';
   out.flush();
 }
 
@@ -441,40 +464,66 @@ void PersistentRunCache::compact_manifest_locked() {
 }
 
 std::shared_ptr<const RunResult> PersistentRunCache::load(std::uint64_t key) {
+  fs::path path;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    path = it->second.path;
+  }
+
+  // The file read — the expensive part — runs outside the lock so shard
+  // reads from concurrent pool workers parallelise instead of
+  // serialising on the index mutex (and a slow disk cannot stall
+  // stats() callers). The entry may be evicted while we read; the
+  // verdicts below revalidate against the index before mutating it.
+  const ParsedEntry parsed = parse_entry_file(path, key);
+  auto result = std::make_shared<RunResult>();
+  const bool verified = parsed.status == FileStatus::kOk &&
+                        deserialize_run_result(parsed.payload, *result);
+
   const std::scoped_lock lock(mu_);
   const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
+  if (verified) {
+    // A concurrent eviction may have dropped the entry mid-read; the
+    // bytes we already verified are still a correct answer.
+    if (it != index_.end()) it->second.lru_tick = ++lru_clock_;
+    ++stats_.hits;
+    static const obs::Counter hits = obs::metrics().counter("cache.disk_hits");
+    hits.add();
+    return result;
   }
-  const ParsedEntry parsed = parse_entry_file(it->second.path, key);
-  if (parsed.status == FileStatus::kStale) {
-    std::error_code ec;
-    fs::remove(it->second.path, ec);
+  if (it != index_.end()) {
+    if (parsed.status == FileStatus::kStale) {
+      std::error_code ec;
+      fs::remove(it->second.path, ec);
+      ++stats_.stale;
+    } else {
+      // The entry rotted (or was tampered with) after we indexed it.
+      quarantine_locked(key, it->second.path);
+    }
+    append_manifest_locked('E', key);  // deliberate removal, not a loss
     total_bytes_ -= std::min(total_bytes_, it->second.bytes);
     index_.erase(it);
-    ++stats_.stale;
-    ++stats_.misses;
-    return nullptr;
   }
-  auto result = std::make_shared<RunResult>();
-  if (parsed.status == FileStatus::kCorrupt ||
-      !deserialize_run_result(parsed.payload, *result)) {
-    // The entry rotted (or was tampered with) after we indexed it.
-    quarantine_locked(key, it->second.path);
-    total_bytes_ -= std::min(total_bytes_, it->second.bytes);
-    index_.erase(it);
-    ++stats_.misses;
-    return nullptr;
-  }
-  it->second.lru_tick = ++lru_clock_;
-  ++stats_.hits;
-  static const obs::Counter hits = obs::metrics().counter("cache.disk_hits");
-  hits.add();
-  return result;
+  ++stats_.misses;
+  return nullptr;
 }
 
 void PersistentRunCache::save(std::uint64_t key, const RunResult& result) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (index_.count(key) != 0) return;  // identical by construction (FNV key)
+  }
+
+  // Serialization and the temp-file write — the bulk of the work — run
+  // outside the lock so concurrent workers spill to their shards in
+  // parallel; only the journal append, rename and index update
+  // serialise. Temp names come from an atomic sequence, so two racing
+  // saves of the same key never collide.
   const std::string payload = serialize_run_result(result);
   const std::uint64_t checksum = fnv1a64(payload);
   std::string blob;
@@ -486,12 +535,11 @@ void PersistentRunCache::save(std::uint64_t key, const RunResult& result) {
   blob.append(payload);
   put_u64(blob, checksum);
 
-  const std::scoped_lock lock(mu_);
-  if (index_.count(key) != 0) return;  // identical by construction (FNV key)
   const fs::path final_path = entry_path(key);
   const fs::path tmp_path =
       shard_dir(key) /
-      (hex16(key) + ".tmp" + std::to_string(++lru_clock_));
+      (hex16(key) + ".tmp" +
+       std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed) + 1));
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
@@ -504,9 +552,17 @@ void PersistentRunCache::save(std::uint64_t key, const RunResult& result) {
       return;
     }
   }
-  // Write-ahead: intent is on record before the entry becomes visible.
-  append_manifest_locked(key, checksum);
+
+  const std::scoped_lock lock(mu_);
   std::error_code ec;
+  if (index_.count(key) != 0) {
+    // A racing save published the same (bit-identical) entry first.
+    fs::remove(tmp_path, ec);
+    return;
+  }
+  // Intent is on record before the entry becomes visible, so recovery
+  // can tell a lost publish from a run that never finished.
+  append_manifest_locked('P', key, checksum);
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     fs::remove(tmp_path, ec);
@@ -534,6 +590,9 @@ void PersistentRunCache::enforce_capacity_locked() {
     }
     std::error_code ec;
     fs::remove(victim->second.path, ec);
+    // Journal the removal so the next recovery reads this as a
+    // deliberate eviction, not a lost publish.
+    append_manifest_locked('E', victim->first);
     total_bytes_ -= std::min(total_bytes_, victim->second.bytes);
     index_.erase(victim);
     ++stats_.evictions;

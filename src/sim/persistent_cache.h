@@ -15,9 +15,15 @@
 //   * Each file is versioned and checksummed (FNV-1a over the payload);
 //     writes go to a temp file in the same shard and are published with
 //     an atomic rename, so readers never observe a half-written entry.
-//   * A write-ahead manifest (`manifest.log`) records every publish
-//     intent before the rename. It is compacted on open; a torn final
-//     line (killed mid-append) is tolerated and ignored.
+//   * A publish journal (`manifest.log`) records every publish intent
+//     (`P <key> <checksum>`, appended before the rename) and every
+//     deliberate removal (`E <key>`: eviction, stale drop, load-time
+//     quarantine). Durability comes from the checksummed entries and
+//     the atomic rename, NOT the journal; its recovery job is loss
+//     detection — a publish intent with no surviving entry and no
+//     removal record means a crash ate a publish, counted in
+//     `lost_publishes` / `cache.disk_lost_publishes`. It is compacted
+//     on open; a torn final line (killed mid-append) is tolerated.
 //   * On open, leftover temp files are deleted and every entry is
 //     structurally validated; anything corrupt is quarantined into
 //     `<dir>/quarantine/` — never deleted (post-mortem evidence), never
@@ -26,10 +32,13 @@
 //     entries are evicted, so disk pressure degrades hit rate, not
 //     correctness.
 //
-// Thread-safe; all state is guarded by one mutex (the store backs cache
-// misses, not the simulation hot path).
+// Thread-safe. The in-memory index is guarded by one mutex, but entry
+// file reads and writes happen OUTSIDE it (with revalidation after
+// reacquiring), so shard I/O from concurrent pool workers parallelises;
+// only the index lookup/update and the rename serialise.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -69,6 +78,7 @@ class PersistentRunCache {
     // Recovery census from open().
     std::uint64_t recovered = 0;     ///< valid entries found on open
     std::uint64_t tmp_removed = 0;   ///< abandoned temp files deleted
+    std::uint64_t lost_publishes = 0;  ///< journal intents with no entry
   };
 
   /// Open (and if necessary create) the store at `opts.dir`, running
@@ -86,10 +96,10 @@ class PersistentRunCache {
   /// deleted and reported as a miss.
   std::shared_ptr<const RunResult> load(std::uint64_t key);
 
-  /// Durably publish `result` under `key` (temp file + manifest append
-  /// + atomic rename), then enforce the capacity bound. I/O errors are
-  /// contained: a failed save is counted and the run simply stays
-  /// memory-only.
+  /// Durably publish `result` under `key` (temp file written outside
+  /// the lock + journal append + atomic rename), then enforce the
+  /// capacity bound. I/O errors are contained: a failed save is counted
+  /// and the run simply stays memory-only.
   void save(std::uint64_t key, const RunResult& result);
 
   Stats stats() const;
@@ -109,7 +119,10 @@ class PersistentRunCache {
   std::filesystem::path entry_path(std::uint64_t key) const;
   void quarantine_locked(std::uint64_t key, const std::filesystem::path& p);
   void enforce_capacity_locked();
-  void append_manifest_locked(std::uint64_t key, std::uint64_t checksum);
+  /// Append one journal line: op 'P' (publish, with checksum) or
+  /// 'E' (deliberate removal: eviction, stale drop, quarantine).
+  void append_manifest_locked(char op, std::uint64_t key,
+                              std::uint64_t checksum = 0);
   void compact_manifest_locked();
   void recover_locked();
 
@@ -119,6 +132,7 @@ class PersistentRunCache {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t quarantine_seq_ = 0;
+  std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp names, lock-free
   Stats stats_;
 };
 

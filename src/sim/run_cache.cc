@@ -51,8 +51,9 @@ RunCache::Future RunCache::submit(
     pool.submit([promise = std::move(promise), state = std::move(state),
                  counters = counters_, store = store_, key,
                  compute = std::move(compute), opts]() mutable {
-      // Disk tier first: done inside the job so shard reads parallelise
-      // across workers instead of serialising on the submit path.
+      // Disk tier first: done inside the job so the submit path never
+      // blocks on disk, and shard file reads (which the store performs
+      // outside its index lock) parallelise across workers.
       if (store) {
         if (ResultPtr from_disk = store->load(key)) {
           counters->disk_hits.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +62,9 @@ RunCache::Future RunCache::submit(
           return;
         }
       }
-      double backoff_s = opts.backoff.value();
+      // Clamp the caller-supplied initial backoff too: the sleep runs
+      // on a pool worker, so even the first retry must respect the cap.
+      double backoff_s = std::min(opts.backoff.value(), kMaxBackoffSeconds);
       for (int attempt = 1;; ++attempt) {
         try {
           util::CancelToken token;
@@ -72,10 +75,22 @@ RunCache::Future RunCache::submit(
           auto result = std::make_shared<const RunResult>(compute(token));
           // Spill BEFORE unblocking waiters: once get() returns, the
           // caller may treat the result as durable (kill the process,
-          // restart warm), so the entry must already be on disk.
+          // restart warm), so the entry must already be on disk. A
+          // disk-tier problem must never fail a run whose compute
+          // succeeded, so the spill gets its own containment: save()
+          // absorbs ordinary stream errors itself, and anything that
+          // still escapes (bad_alloc during serialization,
+          // filesystem_error from path construction) just leaves the
+          // run memory-only.
           if (store) {
-            store->save(key, *result);
-            counters->disk_stores.fetch_add(1, std::memory_order_relaxed);
+            try {
+              store->save(key, *result);
+              counters->disk_stores.fetch_add(1, std::memory_order_relaxed);
+            } catch (...) {
+              static const obs::Counter spill_failures =
+                  obs::metrics().counter("run_cache.disk_spill_failures");
+              spill_failures.add();
+            }
           }
           state->store(kDone, std::memory_order_release);
           promise->set_value(result);

@@ -180,6 +180,32 @@ TEST(JobSupervision, TransientFailureExhaustsAttemptBudget) {
   EXPECT_EQ(stats.failures, 1u);
 }
 
+// The retry sleep runs on a pool worker, so the backoff cap must bind
+// the caller-supplied initial value too, not just the doublings.
+TEST(JobSupervision, InitialBackoffIsClampedToTheCap) {
+  util::ThreadPool pool(1);
+  RunCache cache;
+  RunCache::JobOptions opts;
+  opts.max_attempts = 2;
+  opts.backoff = util::Seconds(30.0);  // absurd; must be clamped to 0.25s
+  const auto start = std::chrono::steady_clock::now();
+  auto future = cache.submit(
+      13, pool,
+      [attempts = std::make_shared<std::atomic<int>>(0)](
+          const util::CancelToken&) -> RunResult {
+        if (attempts->fetch_add(1) == 0) {
+          throw util::TransientError("flaky once");
+        }
+        return tiny_result("clamped");
+      },
+      opts);
+  EXPECT_EQ(future.get()->benchmark, "clamped");
+  const double waited = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  EXPECT_LT(waited, 5.0);  // generous CI margin, far below the 30s ask
+}
+
 TEST(JobSupervision, CancelledTokenUnwindsSystemRun) {
   SimConfig cfg = short_config();
   System system(workload::spec2000_profile("gzip"), cfg, nullptr);
@@ -319,6 +345,58 @@ TEST(PersistentCache, LruEvictionBoundsDiskUsage) {
   EXPECT_LT(store.entries(), 6u);
   // The most recent save must have survived.
   EXPECT_NE(store.load(6), nullptr);
+}
+
+// The journal's one recovery job: a publish intent whose entry never
+// survived (crash between journal append and rename, or a vanished
+// file) is counted as a lost publish on the next open.
+TEST(PersistentCache, LostPublishIsDetectedOnRecovery) {
+  const std::string dir = fresh_dir("pc_lost_publish");
+  {
+    PersistentRunCache::Options opts;
+    opts.dir = dir;
+    PersistentRunCache store(opts);
+    store.save(1, tiny_result("kept"));
+    store.save(2, tiny_result("doomed"));
+  }
+  // Crash simulation: key 2's publish is on the journal but its entry
+  // never made it (here: vanishes after the fact).
+  std::size_t removed = 0;
+  for (const auto& de : fs::recursive_directory_iterator(dir)) {
+    if (de.path().filename() == "0000000000000002.run") {
+      fs::remove(de.path());
+      ++removed;
+    }
+  }
+  ASSERT_EQ(removed, 1u);
+
+  PersistentRunCache::Options opts;
+  opts.dir = dir;
+  PersistentRunCache store(opts);
+  EXPECT_EQ(store.stats().lost_publishes, 1u);
+  EXPECT_EQ(store.stats().recovered, 1u);
+  EXPECT_NE(store.load(1), nullptr);
+}
+
+// Deliberate removals (LRU eviction) are journaled as such and must not
+// masquerade as crash-lost publishes at the next open.
+TEST(PersistentCache, EvictionIsNotALostPublish) {
+  const std::string dir = fresh_dir("pc_evict_journal");
+  {
+    PersistentRunCache::Options opts;
+    opts.dir = dir;
+    opts.max_bytes = 512;  // roughly two entries
+    PersistentRunCache store(opts);
+    for (std::uint64_t key = 1; key <= 6; ++key) {
+      store.save(key, tiny_result("entry-" + std::to_string(key)));
+    }
+    ASSERT_GT(store.stats().evictions, 0u);
+  }
+  PersistentRunCache::Options opts;
+  opts.dir = dir;
+  PersistentRunCache store(opts);
+  EXPECT_EQ(store.stats().lost_publishes, 0u);
+  EXPECT_GT(store.stats().recovered, 0u);
 }
 
 TEST(PersistentCache, WarmRestartServesEverythingFromDisk) {
