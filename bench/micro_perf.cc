@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "arch/core.h"
 #include "floorplan/ev7.h"
@@ -17,6 +18,7 @@
 #include "sensor/sensor.h"
 #include "sim/experiment.h"
 #include "thermal/model_builder.h"
+#include "thermal/simd.h"
 #include "util/units.h"
 #include "thermal/solver.h"
 #include "util/thread_pool.h"
@@ -170,6 +172,40 @@ void BM_ThermalFusedStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ThermalFusedStep);
 
+// The fused step under an explicitly selected SIMD backend: arg 0 pins
+// the scalar reference kernels, arg 1 the backend the dispatcher picked
+// at startup (label shows which — on a machine without vector support
+// both legs run scalar). The ratio of the two legs is the measured
+// vectorisation speedup of the thermal hot loop.
+void BM_ThermalFusedStepSimd(benchmark::State& state) {
+  namespace simd = thermal::simd;
+  const simd::Backend prev = simd::active_backend();
+  const simd::Backend backend =
+      state.range(0) == 0 ? simd::Backend::kScalar : prev;
+  simd::set_backend_for_test(backend);
+  const auto fp = floorplan::ev7_floorplan();
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::TransientSolver solver(model.network, util::Celsius(45.0),
+                                  thermal::Scheme::kFusedBE);
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 1.5;
+  solver.step(power, util::Seconds(3.3e-6));  // warm: build the operator
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    solver.step(power, util::Seconds(3.3e-6));
+  }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_step"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+  state.SetLabel(simd::backend_name(backend));
+  simd::set_backend_for_test(prev);
+}
+BENCHMARK(BM_ThermalFusedStepSimd)->ArgName("vector")->Arg(0)->Arg(1);
+
 void BM_ThermalRk4Step(benchmark::State& state) {
   const auto fp = floorplan::ev7_floorplan();
   const auto model = thermal::build_thermal_model(fp, thermal::Package{});
@@ -297,6 +333,43 @@ BENCHMARK(BM_SuiteParallel)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Lockstep-batched sweep vs the serial per-run path: eight fresh sweep
+// points (four benchmarks x two policies, one shared thermal model)
+// through run_points with the argument as batch width (0 disables
+// batching). A fresh runner per iteration keeps memoization from
+// short-circuiting repeats; the single-threaded pool isolates the
+// batching gain from pool parallelism. items/s is sweep points per
+// second.
+void BM_BatchedSweep(benchmark::State& state) {
+  const sim::SimConfig cfg = short_sim_config();
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::PointSpec> points;
+  for (const char* bench : {"gzip", "crafty", "vortex", "gcc"}) {
+    const workload::WorkloadProfile profile =
+        workload::spec2000_profile(bench);
+    points.push_back({profile, sim::PolicyKind::kHybrid, {}, cfg});
+    points.push_back({profile, sim::PolicyKind::kDvs, {}, cfg});
+  }
+  std::size_t groups = 0;
+  for (auto _ : state) {
+    util::ThreadPool pool(1);
+    sim::ExperimentRunner runner(cfg, &pool);
+    runner.set_batch_width(width);
+    benchmark::DoNotOptimize(runner.run_points(points));
+    groups = runner.last_batched_groups();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+  state.counters["batched_groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_BatchedSweep)
+    ->ArgName("batch")
+    ->Arg(0)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -42,6 +42,9 @@ import sys
 THROUGHPUT_KEYS = [
     "solver_steps_per_second",
     "solver_fused_steps_per_second",
+    # Lockstep panel throughput (lane-steps/second through the width-4
+    # BatchedThermalState) — the batched twin of the fused solver number.
+    "batched_lane_steps_per_second",
     # End-to-end suite throughput (instructions retired per wall-second on
     # the 1-thread pass).  This is the metric the hot-loop overhaul is
     # gated on: it covers the bulk idle-skip, the issue-scan fast path and
@@ -61,13 +64,22 @@ EXACT_KEYS = ["suite_cache_misses"]
 INFO_KEYS = [
     "suite_wall_seconds_1_thread",
     "suite_wall_seconds_n_threads",
-    "speedup",
     "threads",
     "hardware_concurrency",
     "idle_skip_fraction",
     "fused_be",
     "bulk_idle_skip",
+    "simd_backend",
+    "batched_sweep",
+    "batch_width",
 ]
+
+# The N-thread suite pass must actually go faster than the 1-thread
+# pass — but only on hosts that have the cores to run it: a 2-thread
+# pool on a 1-core runner time-slices and legitimately reports ~1.0x,
+# so the check is skipped (not near-failed) when hardware_concurrency
+# is below the pool width.
+SPEEDUP_FLOOR = 1.1
 
 
 def load(path):
@@ -144,6 +156,23 @@ def compare(baseline, candidate, throughput_floor):
         print(f"  {key}: {cand} vs baseline {base} [{status}]")
         if cand != base:
             failures.append(f"{key}: {cand} != baseline {base}")
+    # Parallel speedup: gated only when the host has at least as many
+    # hardware threads as the N-thread pool asked for.
+    speedup = candidate.get("speedup")
+    threads = candidate.get("threads", 1)
+    cores = candidate.get("hardware_concurrency", 0)
+    if speedup is not None and threads > 1:
+        if cores < threads:
+            print(f"  speedup: {speedup:.2f}x skipped "
+                  f"({cores} hardware threads < {threads} pool threads)")
+        else:
+            status = "ok" if speedup >= SPEEDUP_FLOOR else "FAIL"
+            print(f"  speedup: {speedup:.2f}x at {threads} threads "
+                  f"(floor {SPEEDUP_FLOOR:.2f}x) [{status}]")
+            if speedup < SPEEDUP_FLOOR:
+                failures.append(
+                    f"speedup: {speedup:.2f}x below {SPEEDUP_FLOOR:.2f}x "
+                    f"with {cores} hardware threads available")
     for key in INFO_KEYS:
         if key in candidate:
             print(f"  {key}: {candidate[key]} (informational)")
@@ -154,6 +183,7 @@ def self_test(throughput_floor):
     baseline = {
         "solver_steps_per_second": 900000.0,
         "solver_fused_steps_per_second": 1100000.0,
+        "batched_lane_steps_per_second": 4000000.0,
         "suite_instr_per_second": 900000.0,
         "solver_allocs_per_step": 0,
         "solver_fused_allocs_per_step": 0,
@@ -169,12 +199,15 @@ def self_test(throughput_floor):
         baseline["solver_steps_per_second"] * throughput_floor * 0.5)
     regressed["suite_instr_per_second"] = (
         baseline["suite_instr_per_second"] * throughput_floor * 0.5)
+    regressed["batched_lane_steps_per_second"] = (
+        baseline["batched_lane_steps_per_second"] * throughput_floor * 0.5)
     regressed["system_allocs_per_run"] = 3
     regressed["solver_fused_allocs_per_step"] = 1
     print("self-test: regressed candidate must fail")
     failures = compare(baseline, regressed, throughput_floor)
     expected = {
         "solver_steps_per_second",
+        "batched_lane_steps_per_second",
         "suite_instr_per_second",
         "system_allocs_per_run",
         "solver_fused_allocs_per_step",
@@ -191,6 +224,19 @@ def self_test(throughput_floor):
     base_full["suite_run_instructions"] = 400000
     if compare(base_full, short, throughput_floor):
         print("self-test FAILED: mismatched-workload candidate rejected")
+        return 1
+    print("self-test: flat speedup on a starved host must be skipped")
+    starved = dict(baseline)
+    starved.update(threads=2, hardware_concurrency=1, speedup=1.0)
+    if compare(baseline, starved, throughput_floor):
+        print("self-test FAILED: core-starved speedup was gated")
+        return 1
+    print("self-test: flat speedup with cores available must fail")
+    flat = dict(baseline)
+    flat.update(threads=2, hardware_concurrency=8, speedup=0.9)
+    if "speedup" not in {f.split(":")[0]
+                         for f in compare(baseline, flat, throughput_floor)}:
+        print("self-test FAILED: flat speedup with spare cores passed")
         return 1
     restart_ok = {
         "restart_cache_hit_rate": 1.0,

@@ -22,6 +22,12 @@ Rules (each has a stable id used in the allowlist):
   ``Core::idle_cycles(n)`` replaced; call the bulk advance instead.
   (System keeps one reference loop for the bit-identity check — it is
   allowlisted.)
+* ``no-unaligned-simd-load`` — raw vector load/store intrinsics
+  (``_mm256_loadu_pd``, ``vld1q_f64``, ...) may appear only inside the
+  ``src/thermal/simd`` shim.  The shim centralises runtime dispatch, the
+  scalar twin, and the unaligned-vs-aligned tradeoff (plain std::vector
+  storage keeps the benches' allocation counters honest); an intrinsic
+  anywhere else forks that contract.
 * ``no-bare-catch`` — a ``catch (...)`` handler in src/ must either
   propagate the exception (``throw;``, ``std::current_exception`` into
   a promise/``rethrow_exception``) or visibly record it (an obs counter
@@ -83,6 +89,12 @@ KELVIN_LITERAL = re.compile(r"273\.15|[-+]\s*273(?:\.0*)?\b")
 # an `s` and deliberately does not match).
 IDLE_CYCLE_CALL = re.compile(r"\bidle_cycle\s*\(")
 LOOP_HEADER = re.compile(r"\b(for|while)\s*\(")
+
+# Raw x86/NEON vector load/store intrinsics; legal only in the
+# src/thermal/simd shim, which owns dispatch and the bit-identity twin.
+SIMD_LOAD_STORE = re.compile(
+    r"\b_mm\d*_(?:loadu|load|storeu|store|stream)_\w+\s*\(|"
+    r"\bvld\dq?_\w+\s*\(|\bvst\dq?_\w+\s*\(")
 
 BARE_CATCH = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 # Tokens that make a catch-all handler acceptable: it either rethrows,
@@ -230,6 +242,16 @@ def lint_file(path, rel, allow):
                         "loop over idle_cycle(); use the O(1) "
                         "Core::idle_cycles(n) bulk advance"))
 
+        if in_src and not rel.startswith("src/thermal/simd"):
+            m = SIMD_LOAD_STORE.search(line)
+            if m and ("no-unaligned-simd-load", rel) not in allow:
+                findings.append((
+                    "no-unaligned-simd-load", where,
+                    f"raw vector intrinsic '{m.group(0).strip('( ')}' "
+                    "outside src/thermal/simd; route kernels through the "
+                    "thermal::simd shim (dispatch + scalar twin live "
+                    "there)"))
+
         if in_src:
             m = AMBIENT_RNG.search(line)
             if m and ("no-ambient-rng", rel) not in allow:
@@ -292,6 +314,11 @@ SEEDED = {
         "    c.idle_cycle(true);\n"
         "  }\n"
         "}\n",
+    "no-unaligned-simd-load":
+        "void f(const double* p, double* y) {\n"
+        "  __m256d v = _mm256_loadu_pd(p);\n"
+        "  _mm256_storeu_pd(y, v);\n"
+        "}\n",
     "no-bare-catch":
         "void f() {\n"
         "  try {\n"
@@ -309,6 +336,7 @@ SEEDED_PATH = {
     "util-no-obs": "src/util/seeded.h",
     "no-naked-kelvin": "src/thermal/seeded.cc",
     "no-per-cycle-loop": "src/sim/seeded_loop.cc",
+    "no-unaligned-simd-load": "src/power/seeded_simd.cc",
     "no-bare-catch": "src/sim/seeded_catch.cc",
 }
 

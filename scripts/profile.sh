@@ -15,8 +15,14 @@
 #   * gprof      — -pg instrumented build; always available with gcc.
 #
 # Usage: scripts/profile.sh [benchmark] [policy]
+#        scripts/profile.sh --bench <target> [benchmark-args...]
 #   (defaults: gzip hyb; HYDRA_RUN_INSTRUCTIONS / HYDRA_WARMUP_INSTRUCTIONS
 #    shorten or lengthen the profiled run.)
+#
+# --bench profiles a microbenchmark binary (e.g. micro_perf) instead of
+# the end-to-end hydra_run simulation; remaining arguments go straight to
+# the benchmark, so `scripts/profile.sh --bench micro_perf
+# --benchmark_filter=BM_ThermalFusedStepSimd` isolates one kernel.
 #
 # The script is best-effort by design — CI runs it in a never-failing
 # optional job — but it still exits nonzero if no profiler produced a
@@ -26,52 +32,99 @@ set -eu
 cd "$(dirname "$0")/.."
 REPO_ROOT="$(pwd)"
 
-BENCHMARK="${1:-gzip}"
-POLICY="${2:-hyb}"
+TARGET=hydra_run
+BENCH_MODE=0
+if [ "${1:-}" = "--bench" ]; then
+  if [ -z "${2:-}" ]; then
+    echo "profile.sh: --bench needs a target (e.g. micro_perf)" >&2
+    exit 1
+  fi
+  TARGET="$2"
+  BENCH_MODE=1
+  shift 2
+fi
+
 OUT_DIR="${HYDRA_PROFILE_DIR:-profile-out}"
 RUN_INSTRUCTIONS="${HYDRA_RUN_INSTRUCTIONS:-2000000}"
 WARMUP_INSTRUCTIONS="${HYDRA_WARMUP_INSTRUCTIONS:-200000}"
 
+if [ "$BENCH_MODE" = 1 ]; then
+  # Default to a long-enough measurement for a stable profile; any
+  # explicit benchmark args replace it wholesale.
+  if [ "$#" -gt 0 ]; then
+    run_args="$*"
+  else
+    run_args="--benchmark_min_time=0.5"
+  fi
+  WORKLOAD="$TARGET $run_args"
+else
+  BENCHMARK="${1:-gzip}"
+  POLICY="${2:-hyb}"
+  run_args="benchmark=$BENCHMARK policy=$POLICY \
+run_instructions=$RUN_INSTRUCTIONS warmup_instructions=$WARMUP_INSTRUCTIONS"
+  WORKLOAD="$BENCHMARK / $POLICY ($RUN_INSTRUCTIONS instructions)"
+fi
+
 mkdir -p "$OUT_DIR"
 HOTSPOTS="$OUT_DIR/hotspots.txt"
-
-run_args="benchmark=$BENCHMARK policy=$POLICY \
-run_instructions=$RUN_INSTRUCTIONS warmup_instructions=$WARMUP_INSTRUCTIONS"
 
 build() {
   # $1 = build dir, $2 = extra CXX flags.
   cmake -B "$1" -S . -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_CXX_FLAGS="$2" >/dev/null
-  cmake --build "$1" -j "$(nproc)" --target hydra_run >/dev/null
+  cmake --build "$1" -j "$(nproc)" --target "$TARGET" >/dev/null
+}
+
+# The built binary's path inside a build tree (hydra_run/hydra_bench live
+# under tools/, the microbenches under bench/).
+bin_path() {
+  find "$1" -type f -name "$TARGET" -perm -u+x | head -n 1
 }
 
 header() {
   {
     echo "hydra hot-spot profile"
     echo "  profiler:  $1"
-    echo "  workload:  $BENCHMARK / $POLICY ($RUN_INSTRUCTIONS instructions)"
+    echo "  workload:  $WORKLOAD"
     echo "  host:      $(uname -sr), $(nproc) cpus"
     echo
   } > "$HOTSPOTS"
 }
 
 # perf needs both the binary and permission to open perf events; probe
-# with a trivial counting run before committing to the instrumented build.
-if command -v perf >/dev/null 2>&1 && perf stat -e task-clock true \
-    >/dev/null 2>&1; then
+# with a trivial counting run before committing to the instrumented
+# build, and say exactly why the kernel refused when it does — a bare
+# "Permission denied" from perf record wastes everyone's first hour.
+PERF_OK=0
+if command -v perf >/dev/null 2>&1; then
+  if perf stat -e task-clock true >/dev/null 2>&1; then
+    PERF_OK=1
+  else
+    PARANOID="$(cat /proc/sys/kernel/perf_event_paranoid 2>/dev/null ||
+      echo unknown)"
+    echo "profile.sh: perf is installed but cannot open perf events" >&2
+    echo "  kernel.perf_event_paranoid is $PARANOID (need <= 2, or root)" >&2
+    echo "  fix: sudo sysctl kernel.perf_event_paranoid=1" >&2
+    echo "  falling back to valgrind/gprof" >&2
+  fi
+fi
+
+if [ "$PERF_OK" = 1 ]; then
   echo "== profiling with perf =="
   build build-profile "-fno-omit-frame-pointer -g"
+  BIN="$(bin_path build-profile)"
   perf record -g --call-graph fp -o "$OUT_DIR/perf.data" -- \
-    ./build-profile/tools/hydra_run $run_args >/dev/null
+    "$BIN" $run_args >/dev/null
   header perf
   perf report --stdio --no-children --percent-limit 0.5 \
     -i "$OUT_DIR/perf.data" >> "$HOTSPOTS"
 elif command -v valgrind >/dev/null 2>&1; then
   echo "== profiling with cachegrind =="
   build build-profile "-fno-omit-frame-pointer -g"
+  BIN="$(bin_path build-profile)"
   valgrind --tool=cachegrind \
     --cachegrind-out-file="$OUT_DIR/cachegrind.out" \
-    ./build-profile/tools/hydra_run $run_args >/dev/null
+    "$BIN" $run_args >/dev/null
   header cachegrind
   if command -v cg_annotate >/dev/null 2>&1; then
     cg_annotate "$OUT_DIR/cachegrind.out" >> "$HOTSPOTS"
@@ -82,12 +135,11 @@ elif command -v valgrind >/dev/null 2>&1; then
 elif command -v gprof >/dev/null 2>&1; then
   echo "== profiling with gprof =="
   build build-profile-pg "-fno-omit-frame-pointer -g -pg"
+  BIN="$(bin_path build-profile-pg)"
   # gmon.out lands in the working directory of the profiled process.
-  (cd "$OUT_DIR" &&
-    "$REPO_ROOT/build-profile-pg/tools/hydra_run" $run_args >/dev/null)
+  (cd "$OUT_DIR" && "$REPO_ROOT/$BIN" $run_args >/dev/null)
   header gprof
-  gprof -b -p ./build-profile-pg/tools/hydra_run "$OUT_DIR/gmon.out" \
-    >> "$HOTSPOTS"
+  gprof -b -p "$BIN" "$OUT_DIR/gmon.out" >> "$HOTSPOTS"
 else
   echo "profile.sh: no profiler found (tried perf, valgrind, gprof)" >&2
   exit 1

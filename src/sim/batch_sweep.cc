@@ -1,0 +1,196 @@
+#include "sim/batch_sweep.h"
+
+#include <cmath>
+#include <thread>
+
+#include "obs/obs.h"
+#include "sim/model_cache.h"
+
+namespace hydra::sim {
+
+BatchCoordinator::BatchCoordinator(std::size_t nodes, std::size_t width,
+                                   std::shared_ptr<const thermal::LuCache> lu)
+    : active_(width), state_(nodes, width), lu_(std::move(lu)) {
+  arrivals_.reserve(width);
+}
+
+void BatchCoordinator::process_locked() {
+  // One panel pass per distinct rounded dt among the arrivals: DVS can
+  // shorten one lane's interval mid-run, and mixing operators would mix
+  // physics. Panel-lane arithmetic is position-independent, so packing
+  // each dt group into the low panel lanes preserves bit-identity.
+  while (!arrivals_.empty()) {
+    const double dt = arrivals_.front()->dt;
+    const thermal::FusedStepOperator& op = lu_->fused(dt);
+    std::size_t k = 0;
+    for (Arrival* a : arrivals_) {
+      if (a->dt == dt) state_.load_lane(k++, a->rise, a->power);
+    }
+    state_.step(op);
+    k = 0;
+    std::vector<Arrival*> rest;
+    rest.reserve(arrivals_.size());
+    for (Arrival* a : arrivals_) {
+      if (a->dt == dt) {
+        state_.store_lane(k++, a->out);
+        a->done = true;
+      } else {
+        rest.push_back(a);
+      }
+    }
+    arrivals_.swap(rest);
+  }
+}
+
+bool BatchCoordinator::step_lane(std::size_t lane, const double* rise,
+                                 const double* power, double dt_rounded,
+                                 double* out_rise) {
+  Arrival a{lane, rise, power, dt_rounded, out_rise};
+  std::unique_lock<std::mutex> lk(mu_);
+  arrivals_.push_back(&a);
+  if (arrivals_.size() == active_) {
+    // Last to arrive leads. If the leader step itself fails (operator
+    // construction is the only thing that can throw), fail every waiter
+    // rather than deadlocking them: each lane falls back to its own
+    // guarded solver step.
+    try {
+      process_locked();
+    } catch (...) {
+      static const obs::Counter leader_failures =
+          obs::metrics().counter("thermal.batched_leader_failures");
+      leader_failures.add();
+      for (Arrival* p : arrivals_) {
+        p->failed = true;
+        p->done = true;
+      }
+      arrivals_.clear();
+      a.failed = true;
+      a.done = true;
+    }
+    cv_.notify_all();
+  }
+  cv_.wait(lk, [&] { return a.done; });
+  return !a.failed;
+}
+
+void BatchCoordinator::leave() {
+  const std::scoped_lock lk(mu_);
+  --active_;
+  if (!arrivals_.empty() && arrivals_.size() == active_) {
+    try {
+      process_locked();
+    } catch (...) {
+      static const obs::Counter leader_failures =
+          obs::metrics().counter("thermal.batched_leader_failures");
+      leader_failures.add();
+      for (Arrival* p : arrivals_) {
+        p->failed = true;
+        p->done = true;
+      }
+      arrivals_.clear();
+    }
+    cv_.notify_all();
+  }
+}
+
+BatchLane::BatchLane(BatchCoordinator* coord, std::size_t lane,
+                     std::size_t nodes)
+    : coord_(coord),
+      lane_(lane),
+      rise_(nodes, 0.0),
+      out_(nodes, 0.0),
+      celsius_(nodes, 0.0) {}
+
+BatchLane::~BatchLane() { detach(); }
+
+void BatchLane::detach() {
+  if (attached_) {
+    attached_ = false;
+    coord_->leave();
+  }
+}
+
+void BatchLane::step(thermal::TransientSolver& solver,
+                     const thermal::Vector& power, util::Seconds dt) {
+  if (!attached_) {
+    solver.step(power, dt);
+    return;
+  }
+  const double dtr = thermal::round_step_dt(dt.value());
+  const thermal::Vector& temps = solver.temperatures();
+  const double ambient = solver.ambient().value();
+  for (std::size_t i = 0; i < rise_.size(); ++i) {
+    rise_[i] = temps[i] - ambient;
+  }
+  const bool stepped =
+      coord_->step_lane(lane_, rise_.data(), power.data(), dtr, out_.data());
+  bool ok = stepped;
+  if (ok) {
+    for (double r : out_) {
+      // !(|rise| < bound) also catches NaN — same guard as the serial
+      // fused step, applied to the candidate before any state changes.
+      if (!(std::abs(r) < thermal::kMaxPlausibleRise)) ok = false;
+    }
+  }
+  if (!ok) {
+    // Mirror the serial guard policy: the panel result is suspect for
+    // good, so this lane detaches and finishes on its own solver's
+    // guarded path (which re-runs this step from the same state).
+    static const obs::Counter trips =
+        obs::metrics().counter("thermal.batched_guard_trips");
+    trips.add();
+    detach();
+    solver.step(power, dt);
+    return;
+  }
+  static const obs::Counter steps =
+      obs::metrics().counter("thermal.batched_steps");
+  steps.add();
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    celsius_[i] = ambient + out_[i];
+  }
+  solver.set_temperatures(celsius_);
+}
+
+BatchGroup::BatchGroup(std::vector<BatchPointSpec> lanes)
+    : lanes_(std::move(lanes)),
+      results_(lanes_.size()),
+      errors_(lanes_.size()) {}
+
+RunResult BatchGroup::result(std::size_t i) {
+  std::call_once(once_, [this] { run_all(); });
+  if (errors_[i]) std::rethrow_exception(errors_[i]);
+  return results_[i];
+}
+
+void BatchGroup::run_all() {
+  const std::shared_ptr<const SharedModel> shared =
+      ModelCache::global().get(lanes_.front().cfg);
+  const std::size_t nodes = shared->model.network.size();
+  BatchCoordinator coord(nodes, lanes_.size(), shared->lu_cache);
+  std::vector<std::thread> threads;
+  threads.reserve(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    threads.emplace_back([this, &coord, nodes, i] {
+      try {
+        const BatchPointSpec& spec = lanes_[i];
+        const obs::ScopedSpan span(
+            obs::tracer(), "engine", "batched_run",
+            spec.profile.name + "/" + policy_kind_name(spec.kind));
+        // The lane outlives the System so the delegate stays valid for
+        // the whole run; its destructor leaves the coordinator on every
+        // exit path, so a throwing lane never strands the barrier.
+        BatchLane lane(&coord, i, nodes);
+        System system(spec.profile, spec.cfg,
+                      make_policy(spec.kind, spec.params, spec.cfg));
+        system.set_thermal_step_delegate(&lane);
+        results_[i] = system.run();
+      } catch (...) {
+        errors_[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,136 @@
+// Lockstep batched sweeps: K independent System runs advanced together
+// so their thermal steps share one FusedStepOperator pass.
+//
+// ExperimentRunner groups uncached sweep points that share a model-cache
+// entry (same package + time_scale, hence the same LuCache) into a
+// BatchGroup of up to `width` lanes. Each lane is a full System run on
+// its own thread with a BatchLane installed as its thermal-step
+// delegate: at every thermal interval the lane publishes its (rise,
+// power, rounded dt) to the shared BatchCoordinator and blocks; when
+// every active lane has arrived, the last arrival partitions the lanes
+// by rounded dt (DVS can shorten one lane's interval but not its
+// neighbours'), runs one BatchedThermalState panel step per dt group,
+// and releases everyone. Lanes that finish early deregister, so mixed
+// run lengths never deadlock the rendezvous.
+//
+// Bit-identity: panel-lane arithmetic equals the serial fused-BE
+// kernel's operation sequence exactly (thermal/simd.h), the coordinator
+// rounds dt with the same round_step_dt and fetches operators from the
+// same LuCache, and the guard check mirrors the serial bound — so a
+// batched RunResult is bit-identical to its serial twin, independent of
+// batch width and of which runs share the group (simd_test asserts
+// field-for-field equality). A lane whose candidate step trips the
+// guard detaches and finishes on its own solver's guarded path, exactly
+// as a serial run would.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+#include "thermal/batch.h"
+#include "thermal/solver.h"
+
+namespace hydra::sim {
+
+/// Rendezvous point where lane threads meet at every thermal step.
+class BatchCoordinator {
+ public:
+  /// `width` lanes over `nodes`-node models sharing `lu`. All lanes are
+  /// considered active from construction; they leave() as they finish.
+  BatchCoordinator(std::size_t nodes, std::size_t width,
+                   std::shared_ptr<const thermal::LuCache> lu);
+
+  /// Blocking: stage this lane's step and wait for the panel result.
+  /// On success `out_rise` holds the candidate updated rise; the caller
+  /// validates and commits it (or falls back) on its own thread. False
+  /// means the leader step failed — the caller must fall back to its
+  /// own solver.
+  bool step_lane(std::size_t lane, const double* rise, const double* power,
+                 double dt_rounded, double* out_rise);
+
+  /// Deregister a lane (finished, detached, or unwinding). The barrier
+  /// shrinks; if everyone else is already waiting, they are stepped.
+  void leave();
+
+ private:
+  struct Arrival {
+    std::size_t lane;
+    const double* rise;
+    const double* power;
+    double dt;
+    double* out;
+    bool done = false;
+    bool failed = false;
+  };
+
+  /// Leader step, called with mu_ held once arrivals == active lanes:
+  /// one panel pass per distinct rounded dt among the arrivals.
+  void process_locked();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t active_;
+  std::vector<Arrival*> arrivals_;
+  thermal::BatchedThermalState state_;
+  std::shared_ptr<const thermal::LuCache> lu_;
+};
+
+/// Per-lane thermal-step delegate installed on a batched System.
+class BatchLane : public ThermalStepDelegate {
+ public:
+  /// Does not take ownership of `coord`; on destruction the lane leaves
+  /// the coordinator if still attached (covers normal completion and
+  /// exception unwinds alike).
+  BatchLane(BatchCoordinator* coord, std::size_t lane, std::size_t nodes);
+  ~BatchLane() override;
+
+  void step(thermal::TransientSolver& solver, const thermal::Vector& power,
+            util::Seconds dt) override;
+
+ private:
+  void detach();
+
+  BatchCoordinator* coord_;
+  std::size_t lane_;
+  bool attached_ = true;
+  std::vector<double> rise_, out_, celsius_;
+};
+
+/// One point of a batch: the same ingredients submit_run hands a System.
+struct BatchPointSpec {
+  workload::WorkloadProfile profile;
+  PolicyKind kind = PolicyKind::kNone;
+  PolicyParams params{};
+  SimConfig cfg{};
+};
+
+/// A group of lanes executed together exactly once. Sibling RunCache
+/// jobs share one BatchGroup: whichever compute runs first executes the
+/// whole group (std::call_once); the others block on it and then fetch
+/// their own lane's result. Per-lane failures stay per-lane — an
+/// exception in lane i is rethrown only from result(i).
+class BatchGroup {
+ public:
+  explicit BatchGroup(std::vector<BatchPointSpec> lanes);
+
+  std::size_t width() const { return lanes_.size(); }
+
+  /// Lane `i`'s RunResult, running the group on first call.
+  RunResult result(std::size_t i);
+
+ private:
+  void run_all();
+
+  std::vector<BatchPointSpec> lanes_;
+  std::once_flag once_;
+  std::vector<RunResult> results_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace hydra::sim

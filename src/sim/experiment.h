@@ -183,6 +183,19 @@ class ExperimentRunner {
   /// Memoization counters (for tests/diagnostics).
   RunCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// Lockstep batch width for fresh sweep points: run_points groups up
+  /// to this many uncached, unsupervised, fused-scheme submissions that
+  /// share a thermal model into one BatchGroup (sim/batch_sweep.h) —
+  /// the per-run path stays the bit-identity reference twin. Default is
+  /// HYDRA_BATCH (4 when unset); <= 1 disables batching. Cache keys and
+  /// memoization stats are identical either way.
+  std::size_t batch_width() const { return batch_width_; }
+  void set_batch_width(std::size_t width) { batch_width_ = width; }
+
+  /// Batch groups formed by the most recent run_points call (for
+  /// tests/benches to confirm the batched path actually engaged).
+  std::size_t last_batched_groups() const { return last_batched_groups_; }
+
   /// Supervision applied to every subsequently submitted run: per-job
   /// deadline (cooperative, polled by System::run) and transient-retry
   /// budget. Defaults are "no supervision", which keeps the engine's
@@ -213,6 +226,8 @@ class ExperimentRunner {
   util::ThreadPool* pool_;
   RunCache cache_;
   RunCache::JobOptions job_opts_{};
+  std::size_t batch_width_;
+  std::size_t last_batched_groups_ = 0;
 };
 
 }  // namespace hydra::sim

@@ -171,4 +171,11 @@ std::size_t RunCache::size() const {
   return runs_.size();
 }
 
+bool RunCache::contains(std::uint64_t key) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = runs_.find(key);
+  return it != runs_.end() &&
+         it->second.state->load(std::memory_order_acquire) != kFailed;
+}
+
 }  // namespace hydra::sim

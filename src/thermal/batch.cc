@@ -1,0 +1,44 @@
+#include "thermal/batch.h"
+
+#include <stdexcept>
+
+namespace hydra::thermal {
+
+BatchedThermalState::BatchedThermalState(std::size_t nodes, std::size_t width)
+    : nodes_(nodes),
+      width_(width),
+      stride_(simd::padded_size(width)),
+      rise_panel_(nodes * stride_, 0.0),
+      power_panel_(nodes * stride_, 0.0),
+      out_m_(nodes * stride_, 0.0),
+      out_n_(nodes * stride_, 0.0) {
+  if (width == 0) throw std::invalid_argument("batch width must be positive");
+}
+
+void BatchedThermalState::load_lane(std::size_t k, const double* rise,
+                                    const double* power) {
+  if (k >= width_) throw std::out_of_range("batch lane out of range");
+  for (std::size_t c = 0; c < nodes_; ++c) {
+    rise_panel_[c * stride_ + k] = rise[c];
+    power_panel_[c * stride_ + k] = power[c];
+  }
+}
+
+void BatchedThermalState::step(const FusedStepOperator& op) {
+  if (op.pm.rows() != nodes_ || op.pm.cols() != nodes_) {
+    throw std::invalid_argument("operator size mismatch in batched step");
+  }
+  simd::panel_matvec(op.pm, rise_panel_.data(), stride_, out_m_.data());
+  simd::panel_matvec(op.pn, power_panel_.data(), stride_, out_n_.data());
+  // Same commit order as the serial step: (M rise) + (N P) per element.
+  for (std::size_t i = 0; i < out_m_.size(); ++i) out_m_[i] += out_n_[i];
+}
+
+void BatchedThermalState::store_lane(std::size_t k, double* rise_out) const {
+  if (k >= width_) throw std::out_of_range("batch lane out of range");
+  for (std::size_t c = 0; c < nodes_; ++c) {
+    rise_out[c] = out_m_[c * stride_ + k];
+  }
+}
+
+}  // namespace hydra::thermal

@@ -1,0 +1,55 @@
+// Structure-of-arrays state for stepping K independent thermal runs in
+// lockstep through one shared FusedStepOperator.
+//
+// The fused backward-Euler step is two dense matvecs (rise' = M rise +
+// N P). When K runs share the same operator — sweep points over one
+// (package, dt) model-cache entry — the K matvecs become one mat-panel
+// product: a single pass over M and N amortised across K right-hand
+// sides held as column-major lanes. Lane arithmetic follows the
+// virtual-lane contract (thermal/simd.h): each lane computes exactly
+// the serial kernel's operation sequence on its own column, so a
+// batched run's temperatures are bit-identical to its serial twin
+// regardless of batch width or which other runs share the panel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/simd.h"
+#include "thermal/solver.h"
+
+namespace hydra::thermal {
+
+class BatchedThermalState {
+ public:
+  /// Panels for `nodes`-node models and up to `width` lanes (width is
+  /// padded up to the SIMD lane multiple internally; unused lanes stay
+  /// zero, which the kernels treat as exact no-ops).
+  BatchedThermalState(std::size_t nodes, std::size_t width);
+
+  std::size_t nodes() const { return nodes_; }
+  std::size_t width() const { return width_; }
+
+  /// Stage lane `k`'s inputs: temperature rise over ambient and
+  /// per-node power, `nodes()` entries each.
+  void load_lane(std::size_t k, const double* rise, const double* power);
+
+  /// rise' = M rise + N P for every staged lane in one panel pass.
+  /// The operator's packed matrices must be `nodes()`-square.
+  void step(const FusedStepOperator& op);
+
+  /// Copy lane `k`'s updated rise (after step) into `rise_out`.
+  void store_lane(std::size_t k, double* rise_out) const;
+
+ private:
+  std::size_t nodes_ = 0;
+  std::size_t width_ = 0;    ///< caller-visible lane count
+  std::size_t stride_ = 0;   ///< width padded to the SIMD lane multiple
+  // Column-major panels: element c of lane k lives at [c * stride_ + k].
+  std::vector<double> rise_panel_;
+  std::vector<double> power_panel_;
+  std::vector<double> out_m_;  ///< M * rise panel, then the summed result
+  std::vector<double> out_n_;  ///< N * P panel
+};
+
+}  // namespace hydra::thermal

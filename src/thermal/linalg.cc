@@ -1,8 +1,9 @@
 #include "thermal/linalg.h"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "thermal/simd.h"
 
 namespace hydra::thermal {
 
@@ -19,14 +20,14 @@ Vector Matrix::multiply(const Vector& x) const {
 }
 
 void Matrix::multiply_into(const Vector& x, Vector& y) const {
-  assert(x.size() == cols_);
-  y.resize(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const double* row = &data_[r * cols_];
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
+  if (x.size() != cols_) {
+    throw std::invalid_argument("matvec size mismatch: x does not match cols");
   }
+  if (&x == &y) {
+    throw std::invalid_argument("multiply_into: y must not alias x");
+  }
+  y.resize(rows_);
+  simd::matvec(data_.data(), rows_, cols_, x.data(), y.data());
 }
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {

@@ -35,7 +35,10 @@ class Matrix {
   Vector multiply(const Vector& x) const;
 
   /// y = A x into a caller-provided buffer (resized to rows()); the
-  /// allocation-free hot-path variant. `y` must not alias `x`.
+  /// allocation-free hot-path variant, dispatched through the SIMD
+  /// backend (thermal/simd.h) with a bit-identical scalar twin. Throws
+  /// std::invalid_argument when x.size() != cols() or when `y` aliases
+  /// `x` (checked by address — the kernel reads x while writing y).
   void multiply_into(const Vector& x, Vector& y) const;
 
  private:

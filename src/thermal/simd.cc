@@ -1,0 +1,304 @@
+#include "thermal/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HYDRA_SIMD_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define HYDRA_SIMD_NEON 1
+#endif
+
+namespace hydra::thermal::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend. The virtual-lane contract in one place:
+// column class c % 4 accumulates with a correctly rounded std::fma, and
+// the reduction tree is (s0 + s2) + (s1 + s3). Every vector backend
+// below performs this exact operation sequence per output element.
+
+void matvec_scalar(const double* a, std::size_t rows, std::size_t cols,
+                   const double* x, double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double s[kLaneWidth] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t c = 0; c < cols; ++c) {
+      s[c & 3] = std::fma(row[c], x[c], s[c & 3]);
+    }
+    y[r] = (s[0] + s[2]) + (s[1] + s[3]);
+  }
+}
+
+void panel_scalar(const PackedMatrix& m, const double* x, std::size_t width,
+                  double* out) {
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    for (std::size_t k = 0; k < width; ++k) {
+      double s[kLaneWidth] = {0.0, 0.0, 0.0, 0.0};
+      for (std::size_t c = 0; c < cols; ++c) {
+        s[c & 3] = std::fma(row[c], x[c * width + k], s[c & 3]);
+      }
+      out[r * width + k] = (s[0] + s[2]) + (s[1] + s[3]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA backend. Compiled with a per-function target attribute so the
+// translation unit itself needs no -mavx2 (the binary must still run on
+// SSE2-only hosts, where dispatch picks scalar).
+
+#if defined(HYDRA_SIMD_X86)
+
+__attribute__((target("avx2,fma"))) void matvec_avx2(const double* a,
+                                                     std::size_t rows,
+                                                     std::size_t cols,
+                                                     const double* x,
+                                                     double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      acc = _mm256_fmadd_pd(_mm256_loadu_pd(row + c), _mm256_loadu_pd(x + c),
+                            acc);
+    }
+    // Register lane j holds column class j; fold tail columns into
+    // their class with the same correctly rounded fma.
+    double s[kLaneWidth];
+    _mm256_storeu_pd(s, acc);
+    for (; c < cols; ++c) s[c & 3] = std::fma(row[c], x[c], s[c & 3]);
+    y[r] = (s[0] + s[2]) + (s[1] + s[3]);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void panel_avx2(const PackedMatrix& m,
+                                                    const double* x,
+                                                    std::size_t width,
+                                                    double* out) {
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    for (std::size_t k = 0; k < width; k += 4) {
+      // One register per column class, each spanning four batch lanes:
+      // lane arithmetic is the serial dot product, four runs at a time.
+      __m256d s0 = _mm256_setzero_pd();
+      __m256d s1 = _mm256_setzero_pd();
+      __m256d s2 = _mm256_setzero_pd();
+      __m256d s3 = _mm256_setzero_pd();
+      for (std::size_t c = 0; c < cols; ++c) {
+        const __m256d b = _mm256_set1_pd(row[c]);
+        const __m256d v = _mm256_loadu_pd(x + c * width + k);
+        switch (c & 3) {
+          case 0: s0 = _mm256_fmadd_pd(b, v, s0); break;
+          case 1: s1 = _mm256_fmadd_pd(b, v, s1); break;
+          case 2: s2 = _mm256_fmadd_pd(b, v, s2); break;
+          default: s3 = _mm256_fmadd_pd(b, v, s3); break;
+        }
+      }
+      const __m256d sum =
+          _mm256_add_pd(_mm256_add_pd(s0, s2), _mm256_add_pd(s1, s3));
+      _mm256_storeu_pd(out + r * width + k, sum);
+    }
+  }
+}
+
+bool cpu_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // HYDRA_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON backend (AArch64 baseline — always available there). Two 2-lane
+// registers stand in for the one 4-lane AVX2 register: [s0 s1] and
+// [s2 s3]. vfmaq_f64 is a correctly rounded fma per lane, so the
+// per-class arithmetic and the (s0+s2)+(s1+s3) reduction match the
+// scalar reference bit for bit.
+
+#if defined(HYDRA_SIMD_NEON)
+
+void matvec_neon(const double* a, std::size_t rows, std::size_t cols,
+                 const double* x, double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    float64x2_t s01 = vdupq_n_f64(0.0);
+    float64x2_t s23 = vdupq_n_f64(0.0);
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      s01 = vfmaq_f64(s01, vld1q_f64(row + c), vld1q_f64(x + c));
+      s23 = vfmaq_f64(s23, vld1q_f64(row + c + 2), vld1q_f64(x + c + 2));
+    }
+    double s[kLaneWidth];
+    vst1q_f64(s, s01);
+    vst1q_f64(s + 2, s23);
+    for (; c < cols; ++c) s[c & 3] = std::fma(row[c], x[c], s[c & 3]);
+    y[r] = (s[0] + s[2]) + (s[1] + s[3]);
+  }
+}
+
+void panel_neon(const PackedMatrix& m, const double* x, std::size_t width,
+                double* out) {
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    for (std::size_t k = 0; k < width; k += 2) {
+      float64x2_t s0 = vdupq_n_f64(0.0);
+      float64x2_t s1 = vdupq_n_f64(0.0);
+      float64x2_t s2 = vdupq_n_f64(0.0);
+      float64x2_t s3 = vdupq_n_f64(0.0);
+      for (std::size_t c = 0; c < cols; ++c) {
+        const float64x2_t v = vld1q_f64(x + c * width + k);
+        switch (c & 3) {
+          case 0: s0 = vfmaq_n_f64(s0, v, row[c]); break;
+          case 1: s1 = vfmaq_n_f64(s1, v, row[c]); break;
+          case 2: s2 = vfmaq_n_f64(s2, v, row[c]); break;
+          default: s3 = vfmaq_n_f64(s3, v, row[c]); break;
+        }
+      }
+      const float64x2_t sum =
+          vaddq_f64(vaddq_f64(s0, s2), vaddq_f64(s1, s3));
+      vst1q_f64(out + r * width + k, sum);
+    }
+  }
+}
+
+#endif  // HYDRA_SIMD_NEON
+
+Backend detect_backend() {
+#if defined(HYDRA_SIMD_NEON)
+  return Backend::kNeon;
+#elif defined(HYDRA_SIMD_X86)
+  return cpu_has_avx2_fma() ? Backend::kAvx2 : Backend::kScalar;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+Backend sanitize(Backend b) {
+  return backend_available(b) ? b : Backend::kScalar;
+}
+
+Backend resolve_startup_backend() {
+  const char* env = std::getenv("HYDRA_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return sanitize(Backend::kAvx2);
+    if (std::strcmp(env, "neon") == 0) return sanitize(Backend::kNeon);
+    return Backend::kScalar;  // unknown value: the safe, portable twin
+  }
+  return detect_backend();
+}
+
+std::atomic<Backend>& backend_slot() {
+  static std::atomic<Backend> slot{resolve_startup_backend()};
+  return slot;
+}
+
+}  // namespace
+
+bool backend_available(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(HYDRA_SIMD_X86)
+      return cpu_has_avx2_fma();
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(HYDRA_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Backend active_backend() {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+void set_backend_for_test(Backend b) {
+  backend_slot().store(sanitize(b), std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+PackedMatrix::PackedMatrix(std::size_t rows, std::size_t cols,
+                           const double* row_major)
+    : rows_(rows), cols_(cols), stride_(padded_size(cols)),
+      data_(rows * stride_, 0.0) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::memcpy(&data_[r * stride_], row_major + r * cols,
+                cols * sizeof(double));
+  }
+}
+
+void matvec(const double* a, std::size_t rows, std::size_t cols,
+            const double* x, double* y) {
+  switch (active_backend()) {
+#if defined(HYDRA_SIMD_X86)
+    case Backend::kAvx2:
+      matvec_avx2(a, rows, cols, x, y);
+      return;
+#endif
+#if defined(HYDRA_SIMD_NEON)
+    case Backend::kNeon:
+      matvec_neon(a, rows, cols, x, y);
+      return;
+#endif
+    default:
+      matvec_scalar(a, rows, cols, x, y);
+      return;
+  }
+}
+
+void packed_matvec(const PackedMatrix& m, const double* x, double* y) {
+  // A packed row is an ordinary row of stride() columns whose padding
+  // holds exact zeros: fma(0, 0, s) == s, so running the general kernel
+  // over the padded width is bit-identical to the unpadded product —
+  // and the vector backends never see a tail.
+  matvec(m.rows() > 0 ? m.row(0) : nullptr, m.rows(), m.stride(), x, y);
+}
+
+void panel_matvec(const PackedMatrix& m, const double* x, std::size_t width,
+                  double* out) {
+  switch (active_backend()) {
+#if defined(HYDRA_SIMD_X86)
+    case Backend::kAvx2:
+      panel_avx2(m, x, width, out);
+      return;
+#endif
+#if defined(HYDRA_SIMD_NEON)
+    case Backend::kNeon:
+      panel_neon(m, x, width, out);
+      return;
+#endif
+    default:
+      panel_scalar(m, x, width, out);
+      return;
+  }
+}
+
+}  // namespace hydra::thermal::simd

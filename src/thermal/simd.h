@@ -1,0 +1,99 @@
+// Runtime-dispatched SIMD kernels for the thermal hot loop.
+//
+// Every dense kernel the per-step path runs — Matrix::multiply_into, the
+// fused backward-Euler step, and the batched K-run panel step — routes
+// through this shim. A backend is picked once at startup (AVX2+FMA on
+// x86-64 when the CPU has it, NEON on AArch64, portable scalar
+// otherwise) and can be overridden with HYDRA_SIMD=scalar|avx2|neon for
+// bit-identity testing; requesting an unavailable backend falls back to
+// scalar so a pinned CI leg never aborts.
+//
+// Bit-identity contract ("virtual four lanes"): every backend computes a
+// dot product as four column-class partial sums — class j accumulates
+// the terms of columns c with c % 4 == j, each advanced by a correctly
+// rounded fused multiply-add — and reduces them in the fixed tree order
+// (s0 + s2) + (s1 + s3). The scalar backend uses std::fma, AVX2 uses
+// vfmadd over one 4-lane register, NEON uses two 2-lane registers; all
+// three perform the identical sequence of correctly rounded operations
+// per output element, so results are bit-identical across backends (the
+// scalar twin is the reference, and simd_test asserts the equality down
+// to full RunResults). Padded columns hold exact zeros and contribute
+// exact no-op fmas, so the packed and unpacked kernels agree bitwise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hydra::thermal::simd {
+
+enum class Backend { kScalar, kAvx2, kNeon };
+
+/// Accumulator lane width of the virtual-lane contract (doubles per
+/// AVX2 register). Rows and panels are padded to multiples of this.
+inline constexpr std::size_t kLaneWidth = 4;
+
+/// `n` rounded up to a multiple of kLaneWidth.
+inline std::size_t padded_size(std::size_t n) {
+  return (n + (kLaneWidth - 1)) & ~(kLaneWidth - 1);
+}
+
+/// True when this build/CPU can execute `b`.
+bool backend_available(Backend b);
+
+/// The backend the kernels dispatch to. Resolved once: HYDRA_SIMD if set
+/// (unavailable or unknown values fall back to scalar), else the best
+/// available backend for this CPU.
+Backend active_backend();
+
+/// Test seam: force the dispatch (simd_test flips between scalar and the
+/// native backend inside one process to prove bit-identity). Requests
+/// for an unavailable backend degrade to scalar, like the env override.
+void set_backend_for_test(Backend b);
+
+const char* backend_name(Backend b);
+
+/// Row-major matrix with each row zero-padded to a multiple of
+/// kLaneWidth columns, so the packed kernels' inner loops are pure
+/// stride-1 4-wide FMA with no tail. Built once per FusedStepOperator;
+/// plain std::vector storage (the kernels use unaligned loads, which
+/// cost nothing on the hardware that has FMA, and an aligned allocator
+/// would bypass the benches' global operator-new counters).
+class PackedMatrix {
+ public:
+  PackedMatrix() = default;
+  /// Pack `rows` x `cols` row-major data (stride == cols).
+  PackedMatrix(std::size_t rows, std::size_t cols, const double* row_major);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  const double* row(std::size_t r) const { return &data_[r * stride_]; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<double> data_;
+};
+
+/// y[r] = sum_c a[r * cols + c] * x[c] for a dense row-major `a`.
+/// Handles any shape; tail columns fold into their column class.
+/// `y` must not alias `a` or `x`.
+void matvec(const double* a, std::size_t rows, std::size_t cols,
+            const double* x, double* y);
+
+/// y[r] = sum_c M(r, c) * x[c] over a packed matrix. `x` must have
+/// m.stride() entries with the padded tail zeroed; `y` gets m.rows().
+void packed_matvec(const PackedMatrix& m, const double* x, double* y);
+
+/// Mat-panel product for the batched stepper: K independent right-hand
+/// sides in column-major lanes. x holds m.cols() rows of `width` lanes
+/// (x[c * width + k] is lane k's element c); out gets m.rows() rows laid
+/// out the same way. `width` must be a multiple of kLaneWidth. Lane k's
+/// arithmetic is exactly the virtual-lane dot product of matvec() on its
+/// own column — independent of width and of the other lanes — so a
+/// batched run is bit-identical to its serial twin.
+void panel_matvec(const PackedMatrix& m, const double* x, std::size_t width,
+                  double* out);
+
+}  // namespace hydra::thermal::simd

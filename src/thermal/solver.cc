@@ -107,6 +107,8 @@ const FusedStepOperator& LuCache::fused(double dt) const {
         op->m(i, j) = col[i] * c_over_dt;
       }
     }
+    op->pm = simd::PackedMatrix(n, n, &op->m(0, 0));
+    op->pn = simd::PackedMatrix(n, n, &op->n(0, 0));
     it = fused_cache_.emplace(dt, std::move(op)).first;
   }
   return *it->second;
@@ -129,7 +131,9 @@ TransientSolver::TransientSolver(const RcNetwork& net, util::Celsius ambient,
       k3_(net.size()),
       k4_(net.size()),
       tmp_(net.size()),
-      flow_(net.size()) {}
+      flow_(net.size()),
+      rise_pad_(simd::padded_size(net.size()), 0.0),
+      pow_pad_(simd::padded_size(net.size()), 0.0) {}
 
 void TransientSolver::set_temperatures(const Vector& celsius) {
   if (celsius.size() != net_->size()) {
@@ -162,28 +166,17 @@ void TransientSolver::step(const Vector& power, util::Seconds dt) {
   }
 }
 
-namespace {
-
-// Round dt to 3 significant figures so DVS-induced variation in the
-// wall-clock length of a 10k-cycle interval maps onto a bounded set of
-// cached factorisations. The rounded dt is used for the integration
-// itself, keeping matrix and right-hand side consistent (sub-percent
-// step-length error, negligible against the ms-scale time constants).
-// Shared by both backward-Euler paths so they key the same cache entries
-// and integrate identical step lengths.
-double round_dt(double dt) {
+double round_step_dt(double dt) {
   const double mag = std::pow(10.0, std::floor(std::log10(dt)) - 2.0);
   return std::round(dt / mag) * mag;
 }
-
-}  // namespace
 
 void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   static const obs::Counter be_steps =
       obs::metrics().counter("thermal.be_steps");
   be_steps.add();
   const std::size_t n = net_->size();
-  dt = round_dt(dt);
+  dt = round_step_dt(dt);
   if (last_lu_ == nullptr || dt != last_dt_) {
     last_lu_ = &lu_cache_->backward_euler(dt);
     last_dt_ = dt;
@@ -195,16 +188,6 @@ void TransientSolver::step_backward_euler(const Vector& power, double dt) {
   last_lu_->solve_into(rhs_, rise_);
   for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + rise_[i];
 }
-
-namespace {
-
-// Guard bound for the fused path: a temperature rise beyond this is
-// divergence, not physics (silicon melts three orders of magnitude
-// earlier). Deliberately loose so the guard can never veto a legitimate
-// transient.
-constexpr double kMaxPlausibleRise = 1.0e6;
-
-}  // namespace
 
 void TransientSolver::step_fused_be(const Vector& power, double dt) {
   // After a guard trip the fused operator is suspect for good: stay on
@@ -218,19 +201,23 @@ void TransientSolver::step_fused_be(const Vector& power, double dt) {
   fused_steps.add();
   const std::size_t n = net_->size();
   const double dt_in = dt;
-  dt = round_dt(dt);
+  dt = round_step_dt(dt);
   if (last_fused_ == nullptr || dt != last_fused_dt_) {
     last_fused_ = &lu_cache_->fused(dt);
     last_fused_dt_ = dt;
   }
-  // rise' = M rise + N P — all scratch preallocated, so the steady-state
-  // path allocates nothing (the operator itself is built on first use).
+  // rise' = M rise + N P over the packed padded-row operators — all
+  // scratch preallocated, so the steady-state path allocates nothing
+  // (the operator itself is built on first use).
   // The candidate update is validated in scratch before celsius_ is
   // touched, so a rejected step leaves the state exactly as it was and
   // the LU fallback recomputes the same step from the same inputs.
-  for (std::size_t i = 0; i < n; ++i) rise_[i] = celsius_[i] - ambient_;
-  last_fused_->m.multiply_into(rise_, tmp_);
-  last_fused_->n.multiply_into(power, rhs_);
+  for (std::size_t i = 0; i < n; ++i) {
+    rise_pad_[i] = celsius_[i] - ambient_;
+    pow_pad_[i] = power[i];
+  }
+  simd::packed_matvec(last_fused_->pm, rise_pad_.data(), tmp_.data());
+  simd::packed_matvec(last_fused_->pn, pow_pad_.data(), rhs_.data());
   if (inject_fused_fault_) {
     inject_fused_fault_ = false;
     tmp_[0] = std::numeric_limits<double>::quiet_NaN();

@@ -9,6 +9,7 @@
 
 #include "thermal/linalg.h"
 #include "thermal/rc_network.h"
+#include "thermal/simd.h"
 #include "util/units.h"
 
 namespace hydra::thermal {
@@ -52,7 +53,29 @@ enum class Scheme {
 struct FusedStepOperator {
   Matrix m;  ///< multiplies the current temperature rise
   Matrix n;  ///< multiplies the power vector
+  /// Padded-row packed twins of m and n (built alongside them in
+  /// LuCache::fused): the per-step kernels and the batched panel
+  /// stepper run on these so the inner loops are tail-free stride-1
+  /// FMA. Values agree with m/n bit for bit; padding is exact zeros.
+  simd::PackedMatrix pm;
+  simd::PackedMatrix pn;
 };
+
+/// Round dt to 3 significant figures so DVS-induced variation in the
+/// wall-clock length of a 10k-cycle interval maps onto a bounded set of
+/// cached factorisations. The rounded dt is used for the integration
+/// itself, keeping matrix and right-hand side consistent (sub-percent
+/// step-length error, negligible against the ms-scale time constants).
+/// Shared by both backward-Euler paths — and by the batched sweep
+/// driver, which groups lockstep lanes by this exact value — so they
+/// all key the same cache entries and integrate identical step lengths.
+double round_step_dt(double dt);
+
+/// Guard bound shared by the fused-BE step and the batched stepper: a
+/// temperature rise beyond this is divergence, not physics (silicon
+/// melts three orders of magnitude earlier). Deliberately loose so the
+/// guard can never veto a legitimate transient.
+inline constexpr double kMaxPlausibleRise = 1.0e6;
 
 /// Thread-safe cache of the factorisations a thermal network needs:
 /// the steady-state LU of G, one backward-Euler LU of (C/dt + G) per
@@ -157,6 +180,10 @@ class TransientSolver {
   Vector rhs_;
   Vector rise_;
   Vector k1_, k2_, k3_, k4_, tmp_, flow_;
+  // Padded inputs for the packed fused-BE kernels: sized to the packed
+  // stride with the tail zeroed once, so the SIMD inner loop never
+  // needs a tail pass (padding terms are exact fma no-ops).
+  Vector rise_pad_, pow_pad_;
 };
 
 }  // namespace hydra::thermal

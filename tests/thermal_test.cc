@@ -88,6 +88,61 @@ TEST(Linalg, ReusableFactorization) {
   EXPECT_NEAR(x2[1], 2.0 * x1[1], 1e-12);
 }
 
+TEST(Linalg, MultiplyIntoSizeMismatchThrows) {
+  const Matrix a(2, 3);
+  Vector y;
+  Vector x_short = {1.0, 2.0};       // cols is 3
+  Vector x_long = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(a.multiply_into(x_short, y), std::invalid_argument);
+  EXPECT_THROW(a.multiply_into(x_long, y), std::invalid_argument);
+}
+
+TEST(Linalg, MultiplyIntoAliasingThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  Vector x = {1.0, 2.0};
+  EXPECT_THROW(a.multiply_into(x, x), std::invalid_argument);
+}
+
+TEST(Linalg, MultiplyIntoDegenerateShapes) {
+  // 0x0: a valid no-op that must leave y empty.
+  const Matrix empty(0, 0);
+  Vector y = {9.0};
+  Vector x0;
+  empty.multiply_into(x0, y);
+  EXPECT_TRUE(y.empty());
+
+  // 1x1: plain scalar product.
+  Matrix one(1, 1);
+  one(0, 0) = 2.5;
+  Vector x1 = {4.0};
+  one.multiply_into(x1, y);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+
+  // Non-square (2x3 and 3x2): y resized to rows, values exact.
+  Matrix wide(2, 3);
+  wide(0, 0) = 1.0;  wide(0, 1) = 2.0;  wide(0, 2) = 3.0;
+  wide(1, 0) = -1.0; wide(1, 1) = 0.5;  wide(1, 2) = 4.0;
+  Vector x3 = {1.0, 2.0, 3.0};
+  wide.multiply_into(x3, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 14.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+
+  Matrix tall(3, 2);
+  tall(0, 0) = 1.0; tall(0, 1) = 0.0;
+  tall(1, 0) = 0.0; tall(1, 1) = 1.0;
+  tall(2, 0) = 2.0; tall(2, 1) = -1.0;
+  Vector x2 = {3.0, 5.0};
+  tall.multiply_into(x2, y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
 // -------------------------------------------------------------- network
 TEST(RcNetwork, RejectsBadInputs) {
   RcNetwork net;
