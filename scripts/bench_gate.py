@@ -45,6 +45,10 @@ THROUGHPUT_KEYS = [
     # Lockstep panel throughput (lane-steps/second through the width-4
     # BatchedThermalState) — the batched twin of the fused solver number.
     "batched_lane_steps_per_second",
+    # Many-core die throughput (aggregate core-cycles/second through an
+    # 8-tile MulticoreSystem on a 1-thread tile pool, with migration and
+    # the budget arbiter active) — guards the tiled interval loop.
+    "multicore_core_steps_per_second",
     # End-to-end suite throughput (instructions retired per wall-second on
     # the 1-thread pass).  This is the metric the hot-loop overhaul is
     # gated on: it covers the bulk idle-skip, the issue-scan fast path and
@@ -184,6 +188,7 @@ def self_test(throughput_floor):
         "solver_steps_per_second": 900000.0,
         "solver_fused_steps_per_second": 1100000.0,
         "batched_lane_steps_per_second": 4000000.0,
+        "multicore_core_steps_per_second": 600000.0,
         "suite_instr_per_second": 900000.0,
         "solver_allocs_per_step": 0,
         "solver_fused_allocs_per_step": 0,
@@ -201,6 +206,8 @@ def self_test(throughput_floor):
         baseline["suite_instr_per_second"] * throughput_floor * 0.5)
     regressed["batched_lane_steps_per_second"] = (
         baseline["batched_lane_steps_per_second"] * throughput_floor * 0.5)
+    regressed["multicore_core_steps_per_second"] = (
+        baseline["multicore_core_steps_per_second"] * throughput_floor * 0.5)
     regressed["system_allocs_per_run"] = 3
     regressed["solver_fused_allocs_per_step"] = 1
     print("self-test: regressed candidate must fail")
@@ -208,6 +215,7 @@ def self_test(throughput_floor):
     expected = {
         "solver_steps_per_second",
         "batched_lane_steps_per_second",
+        "multicore_core_steps_per_second",
         "suite_instr_per_second",
         "system_allocs_per_run",
         "solver_fused_allocs_per_step",

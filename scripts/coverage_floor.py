@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Enforce a line-coverage floor over src/ from gcov's JSON output.
+
+Walks the build tree for .gcda note files, runs `gcov --json-format` on
+each, aggregates executed/instrumented line counts per repo-relative
+source file under src/, prints a per-file table, and exits nonzero when
+total line coverage is below the floor. Works with stock gcc+gcov — no
+lcov dependency — so the gate behaves identically on CI and dev boxes.
+
+Usage: coverage_floor.py --build BUILD_DIR [--floor PCT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def collect_gcda(build_dir: pathlib.Path) -> list[pathlib.Path]:
+    return sorted(build_dir.rglob("*.gcda"))
+
+
+def run_gcov(gcda_files: list[pathlib.Path], scratch: pathlib.Path) -> None:
+    """Run gcov in batches; JSON blobs land in `scratch` as *.gcov.json.gz."""
+    batch = 64
+    for i in range(0, len(gcda_files), batch):
+        chunk = [str(p) for p in gcda_files[i : i + batch]]
+        proc = subprocess.run(
+            ["gcov", "--json-format"] + chunk,
+            cwd=scratch,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"gcov failed on batch starting at {chunk[0]}")
+
+
+def aggregate(scratch: pathlib.Path, repo_root: pathlib.Path) -> dict[str, list[int]]:
+    """Per-file [executed, instrumented] for sources under repo src/."""
+    # Line -> hit union across translation units: a header inlined into
+    # many TUs counts as covered if ANY TU executed the line.
+    hits: dict[str, dict[int, bool]] = {}
+    src_root = (repo_root / "src").resolve()
+    for blob in scratch.glob("*.gcov.json.gz"):
+        with gzip.open(blob, "rt") as fh:
+            data = json.load(fh)
+        for f in data.get("files", []):
+            path = pathlib.Path(data.get("current_working_directory", "."), f["file"])
+            try:
+                resolved = path.resolve()
+                rel = str(resolved.relative_to(src_root))
+            except ValueError:
+                continue  # outside src/ (tests, system headers, gtest)
+            per_file = hits.setdefault(rel, {})
+            for line in f.get("lines", []):
+                num = line["line_number"]
+                per_file[num] = per_file.get(num, False) or line["count"] > 0
+    return {
+        rel: [sum(1 for hit in lines.values() if hit), len(lines)]
+        for rel, lines in hits.items()
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", required=True, help="build directory with .gcda files")
+    ap.add_argument("--floor", type=float, default=85.0, help="minimum src/ line %%")
+    args = ap.parse_args()
+
+    build_dir = pathlib.Path(args.build).resolve()
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    gcda = collect_gcda(build_dir)
+    if not gcda:
+        print(f"coverage: no .gcda files under {build_dir} — "
+              "build with -DHYDRA_COVERAGE=ON and run the tests first")
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="hydra-gcov-") as tmp:
+        scratch = pathlib.Path(tmp)
+        run_gcov(gcda, scratch)
+        per_file = aggregate(scratch, repo_root)
+
+    if not per_file:
+        print("coverage: gcov produced no data for files under src/")
+        return 2
+
+    total_exec = sum(v[0] for v in per_file.values())
+    total_lines = sum(v[1] for v in per_file.values())
+    width = max(len(rel) for rel in per_file)
+    for rel in sorted(per_file):
+        executed, lines = per_file[rel]
+        pct = 100.0 * executed / lines if lines else 100.0
+        print(f"  {rel:<{width}}  {pct:6.1f}%  ({executed}/{lines})")
+    total_pct = 100.0 * total_exec / total_lines if total_lines else 100.0
+    print(f"src/ line coverage: {total_pct:.2f}% "
+          f"({total_exec}/{total_lines} lines), floor {args.floor:.2f}%")
+
+    if total_pct < args.floor:
+        print(f"FAIL: coverage {total_pct:.2f}% is below the floor {args.floor:.2f}%")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,12 @@ run_one() {
   cmake --build "$builddir" -j "$(nproc)"
   # Exercise the pool with more workers than cores so TSan sees real
   # interleavings even on small CI machines.
+  # Sanitized binaries run 5-20x slower; the nightly CI leg raises
+  # HYDRA_CTEST_TIMEOUT because its production-size workloads would
+  # blow through the default per-test budget.
   HYDRA_THREADS="${HYDRA_THREADS:-8}" \
-    ctest --test-dir "$builddir" -L 'faults|perf|recovery' --output-on-failure
+    ctest --test-dir "$builddir" -L 'faults|perf|recovery' \
+      --output-on-failure --timeout "${HYDRA_CTEST_TIMEOUT:-600}"
 }
 
 case "${1:-all}" in

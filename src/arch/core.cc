@@ -601,6 +601,30 @@ void Core::idle_cycle(bool clocked) {
   if (clocked) interval_.clocked_cycles += 1.0;
 }
 
+void Core::flush_pipeline() {
+  // Front end: drop buffered ops, any pending missed I-fetch, and any
+  // outstanding mispredict redirect — the squashed thread owns them all.
+  frontend_head_ = 0;
+  frontend_count_ = 0;
+  fetch_halted_ = false;
+  redirect_cycle_ = -1;
+  icache_ready_cycle_ = 0;
+  has_pending_op_ = false;
+  // ROB and issue machinery: advancing head_seq_ to next_seq_ makes every
+  // squashed seq read as already-committed, which is exactly how do_issue
+  // treats producers outside the ROB (ss < head_seq_ -> ready).
+  rob_head_ = 0;
+  rob_count_ = 0;
+  head_seq_ = next_seq_;
+  std::fill(slot_state_.begin(), slot_state_.end(), kSlotIssued);
+  std::fill(scan_mask_.begin(), scan_mask_.end(), std::uint64_t{0});
+  std::fill(consumer_head_.begin(), consumer_head_.end(), -1);
+  std::fill(consumer_next_.begin(), consumer_next_.end(), -1);
+  queue_count_[0] = queue_count_[1] = queue_count_[2] = 0;
+  mshrs_.clear();
+  issue_wake_cycle_ = 0;  // the next dispatched entry may be ready at once
+}
+
 void Core::idle_cycles(std::uint64_t n, bool clocked) {
   // Bit-identical to n x idle_cycle(clocked): the counters are integers
   // or integer-valued doubles (exact below 2^53), so adding n once gives

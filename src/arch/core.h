@@ -87,6 +87,21 @@ class Core {
   /// (asserted by the fastpath bit-identity test).
   void idle_cycles(std::uint64_t n, bool clocked);
 
+  /// Rebind the instruction source — the thread-migration seam. The new
+  /// trace must outlive the core. Call flush_pipeline() first: in-flight
+  /// ops belong to the old thread.
+  void set_trace(TraceSource& trace) { trace_ = &trace; }
+
+  /// Squash all in-flight state (front end, ROB, issue queues, MSHRs)
+  /// without committing it, as a thread migration's context switch does.
+  /// Architected history state (caches, TLBs, branch predictors) is
+  /// deliberately kept — it belongs to the tile, and the migrated-in
+  /// thread pays its cold misses naturally. Uncommitted instructions
+  /// already drawn from the trace are lost (squashed work), which is the
+  /// modelled pipeline-flush cost alongside the explicit stall cycles
+  /// and flush energy the migration policy charges.
+  void flush_pipeline();
+
   const CoreStats& stats() const { return stats_; }
   std::uint64_t committed() const { return stats_.committed; }
   std::uint64_t cycles() const { return stats_.cycles; }

@@ -1,0 +1,117 @@
+#include "core/budget_arbiter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hydra::core {
+
+BudgetArbiter::BudgetArbiter(BudgetArbiterConfig cfg, std::size_t tiles,
+                             std::size_t dvs_levels)
+    : cfg_(cfg),
+      dvs_levels_(std::max<std::size_t>(dvs_levels, 1)),
+      commands_(tiles),
+      allowance_(tiles, util::Watts{0.0}),
+      over_streak_(tiles, 0),
+      under_streak_(tiles, 0) {
+  if (cfg_.gain <= 0.0 || cfg_.release <= 0.0) {
+    throw std::invalid_argument("arbiter gain/release must be positive");
+  }
+  if (cfg_.max_gate_fraction <= 0.0 || cfg_.max_gate_fraction > 1.0) {
+    throw std::invalid_argument("arbiter max gate fraction in (0, 1]");
+  }
+}
+
+const std::vector<ArbiterCommand>& BudgetArbiter::update(
+    const std::vector<util::Watts>& tile_power,
+    const std::vector<bool>& occupied) {
+  const std::size_t n = commands_.size();
+  if (tile_power.size() != n || occupied.size() != n) {
+    throw std::invalid_argument("arbiter input size mismatch");
+  }
+  if (!enabled()) return commands_;
+
+  std::size_t n_occ = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (occupied[t]) ++n_occ;
+  }
+  if (n_occ == 0) {
+    std::fill(allowance_.begin(), allowance_.end(), util::Watts{0.0});
+    return commands_;
+  }
+
+  // Pass 1: equal shares; under-share tiles donate their headroom.
+  const util::Watts share{cfg_.die_budget.value() /
+                          static_cast<double>(n_occ)};
+  util::Watts surplus{0.0};
+  std::size_t n_over = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!occupied[t]) {
+      allowance_[t] = util::Watts{0.0};
+      continue;
+    }
+    allowance_[t] = share;
+    if (tile_power[t].value() > share.value()) {
+      ++n_over;
+    } else {
+      surplus = surplus + (share - tile_power[t]);
+    }
+  }
+  // Pass 2: redistribute the pooled headroom equally among over-share
+  // tiles. Fixed tile order, pure function of the inputs — deterministic
+  // at any thread-pool width. (Donors keep their full share as
+  // allowance: their throttle must never engage while under share.)
+  if (n_over > 0 && surplus.value() > 0.0) {
+    const util::Watts bonus{surplus.value() / static_cast<double>(n_over)};
+    for (std::size_t t = 0; t < n; ++t) {
+      if (occupied[t] && tile_power[t].value() > share.value()) {
+        allowance_[t] = allowance_[t] + bonus;
+      }
+    }
+  }
+
+  // Pass 3: integral throttle toward each tile's allowance.
+  for (std::size_t t = 0; t < n; ++t) {
+    ArbiterCommand& cmd = commands_[t];
+    if (!occupied[t]) {
+      cmd = ArbiterCommand{};
+      over_streak_[t] = 0;
+      under_streak_[t] = 0;
+      continue;
+    }
+    const double allow = allowance_[t].value();
+    const double drawn = tile_power[t].value();
+    if (drawn > allow) {
+      under_streak_[t] = 0;
+      const double overshoot = (drawn - allow) / allow;
+      cmd.fetch_gate_floor = std::min(
+          cfg_.max_gate_fraction, cmd.fetch_gate_floor + cfg_.gain * overshoot);
+      const bool saturated = cmd.fetch_gate_floor >= cfg_.max_gate_fraction;
+      over_streak_[t] = saturated ? over_streak_[t] + 1 : 0;
+      if (saturated && over_streak_[t] >= cfg_.dvs_debounce_updates &&
+          cmd.dvs_floor + 1 < dvs_levels_) {
+        ++cmd.dvs_floor;
+        over_streak_[t] = 0;
+      }
+    } else {
+      over_streak_[t] = 0;
+      ++under_streak_[t];
+      cmd.fetch_gate_floor =
+          std::max(0.0, cmd.fetch_gate_floor - cfg_.release);
+      if (cmd.dvs_floor > 0 && cmd.fetch_gate_floor == 0.0 &&
+          under_streak_[t] >= cfg_.dvs_debounce_updates) {
+        --cmd.dvs_floor;
+        under_streak_[t] = 0;
+      }
+    }
+  }
+  return commands_;
+}
+
+void BudgetArbiter::reset() {
+  std::fill(commands_.begin(), commands_.end(), ArbiterCommand{});
+  std::fill(allowance_.begin(), allowance_.end(), util::Watts{0.0});
+  std::fill(over_streak_.begin(), over_streak_.end(), 0);
+  std::fill(under_streak_.begin(), under_streak_.end(), 0);
+}
+
+}  // namespace hydra::core

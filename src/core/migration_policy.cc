@@ -1,0 +1,38 @@
+#include "core/migration_policy.h"
+
+namespace hydra::core {
+
+MigrationDecision MigrationPolicy::update(
+    const std::vector<TileThermalState>& tiles, util::Seconds time) {
+  MigrationDecision decision;
+  if (time.value() < next_eval_.value()) return decision;
+  next_eval_ = time + cfg_.interval;
+
+  // Hottest occupied tile and coolest idle tile, ties to lowest index.
+  std::size_t hot = tiles.size();
+  std::size_t cool = tiles.size();
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    if (tiles[t].occupied) {
+      if (hot == tiles.size() ||
+          tiles[t].tmax.value() > tiles[hot].tmax.value()) {
+        hot = t;
+      }
+    } else {
+      if (cool == tiles.size() ||
+          tiles[t].tmax.value() < tiles[cool].tmax.value()) {
+        cool = t;
+      }
+    }
+  }
+  if (hot == tiles.size() || cool == tiles.size()) return decision;
+  if (tiles[hot].tmax.value() < cfg_.trigger.value()) return decision;
+  if ((tiles[hot].tmax - tiles[cool].tmax).value() < cfg_.margin.value()) {
+    return decision;
+  }
+  decision.migrate = true;
+  decision.from = hot;
+  decision.to = cool;
+  return decision;
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,41 @@
+// Many-core die floorplans: N replicated core tiles (each the full
+// 18-block EV7-like unit — core logic plus its slice of the logically
+// shared L2) arranged in a grid that keeps the overall die at the
+// original 16 mm x 16 mm outline. Shrinking the tiles instead of growing
+// the die keeps the package model (spreader/sink geometry, convection
+// resistance) physically consistent at every core count — the many-core
+// chip is the same die partitioned into more, smaller cores, which is
+// how real products scaled after the 2004 paper.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "floorplan/floorplan.h"
+
+namespace hydra::floorplan {
+
+/// Rows x columns of the tile grid for `cores` tiles: the factor pair of
+/// `cores` with the squarest aspect (rows <= columns). A prime count
+/// degenerates to a 1 x N strip, which still tiles the die exactly.
+struct TileGrid {
+  std::size_t rows = 1;
+  std::size_t cols = 1;
+};
+TileGrid tile_grid(std::size_t cores);
+
+/// Build a `cores`-tile die. Tile t occupies block indices
+/// [t * kNumBlocks, (t + 1) * kNumBlocks) in BlockId order, so per-tile
+/// power/sensor vectors scatter and gather with a flat offset. Block
+/// names are "c<t>." + the single-core name (interned process-wide;
+/// the returned string_views stay valid for the process lifetime).
+/// cores == 1 returns the classic ev7_floorplan(). Throws
+/// std::invalid_argument when cores is 0.
+Floorplan multicore_floorplan(std::size_t cores);
+
+/// Index of tile t's block `b` in the die floorplan.
+inline std::size_t tile_block_index(std::size_t tile, std::size_t block) {
+  return tile * kNumBlocks + block;
+}
+
+}  // namespace hydra::floorplan

@@ -9,6 +9,7 @@
 #include "obs/obs.h"
 #include "sim/batch_sweep.h"
 #include "sim/model_cache.h"
+#include "sim/multicore.h"
 #include "util/hash.h"
 #include "util/stats.h"
 
@@ -258,6 +259,28 @@ void hash_campaign(util::HashSink& h, const fault::FaultCampaign& c) {
   }
 }
 
+void hash_multicore(util::HashSink& h, const SimConfig::MulticoreConfig& m) {
+  // Deliberately NOT hashed: m.threads. It is an execution-width knob —
+  // results are bit-identical at any value (multicore_test asserts it),
+  // exactly like the experiment pool's width, so hashing it would both
+  // fragment the cache and let the determinism test pass vacuously via
+  // cache hits.
+  h.u64(m.cores)
+      .u64(m.workload_threads)
+      .boolean(m.per_core_dvs)
+      .boolean(m.migration)
+      .f64(m.migration_policy.interval)
+      .u64(m.migration_policy.cost_cycles)
+      .f64(m.migration_policy.flush_energy)
+      .f64(m.migration_policy.margin)
+      .f64(m.migration_policy.trigger)
+      .f64(m.arbiter.die_budget)
+      .f64(m.arbiter.gain)
+      .f64(m.arbiter.release)
+      .f64(m.arbiter.max_gate_fraction)
+      .u64(m.arbiter.dvs_debounce_updates);
+}
+
 void hash_config_into(util::HashSink& h, const SimConfig& cfg) {
   h.f64(cfg.v_nominal)
       .f64(cfg.f_nominal)
@@ -285,6 +308,7 @@ void hash_config_into(util::HashSink& h, const SimConfig& cfg) {
   hash_sensor(h, cfg.sensor);
   hash_campaign(h, cfg.fault_campaign);
   hash_core(h, cfg.core);
+  hash_multicore(h, cfg.multicore);
 }
 
 void hash_profile(util::HashSink& h,
@@ -385,6 +409,13 @@ SimConfig baseline_config(const SimConfig& cfg) {
   base.dvs_switch_time = defaults.dvs_switch_time;
   base.dvs_stall = defaults.dvs_stall;
   base.clock_gate_quantum = defaults.clock_gate_quantum;
+  // The die shape (cores, thread placement) is part of the experiment
+  // point; the die-level DTM mechanisms are not — a baseline is the same
+  // die running unmanaged.
+  base.multicore.per_core_dvs = defaults.multicore.per_core_dvs;
+  base.multicore.migration = defaults.multicore.migration;
+  base.multicore.migration_policy = defaults.multicore.migration_policy;
+  base.multicore.arbiter = defaults.multicore.arbiter;
   return base;
 }
 
@@ -436,6 +467,10 @@ RunCache::Future ExperimentRunner::submit_baseline(
         // trace shows pool occupancy per thread.
         const obs::ScopedSpan span(obs::tracer(), "engine", "run",
                                    profile.name + "/baseline");
+        if (bcfg.multicore.cores > 1) {
+          MulticoreSystem system(profile, bcfg, nullptr, "baseline");
+          return system.run(&token).aggregate;
+        }
         System system(profile, bcfg, nullptr);
         return system.run(&token);
       },
@@ -458,6 +493,15 @@ RunCache::Future ExperimentRunner::submit_run(
         const obs::ScopedSpan span(
             obs::tracer(), "engine", "run",
             profile.name + "/" + policy_kind_name(kind));
+        if (cfg.multicore.cores > 1) {
+          // Each tile gets its own equivalently configured policy
+          // instance (per-tile controller state must not be shared).
+          MulticoreSystem system(
+              profile, cfg,
+              [kind, params, cfg] { return make_policy(kind, params, cfg); },
+              policy_kind_name(kind));
+          return system.run(&token).aggregate;
+        }
         System system(profile, cfg, make_policy(kind, params, cfg));
         return system.run(&token);
       },
@@ -545,6 +589,9 @@ std::vector<ExperimentResult> ExperimentRunner::run_points(
     };
     for (const Planned& s : subs) {
       if (!s.spec.cfg.fused_thermal) continue;
+      // Many-core points run through MulticoreSystem, which drives the
+      // die solver itself; the lockstep batch lanes are single-core.
+      if (s.spec.cfg.multicore.cores > 1) continue;
       if (!fresh.insert(s.key).second) continue;
       if (cache_.contains(s.key)) continue;
       std::vector<const Planned*>& bucket = open[model_key(s.spec.cfg)];

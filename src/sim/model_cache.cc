@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "floorplan/ev7.h"
+#include "floorplan/multicore.h"
 #include "obs/obs.h"
 #include "util/hash.h"
 
@@ -26,7 +26,8 @@ std::uint64_t model_key(const SimConfig& cfg) {
       .f64(p.c_sink)
       .f64(p.r_convec.value())
       .f64(p.ambient.value())
-      .f64(cfg.time_scale);
+      .f64(cfg.time_scale)
+      .u64(cfg.multicore.cores);
   return h.digest();
 }
 
@@ -45,7 +46,7 @@ std::shared_ptr<const SharedModel> ModelCache::get(const SimConfig& cfg) {
     miss_counter.add();
     const obs::ScopedSpan span(obs::tracer(), "engine", "build_model");
     auto shared = std::make_shared<SharedModel>();
-    shared->fp = floorplan::ev7_floorplan();
+    shared->fp = floorplan::multicore_floorplan(cfg.multicore.cores);
     shared->model = thermal::build_thermal_model(shared->fp, cfg.package);
     shared->model.network.scale_capacitances(cfg.time_scale);
     shared->lu_cache =

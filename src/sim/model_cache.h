@@ -29,7 +29,8 @@ struct SharedModel {
   std::shared_ptr<const thermal::LuCache> lu_cache;
 };
 
-/// Hash of the fields SharedModel depends on (Package + time_scale).
+/// Hash of the fields SharedModel depends on (Package + time_scale +
+/// multicore.cores — the core count selects the tiled floorplan).
 std::uint64_t model_key(const SimConfig& cfg);
 
 class ModelCache {

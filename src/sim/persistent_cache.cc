@@ -28,7 +28,10 @@ namespace fs = std::filesystem;
 // size, checksum mismatch, undecodable payload — classifies the file as
 // corrupt; a version we don't speak classifies it as stale.
 constexpr char kMagic[4] = {'H', 'Y', 'R', 'C'};
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: RunResult gained the many-core metrics (cores, thread_migrations,
+// core_temp_spread_celsius, budget_throttled_fraction). v1 entries are
+// dropped as stale on recovery and recomputed.
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
 
 std::uint64_t fnv1a64(std::string_view bytes) {
@@ -224,6 +227,10 @@ std::string serialize_run_result(const RunResult& r) {
   put_f64(out, r.failsafe_fraction);
   put_f64(out, r.fault_window_fraction);
   put_f64(out, r.fault_violation_fraction);
+  put_u64(out, static_cast<std::uint64_t>(r.cores));
+  put_u64(out, r.thread_migrations);
+  put_f64(out, r.core_temp_spread_celsius);
+  put_f64(out, r.budget_throttled_fraction);
   return out;
 }
 
@@ -254,6 +261,10 @@ bool deserialize_run_result(std::string_view payload, RunResult& out) {
   out.failsafe_fraction = r.f64();
   out.fault_window_fraction = r.f64();
   out.fault_violation_fraction = r.f64();
+  out.cores = static_cast<std::size_t>(r.u64());
+  out.thread_migrations = r.u64();
+  out.core_temp_spread_celsius = r.f64();
+  out.budget_throttled_fraction = r.f64();
   return r.ok && r.pos == payload.size();
 }
 

@@ -4,7 +4,9 @@
 #include <cstdint>
 
 #include "arch/core_config.h"
+#include "core/budget_arbiter.h"
 #include "core/dtm_policy.h"
+#include "core/migration_policy.h"
 #include "fault/fault_campaign.h"
 #include "sensor/sensor.h"
 #include "thermal/package.h"
@@ -65,6 +67,37 @@ struct SimConfig {
   /// same dt rounding; agrees with the LU path to <=1e-9 degC over full
   /// runs (enforced by fastpath_test).
   bool fused_thermal = true;
+
+  // --- Many-core die ---------------------------------------------------
+  struct MulticoreConfig {
+    /// Core tiles on the die (1 = the classic single-core paper setup;
+    /// the single-core System path is used and everything below is
+    /// ignored). The die outline stays fixed — tiles shrink
+    /// (floorplan/multicore.h), and each tile's power is scaled by
+    /// 1/cores so die-level power density stays in the paper's regime.
+    std::size_t cores = 1;
+    /// Worker threads stepping tiles within one run. 0 = the global
+    /// pool's width. Results are bit-identical at any value (enforced by
+    /// multicore_test): threads only parallelise the embarrassingly
+    /// parallel per-tile core stepping between interval barriers.
+    std::size_t threads = 0;
+    /// Software threads running on the die (each a seeded variant of the
+    /// benchmark profile, pinned one per tile in tile order). 0 = one
+    /// per core. Fewer threads than cores leaves idle (clock-gated)
+    /// tiles — the migration policy's destinations.
+    std::size_t workload_threads = 0;
+    /// true: each tile's DVS commands actuate its own voltage domain;
+    /// false: one global domain — the die runs at the maximum DVS level
+    /// any tile requests (the conservative pre-per-core-domain design).
+    bool per_core_dvs = true;
+    /// Enable the thermal-aware thread-migration policy.
+    bool migration = false;
+    core::MigrationConfig migration_policy{};
+    /// Global die-level power-budget arbiter; arbiter.die_budget <= 0
+    /// (the default) disables it.
+    core::BudgetArbiterConfig arbiter{};
+  };
+  MulticoreConfig multicore{};
 
   // --- Core / run length ----------------------------------------------------
   arch::CoreConfig core{};

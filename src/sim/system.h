@@ -75,6 +75,15 @@ struct RunResult {
   /// fraction of the whole measured window.
   double fault_violation_fraction = 0.0;
 
+  // --- Many-core metrics (defaults = the single-core System's values) ---
+  std::size_t cores = 1;                  ///< tiles on the simulated die
+  std::uint64_t thread_migrations = 0;    ///< applied thread migrations
+  /// Time-weighted mean of (hottest tile Tmax - coolest tile Tmax):
+  /// thermal imbalance across the die. Zero on a single-core run.
+  double core_temp_spread_celsius = 0.0;
+  /// Time with any tile under a non-trivial power-budget arbiter floor.
+  double budget_throttled_fraction = 0.0;
+
   bool thermally_safe() const { return violation_fraction == 0.0; }
 };
 

@@ -118,6 +118,60 @@ void ThreadPool::worker_loop(std::size_t self) {
   }
 }
 
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  struct BarrierState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::exception_ptr first_error;  ///< guarded by mu
+  };
+  const auto state = std::make_shared<BarrierState>();
+  const std::size_t total = n;
+  const auto drain = [state, total, &fn] {
+    for (;;) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(state->mu);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
+        }
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          total) {
+        // Pair with the mutex so the waiter cannot re-check the
+        // predicate and block between our increment and the notify.
+        { const std::scoped_lock lock(state->mu); }
+        state->all_done.notify_all();
+      }
+    }
+  };
+  // Helpers reference fn, which outlives them: every helper job has
+  // finished claiming before the barrier below releases the caller, and
+  // a job that loses the race entirely (next already >= total) touches
+  // only `state`, which it co-owns.
+  const std::size_t helpers = std::min(total - 1, size());
+  for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+  drain();  // the caller claims too — the no-deadlock guarantee
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_done.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == total;
+    });
+    if (state->first_error) std::rethrow_exception(state->first_error);
+  }
+}
+
 std::size_t ThreadPool::configured_width() {
   if (const char* env = std::getenv("HYDRA_THREADS");
       env != nullptr && *env != '\0') {

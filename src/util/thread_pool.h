@@ -57,6 +57,21 @@ class ThreadPool {
     return future;
   }
 
+  /// Run fn(0) .. fn(n-1) across the pool and return when all have
+  /// completed — the intra-run fan-out/barrier the multicore System uses
+  /// once per thermal interval. Indices are claimed from a shared atomic
+  /// counter; the CALLING thread participates in claiming, so the call
+  /// completes even when the pool is width 1, saturated, or when the
+  /// caller itself is a pool worker (an experiment job fanning out its
+  /// own tiles) — the caller can always drain the remaining indices
+  /// itself, so the barrier cannot deadlock. Each index runs exactly
+  /// once; which thread runs it is scheduling-dependent, so fn must
+  /// confine writes to per-index state for deterministic results. The
+  /// first exception thrown by any fn is rethrown here after the
+  /// barrier; the remaining indices still run.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
   /// Process-wide pool sized by the HYDRA_THREADS environment variable
   /// (default: hardware_concurrency). Created on first use.
   static ThreadPool& global();

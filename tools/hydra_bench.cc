@@ -38,6 +38,7 @@
 
 #include "sim/experiment.h"
 #include "sim/model_cache.h"
+#include "sim/multicore.h"
 #include "sim/system.h"
 #include "thermal/batch.h"
 #include "thermal/simd.h"
@@ -144,6 +145,31 @@ double batched_lane_throughput(const sim::SimConfig& cfg, long long steps) {
              : 0.0;
 }
 
+/// Many-core die throughput: one 8-core MulticoreSystem run with the
+/// full DTM family active (per-core DVS + thread migration + budget
+/// arbiter), reported as aggregate core-cycles stepped per wall-second.
+/// A 1-thread tile pool keeps the number host-size independent — the
+/// same convention as the 1-thread suite pass; bench_gate.py floors it
+/// against the baseline to catch regressions in the tiled interval loop.
+double multicore_core_steps_per_second(sim::SimConfig cfg) {
+  cfg.multicore.cores = 8;
+  cfg.multicore.threads = 1;
+  cfg.multicore.workload_threads = 6;
+  cfg.multicore.migration = true;
+  cfg.multicore.arbiter.die_budget = util::Watts(40.0);
+  sim::MulticoreSystem system(
+      workload::spec2000_profile("crafty"), cfg,
+      [cfg] { return sim::make_policy(sim::PolicyKind::kHybrid, {}, cfg); },
+      "hyb");
+  system.run();  // warm: model build, LU factorisation, tile buffers
+  const auto start = std::chrono::steady_clock::now();
+  const sim::MulticoreResult result = system.run();
+  const double elapsed = seconds_since(start);
+  return elapsed > 0.0
+             ? static_cast<double>(result.aggregate.cycles) / elapsed
+             : 0.0;
+}
+
 struct SuiteBench {
   double wall_seconds = 0.0;
   sim::RunCache::Stats cache;
@@ -213,6 +239,10 @@ int main(int argc, char** argv) {
                 thermal::simd::backend_name(
                     thermal::simd::active_backend()));
 
+    std::printf("hydra_bench: 8-core die throughput...\n");
+    const double multicore_steps = multicore_core_steps_per_second(cfg);
+    std::printf("  %.0f core-steps/sec (8 tiles, serial)\n", multicore_steps);
+
     std::printf("hydra_bench: repeated System::run() allocations...\n");
     const std::uint64_t system_allocs = system_allocs_per_run(cfg);
     std::printf("  %llu allocs\n",
@@ -263,6 +293,7 @@ int main(int argc, char** argv) {
     w.key("solver_steps_per_second").value(solver.steps_per_second);
     w.key("solver_fused_steps_per_second").value(fused.steps_per_second);
     w.key("batched_lane_steps_per_second").value(batched_lane_steps);
+    w.key("multicore_core_steps_per_second").value(multicore_steps);
     w.key("solver_steps_measured").value(solver_steps);
     w.key("solver_allocs_per_step")
         .value(static_cast<double>(solver.allocs) /

@@ -24,6 +24,28 @@
 //   guard         true|false — wrap the policy in the fail-safe
 //                 sensor-fault supervisor (default false)
 //
+// Many-core die (DESIGN.md section 15):
+//   cores         core tiles on the die (default 1 = single-core paper
+//                 setup; >1 runs the MulticoreSystem with one policy
+//                 instance per tile)
+//   threads       worker threads stepping tiles within one run; 0 uses
+//                 the global pool width. Defaults to $HYDRA_THREADS when
+//                 set. Results are bit-identical at any value.
+//   workload_threads  software threads on the die (0 = one per core;
+//                 fewer leaves idle tiles for the migration policy)
+//   per_core_dvs  true|false — per-tile voltage domains vs one global
+//                 domain at the max requested level (default true)
+//   migration     true|false — thermal-aware thread migration
+//   migration_cost_cycles  context-switch stall per migration
+//   power_budget  die-level power cap in watts routed through the
+//                 budget arbiter (0 disables)
+//   trigger       DTM trigger temperature in deg C (also the migration
+//                 policy's threshold). Tiled dies run cooler than the
+//                 single-core die at equal power density, so multicore
+//                 experiments typically lower this below the paper's
+//                 81.8 C default.
+//   emergency     thermal-violation threshold in deg C
+//
 // Robustness (see DESIGN.md "Failure model"):
 //   cache_dir     crash-safe persistent run-cache directory; defaults to
 //                 $HYDRA_CACHE_DIR, empty disables persistence
@@ -100,6 +122,10 @@ void emit_json(util::JsonWriter& w, const sim::ExperimentResult& r) {
   w.key("failsafe_fraction").value(r.dtm.failsafe_fraction);
   w.key("fault_window_fraction").value(r.dtm.fault_window_fraction);
   w.key("fault_violation_fraction").value(r.dtm.fault_violation_fraction);
+  w.key("cores").value(r.dtm.cores);
+  w.key("thread_migrations").value(r.dtm.thread_migrations);
+  w.key("core_temp_spread_celsius").value(r.dtm.core_temp_spread_celsius);
+  w.key("budget_throttled_fraction").value(r.dtm.budget_throttled_fraction);
   w.end_object();
 }
 
@@ -158,7 +184,9 @@ int main(int argc, char** argv) {
         "warmup_instructions", "seed", "fault_campaign", "crossover",
         "guard", "trace", "trace_csv", "trace-csv", "metrics",
         "summary_json", "summary-json", "cache_dir", "cache-dir",
-        "timeout_seconds", "max_attempts",
+        "timeout_seconds", "max_attempts", "cores", "threads",
+        "workload_threads", "per_core_dvs", "migration",
+        "migration_cost_cycles", "power_budget", "trigger", "emergency",
     });
     const std::string bench = cfg_args.get_string("benchmark", "crafty");
     const std::string policy_name = cfg_args.get_string("policy", "hyb");
@@ -184,6 +212,42 @@ int main(int argc, char** argv) {
       cfg.fault_campaign =
           fault::FaultCampaign::from_file(campaign_path,
                                           sim::sensor_names());
+    }
+
+    cfg.multicore.cores = static_cast<std::size_t>(
+        cfg_args.get_int("cores", static_cast<long long>(cfg.multicore.cores)));
+    // Intra-run width: CLI key wins, else $HYDRA_THREADS, else the
+    // library default (global pool). Never part of the result.
+    long long threads_default =
+        static_cast<long long>(cfg.multicore.threads);
+    if (const char* env_threads = std::getenv("HYDRA_THREADS")) {
+      if (*env_threads != '\0') {
+        threads_default = std::strtoll(env_threads, nullptr, 10);
+      }
+    }
+    cfg.multicore.threads = static_cast<std::size_t>(
+        cfg_args.get_int("threads", threads_default));
+    cfg.multicore.workload_threads = static_cast<std::size_t>(
+        cfg_args.get_int("workload_threads",
+                         static_cast<long long>(
+                             cfg.multicore.workload_threads)));
+    cfg.multicore.per_core_dvs =
+        cfg_args.get_bool("per_core_dvs", cfg.multicore.per_core_dvs);
+    cfg.multicore.migration =
+        cfg_args.get_bool("migration", cfg.multicore.migration);
+    cfg.multicore.migration_policy.cost_cycles = static_cast<std::uint64_t>(
+        cfg_args.get_int("migration_cost_cycles",
+                         static_cast<long long>(
+                             cfg.multicore.migration_policy.cost_cycles)));
+    cfg.multicore.arbiter.die_budget = util::Watts(
+        cfg_args.get_double("power_budget",
+                            cfg.multicore.arbiter.die_budget.value()));
+    cfg.thresholds.trigger = util::Celsius(cfg_args.get_double(
+        "trigger", cfg.thresholds.trigger.value()));
+    cfg.thresholds.emergency = util::Celsius(cfg_args.get_double(
+        "emergency", cfg.thresholds.emergency.value()));
+    if (cfg.thresholds.emergency.value() <= cfg.thresholds.trigger.value()) {
+      throw std::runtime_error("emergency must be above trigger");
     }
 
     sim::PolicyParams params;
@@ -251,9 +315,14 @@ int main(int argc, char** argv) {
     } else if (format == "text") {
       util::AsciiTable table;
       const bool with_faults = !campaign_path.empty();
+      const bool with_multicore = cfg.multicore.cores > 1;
       std::vector<std::string> header = {"benchmark", "policy", "slowdown",
                                          "Tmax[C]",   "safe",   "gate",
                                          "Vlow time", "switches"};
+      if (with_multicore) {
+        header.insert(header.end(),
+                      {"cores", "migr", "spread[C]", "budget"});
+      }
       if (with_faults) {
         header.insert(header.end(),
                       {"faulted", "rejected", "failsafe", "fault viol"});
@@ -268,6 +337,14 @@ int main(int argc, char** argv) {
             util::AsciiTable::percent(r.dtm.mean_gate_fraction, 1),
             util::AsciiTable::percent(r.dtm.dvs_low_fraction, 1),
             std::to_string(r.dtm.dvs_transitions)};
+        if (with_multicore) {
+          row.insert(row.end(),
+                     {std::to_string(r.dtm.cores),
+                      std::to_string(r.dtm.thread_migrations),
+                      util::AsciiTable::num(r.dtm.core_temp_spread_celsius, 2),
+                      util::AsciiTable::percent(
+                          r.dtm.budget_throttled_fraction, 1)});
+        }
         if (with_faults) {
           row.insert(row.end(),
                      {std::to_string(r.dtm.faulted_samples),
