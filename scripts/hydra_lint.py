@@ -35,11 +35,29 @@ Rules (each has a stable id used in the allowlist):
   fault-tolerant engine turns a bug into a wrong number.  The
   supervision layer's legitimate containment sites are allowlisted by
   file path.
+* ``no-raw-mutex`` — the std lock vocabulary (``std::mutex``,
+  ``std::shared_mutex``, ``std::condition_variable``,
+  ``std::scoped_lock``, ``std::unique_lock``, ...) is banned in src/
+  outside ``src/util/``: every mutex-owning type must use the annotated
+  capability wrappers from util/sync.h (util::Mutex, util::LockGuard,
+  util::CondVar, ...) so Clang Thread Safety Analysis sees the whole
+  lock protocol (DESIGN.md §16).  ``std::once_flag``/``call_once`` are
+  not lock types and stay legal.
+* ``no-unordered-result-iteration`` — iterating a
+  ``std::unordered_map``/``unordered_set`` (range-for or ``.begin()``)
+  is hash-order, which varies across standard libraries and pointer
+  layouts: feeding it into a RunResult, a hash key, or a serialized
+  artifact is the classic silent determinism killer.  Iterate a sorted
+  view, key by submission order, or allowlist the site with a written
+  argument for order-invariance.
 
 False positives are silenced in ``scripts/hydra_lint_allow.txt``, one
 ``<rule-id> <path>:<identifier-or-token>`` per line (``#`` comments).
-Keep it short — an allowlist entry is a claim that the raw double is
+Keep it short — an allowlist entry is a claim that the flagged code is
 deliberate (usually a hot-path kernel documented in DESIGN.md §11).
+Every entry must still match a finding: a stale entry — left behind
+after the code it excused was fixed or deleted — is itself an error, so
+the list can only shrink unless a new justified exception is written.
 
 Usage:
   hydra_lint.py                 # lint src/ (and headers in tools/bench)
@@ -102,6 +120,45 @@ BARE_CATCH = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 CATCH_PROPAGATES = re.compile(
     r"\bthrow\b|rethrow_exception|current_exception|\bobs::|\.add\s*\(")
 
+# The raw std lock vocabulary. Legal only inside src/util (where
+# util/sync.h wraps it with capability annotations); everyone else must
+# hold locks the analysis can see. once_flag/call_once are not listed:
+# they are not lock types and carry no capability.
+RAW_MUTEX = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|scoped_lock|unique_lock|shared_lock)\b")
+
+# Unordered-container declarations; the declared name is recovered by
+# balancing the template angle brackets (see unordered_names).
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+# Hash-order iteration over a known unordered name.
+RANGE_FOR = re.compile(r"\bfor\s*\([^();]*?:\s*(\w+)\s*\)")
+BEGIN_CALL = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+
+
+def unordered_names(text):
+    """Names declared in `text` with an unordered container type."""
+    names = set()
+    for m in UNORDERED_DECL.finditer(text):
+        i = m.end() - 1  # at the opening '<'
+        depth = 0
+        while i < len(text):
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        else:
+            continue
+        dm = re.match(r"\s*(\w+)", text[i + 1:])
+        if dm:
+            names.add(dm.group(1))
+    return names
+
 
 def bare_catch_findings(text, rel, allow):
     """Findings for catch (...) handlers that swallow silently."""
@@ -132,6 +189,28 @@ def bare_catch_findings(text, rel, allow):
             "propagate, count via obs, or allowlist this containment "
             "site"))
     return findings
+
+
+class Allowlist:
+    """Allowlist entries plus a record of which ones actually fired.
+
+    Quacks like the plain set the rule checks test membership against,
+    but remembers every hit so stale entries — lines whose finding no
+    longer exists — can be reported as errors after the run.
+    """
+
+    def __init__(self, entries):
+        self.entries = set(entries)
+        self.used = set()
+
+    def __contains__(self, key):
+        if key in self.entries:
+            self.used.add(key)
+            return True
+        return False
+
+    def stale(self):
+        return self.entries - self.used
 
 
 def load_allowlist(path=ALLOWLIST):
@@ -219,6 +298,15 @@ def lint_file(path, rel, allow):
     if in_src:
         findings.extend(bare_catch_findings(text, rel, allow))
 
+    # Unordered names visible to this file: its own declarations plus the
+    # sibling of the header/source pair (members declared in the .h are
+    # iterated from the .cc).
+    iter_names = unordered_names(text)
+    sibling = path.with_suffix(".h" if path.suffix == ".cc" else ".cc")
+    if sibling.is_file():
+        iter_names |= unordered_names(strip_comments(
+            sibling.read_text(errors="replace")))
+
     for lineno, line in enumerate(lines, 1):
         where = f"{rel}:{lineno}"
 
@@ -259,6 +347,29 @@ def lint_file(path, rel, allow):
                     "no-ambient-rng", where,
                     "ambient randomness/time source; runs must be "
                     "reproducible from util::Rng seeds"))
+
+        if in_src and not in_util:
+            m = RAW_MUTEX.search(line)
+            if m and ("no-raw-mutex", rel) not in allow:
+                findings.append((
+                    "no-raw-mutex", where,
+                    f"raw '{m.group(0)}' outside src/util; use the "
+                    "annotated util::Mutex/LockGuard/CondVar wrappers "
+                    "from util/sync.h so thread-safety analysis sees "
+                    "the lock"))
+
+        if in_src:
+            hits = {m.group(1) for m in RANGE_FOR.finditer(line)}
+            hits |= {m.group(1) for m in BEGIN_CALL.finditer(line)}
+            for name in sorted(hits & iter_names):
+                if ("no-unordered-result-iteration", rel) in allow:
+                    continue
+                findings.append((
+                    "no-unordered-result-iteration", where,
+                    f"iterating unordered container '{name}' is "
+                    "hash-order — nondeterministic across stdlibs; sort "
+                    "first, key by submission order, or allowlist with "
+                    "an order-invariance argument"))
 
         if in_util and lineno <= len(raw_lines):
             if re.match(r'\s*#\s*include\s+"obs/', raw_lines[lineno - 1]):
@@ -328,6 +439,17 @@ SEEDED = {
         "    (void)swallowed;\n"
         "  }\n"
         "}\n",
+    "no-raw-mutex":
+        "struct Cache {\n"
+        "  std::mutex mu;\n"
+        "};\n",
+    "no-unordered-result-iteration":
+        "void f() {\n"
+        "  std::unordered_map<int, int> totals;\n"
+        "  for (const auto& [k, v] : totals) {\n"
+        "    use(k, v);\n"
+        "  }\n"
+        "}\n",
 }
 
 SEEDED_PATH = {
@@ -338,6 +460,8 @@ SEEDED_PATH = {
     "no-per-cycle-loop": "src/sim/seeded_loop.cc",
     "no-unaligned-simd-load": "src/power/seeded_simd.cc",
     "no-bare-catch": "src/sim/seeded_catch.cc",
+    "no-raw-mutex": "src/sim/seeded_mutex.h",
+    "no-unordered-result-iteration": "src/sim/seeded_unordered.cc",
 }
 
 
@@ -381,6 +505,23 @@ def self_test():
         print(f"  self-test comments/strings ignored [{status}]")
         if extra:
             failures.append("comment-fp")
+
+        # Allowlist hygiene: an entry that suppresses a live finding is
+        # used (not stale); an entry pointing at nothing is stale.
+        allow = Allowlist({
+            ("no-raw-mutex", "src/sim/seeded_mutex.h"),
+            ("no-raw-mutex", "src/sim/long_gone.cc"),
+        })
+        findings = run_lint(tmproot, allow=allow)
+        suppressed = not any(f[1].startswith("src/sim/seeded_mutex.h")
+                             for f in findings)
+        stale = allow.stale()
+        ok = (suppressed and
+              stale == {("no-raw-mutex", "src/sim/long_gone.cc")})
+        status = "ok" if ok else "FAIL"
+        print(f"  self-test stale-allowlist detection [{status}]")
+        if not ok:
+            failures.append("stale-allowlist")
     if failures:
         print(f"hydra-lint self-test FAILED: {failures}")
         return 1
@@ -396,13 +537,23 @@ def main():
     if args.self_test:
         return self_test()
 
-    findings = run_lint()
+    allow = Allowlist(load_allowlist())
+    findings = run_lint(allow=allow)
     if findings:
         print(f"hydra-lint: {len(findings)} finding(s)")
         for rule, where, msg in findings:
             print(f"  {where}: [{rule}] {msg}")
         print(f"(false positive? add '<rule> <path>:<name>' to "
               f"{ALLOWLIST.relative_to(REPO)})")
+        return 1
+    stale = sorted(allow.stale())
+    if stale:
+        print(f"hydra-lint: {len(stale)} stale allowlist entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (no matching finding)")
+        for rule, key in stale:
+            print(f"  {rule} {key}: remove from "
+                  f"{ALLOWLIST.relative_to(REPO)} — the code it excused "
+                  "is gone or fixed")
         return 1
     print("hydra-lint: clean")
     return 0

@@ -2,10 +2,9 @@
 # Static analysis: clang-tidy over the tidy-clean subset, plus the
 # repo's own hydra_lint.py rules over everything.
 #
-# Like check_format.sh, clang-tidy enforcement is incremental: only the
-# paths in TIDY_PATHS must be tidy-clean (grow the list as directories
-# are cleaned up; eventually this becomes all of src). hydra_lint.py is
-# not incremental — it runs on the full tree with its allowlist.
+# clang-tidy enforcement now covers all of src/ (the incremental
+# TIDY_PATHS ramp is complete); hydra_lint.py likewise runs on the full
+# tree with its allowlist.
 #
 # clang-tidy needs a compilation database; configure with
 #   cmake -B build -S .
@@ -19,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-TIDY_PATHS="src/util src/control"
+TIDY_PATHS="src"
 
 echo "== hydra_lint =="
 python3 scripts/hydra_lint.py --self-test

@@ -3,20 +3,20 @@
 #include <cctype>
 #include <cmath>
 #include <deque>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/csv.h"
+#include "util/sync.h"
 
 namespace hydra::floorplan {
 namespace {
 
 /// Process-lifetime intern table so Block::name string_views stay valid.
 std::string_view intern(std::string s) {
-  static std::mutex mu;
+  static util::Mutex mu;
   static std::deque<std::string> table;
-  const std::scoped_lock lock(mu);
+  const util::LockGuard lock(mu);
   for (const std::string& existing : table) {
     if (existing == s) return existing;
   }

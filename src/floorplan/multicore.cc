@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "floorplan/ev7.h"
+#include "util/sync.h"
 
 namespace hydra::floorplan {
 namespace {
@@ -18,9 +18,9 @@ namespace {
 /// valid; floorplans are built once per (package, cores) model key and
 /// cached, so the interner stays tiny.
 std::string_view intern_name(std::string name) {
-  static std::mutex mu;
+  static util::Mutex mu;
   static std::deque<std::string> names;
-  const std::scoped_lock lock(mu);
+  const util::LockGuard lock(mu);
   for (const std::string& existing : names) {
     if (existing == name) return existing;
   }

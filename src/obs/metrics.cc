@@ -64,7 +64,7 @@ Registry::Shard& Registry::local_shard() {
   auto owned = std::make_unique<Shard>();
   Shard* shard = owned.get();
   {
-    const std::scoped_lock lock(mu_);
+    const util::WriterLock lock(mu_);
     shards_.push_back(std::move(owned));
   }
   t_shards.push_back(TlsShardRef{serial_, shard});
@@ -104,14 +104,14 @@ void Registry::record_histogram(std::uint32_t id, double v) {
 }
 
 Counter Registry::counter(std::string_view name) {
-  const std::scoped_lock lock(mu_);
+  const util::WriterLock lock(mu_);
   return Counter(this,
                  find_or_register(counter_names_, name, kMaxCounters,
                                   "counters"));
 }
 
 Gauge Registry::gauge(std::string_view name) {
-  const std::scoped_lock lock(mu_);
+  const util::WriterLock lock(mu_);
   return Gauge(this,
                find_or_register(gauge_names_, name, kMaxGauges, "gauges"));
 }
@@ -124,7 +124,7 @@ Histogram Registry::histogram(std::string_view name,
         "histogram bounds must be non-empty, sorted and at most " +
         std::to_string(kMaxBounds) + " long");
   }
-  const std::scoped_lock lock(mu_);
+  const util::WriterLock lock(mu_);
   for (std::size_t i = 0; i < hist_names_.size(); ++i) {
     if (hist_names_[i] == name) {
       if (hist_bound_count_[i] != bounds.size() ||
@@ -147,7 +147,7 @@ Histogram Registry::histogram(std::string_view name,
 }
 
 MetricsSnapshot Registry::scrape() const {
-  const std::scoped_lock lock(mu_);
+  const util::ReaderLock lock(mu_);
   MetricsSnapshot snap;
 
   snap.counters.reserve(counter_names_.size());
@@ -212,7 +212,7 @@ void Registry::write_csv(std::ostream& out) const {
 }
 
 void Registry::reset() {
-  const std::scoped_lock lock(mu_);
+  const util::WriterLock lock(mu_);
   for (const auto& shard : shards_) {
     for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
     for (auto& b : shard->hist_buckets) b.store(0, std::memory_order_relaxed);

@@ -29,11 +29,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::obs {
 
@@ -160,13 +162,20 @@ class Registry {
 
   std::atomic<bool> enabled_{false};
 
-  mutable std::mutex mu_;  ///< names, bounds bookkeeping, shard list
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> hist_names_;
+  /// Registration and reset write (WriterLock); scrape reads
+  /// (ReaderLock) — scrapes from concurrent observers never serialize
+  /// against each other, only against registration.
+  mutable util::SharedMutex mu_;
+  std::vector<std::string> counter_names_ HYDRA_GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ HYDRA_GUARDED_BY(mu_);
+  std::vector<std::string> hist_names_ HYDRA_GUARDED_BY(mu_);
+  // Deliberately unguarded: written exactly once at registration,
+  // before the Histogram handle escapes, then read lock-free by
+  // record_histogram on the hot path (the handle is the happens-before
+  // edge — a thread can only record through a handle it was given).
   std::array<std::array<double, kMaxBounds>, kMaxHistograms> hist_bounds_{};
   std::array<std::size_t, kMaxHistograms> hist_bound_count_{};
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_ HYDRA_GUARDED_BY(mu_);
 
   std::array<std::atomic<double>, kMaxGauges> gauges_{};
   std::array<std::atomic<bool>, kMaxGauges> gauge_set_{};

@@ -31,11 +31,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::obs {
 
@@ -117,8 +119,11 @@ class Tracer {
     std::array<TraceEvent, kChunkEvents> events;
   };
   struct Buffer {
-    mutable std::mutex mu;  ///< guards chunk-list growth and readers
-    std::vector<std::unique_ptr<Chunk>> chunks;
+    /// Guards chunk-list growth and readers. The owning thread also
+    /// reads `chunks` lock-free in append_begin — the single-writer
+    /// protocol documented there.
+    mutable util::Mutex mu;
+    std::vector<std::unique_ptr<Chunk>> chunks HYDRA_GUARDED_BY(mu);
     std::atomic<std::size_t> count{0};
   };
 
@@ -129,19 +134,19 @@ class Tracer {
   void append_commit(Buffer& buf);
 
   template <typename Fn>
-  void for_each_event(Fn&& fn) const;  ///< under each buffer's mutex
+  void for_each_event(Fn&& fn) const HYDRA_REQUIRES(mu_);
 
   const std::uint64_t serial_;
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  ///< lanes + buffer list
+  mutable util::Mutex mu_;  ///< lanes + buffer list
   struct Lane {
     std::string name;
     TimeDomain domain = TimeDomain::kWall;
   };
-  std::vector<Lane> lanes_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<Lane> lanes_ HYDRA_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Buffer>> buffers_ HYDRA_GUARDED_BY(mu_);
 };
 
 /// Scoped thread-local "current simulated-time lane": a System sets it

@@ -46,7 +46,7 @@ bool BatchCoordinator::step_lane(std::size_t lane, const double* rise,
                                  const double* power, double dt_rounded,
                                  double* out_rise) {
   Arrival a{lane, rise, power, dt_rounded, out_rise};
-  std::unique_lock<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   arrivals_.push_back(&a);
   if (arrivals_.size() == active_) {
     // Last to arrive leads. If the leader step itself fails (operator
@@ -69,12 +69,14 @@ bool BatchCoordinator::step_lane(std::size_t lane, const double* rise,
     }
     cv_.notify_all();
   }
+  // The predicate reads only this thread's stack-local Arrival, so it is
+  // safe under the lambda-body analysis.
   cv_.wait(lk, [&] { return a.done; });
   return !a.failed;
 }
 
 void BatchCoordinator::leave() {
-  const std::scoped_lock lk(mu_);
+  const util::LockGuard lk(mu_);
   --active_;
   if (!arrivals_.empty() && arrivals_.size() == active_) {
     try {

@@ -24,7 +24,6 @@
 // as a serial run would.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <memory>
@@ -35,6 +34,8 @@
 #include "sim/system.h"
 #include "thermal/batch.h"
 #include "thermal/solver.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::sim {
 
@@ -71,14 +72,14 @@ class BatchCoordinator {
 
   /// Leader step, called with mu_ held once arrivals == active lanes:
   /// one panel pass per distinct rounded dt among the arrivals.
-  void process_locked();
+  void process_locked() HYDRA_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t active_;
-  std::vector<Arrival*> arrivals_;
-  thermal::BatchedThermalState state_;
-  std::shared_ptr<const thermal::LuCache> lu_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::size_t active_ HYDRA_GUARDED_BY(mu_);
+  std::vector<Arrival*> arrivals_ HYDRA_GUARDED_BY(mu_);
+  thermal::BatchedThermalState state_ HYDRA_GUARDED_BY(mu_);
+  std::shared_ptr<const thermal::LuCache> lu_;  ///< immutable after ctor
 };
 
 /// Per-lane thermal-step delegate installed on a batched System.

@@ -40,7 +40,7 @@ std::shared_ptr<const SharedModel> ModelCache::get(const SimConfig& cfg) {
       obs::metrics().counter("model_cache.hits");
   static const obs::Counter miss_counter =
       obs::metrics().counter("model_cache.misses");
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     miss_counter.add();
@@ -59,7 +59,7 @@ std::shared_ptr<const SharedModel> ModelCache::get(const SimConfig& cfg) {
 }
 
 std::size_t ModelCache::size() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   return cache_.size();
 }
 

@@ -12,13 +12,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "floorplan/floorplan.h"
 #include "sim/sim_config.h"
 #include "thermal/model_builder.h"
 #include "thermal/solver.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::sim {
 
@@ -46,9 +47,9 @@ class ModelCache {
   static ModelCache& global();
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const SharedModel>>
-      cache_;
+      cache_ HYDRA_GUARDED_BY(mu_);
 };
 
 }  // namespace hydra::sim

@@ -274,7 +274,7 @@ PersistentRunCache::PersistentRunCache(Options opts)
     throw std::runtime_error("persistent cache: empty directory");
   }
   if (opts_.shards == 0) opts_.shards = 1;
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   recover_locked();
 }
 
@@ -477,7 +477,7 @@ void PersistentRunCache::compact_manifest_locked() {
 std::shared_ptr<const RunResult> PersistentRunCache::load(std::uint64_t key) {
   fs::path path;
   {
-    const std::scoped_lock lock(mu_);
+    const util::LockGuard lock(mu_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
@@ -496,7 +496,7 @@ std::shared_ptr<const RunResult> PersistentRunCache::load(std::uint64_t key) {
   const bool verified = parsed.status == FileStatus::kOk &&
                         deserialize_run_result(parsed.payload, *result);
 
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   const auto it = index_.find(key);
   if (verified) {
     // A concurrent eviction may have dropped the entry mid-read; the
@@ -526,7 +526,7 @@ std::shared_ptr<const RunResult> PersistentRunCache::load(std::uint64_t key) {
 
 void PersistentRunCache::save(std::uint64_t key, const RunResult& result) {
   {
-    const std::scoped_lock lock(mu_);
+    const util::LockGuard lock(mu_);
     if (index_.count(key) != 0) return;  // identical by construction (FNV key)
   }
 
@@ -564,7 +564,7 @@ void PersistentRunCache::save(std::uint64_t key, const RunResult& result) {
     }
   }
 
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   std::error_code ec;
   if (index_.count(key) != 0) {
     // A racing save published the same (bit-identical) entry first.
@@ -611,17 +611,17 @@ void PersistentRunCache::enforce_capacity_locked() {
 }
 
 PersistentRunCache::Stats PersistentRunCache::stats() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   return stats_;
 }
 
 std::size_t PersistentRunCache::entries() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   return index_.size();
 }
 
 std::uint64_t PersistentRunCache::total_bytes() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   return total_bytes_;
 }
 

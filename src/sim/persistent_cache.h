@@ -43,10 +43,11 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "sim/system.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::sim {
 
@@ -117,23 +118,29 @@ class PersistentRunCache {
 
   std::filesystem::path shard_dir(std::uint64_t key) const;
   std::filesystem::path entry_path(std::uint64_t key) const;
-  void quarantine_locked(std::uint64_t key, const std::filesystem::path& p);
-  void enforce_capacity_locked();
+  // The `_locked` protocol is now a compiler-checked contract, not a
+  // naming convention: these can only be called with mu_ held.
+  void quarantine_locked(std::uint64_t key, const std::filesystem::path& p)
+      HYDRA_REQUIRES(mu_);
+  void enforce_capacity_locked() HYDRA_REQUIRES(mu_);
   /// Append one journal line: op 'P' (publish, with checksum) or
   /// 'E' (deliberate removal: eviction, stale drop, quarantine).
   void append_manifest_locked(char op, std::uint64_t key,
-                              std::uint64_t checksum = 0);
-  void compact_manifest_locked();
-  void recover_locked();
+                              std::uint64_t checksum = 0)
+      HYDRA_REQUIRES(mu_);
+  void compact_manifest_locked() HYDRA_REQUIRES(mu_);
+  void recover_locked() HYDRA_REQUIRES(mu_);
 
-  Options opts_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, IndexEntry> index_;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t lru_clock_ = 0;
-  std::uint64_t quarantine_seq_ = 0;
+  Options opts_;  ///< immutable after construction
+  /// Guards the index only — entry file I/O happens outside it (with
+  /// revalidation after reacquiring) so shard reads/writes parallelise.
+  mutable util::Mutex mu_;
+  std::map<std::uint64_t, IndexEntry> index_ HYDRA_GUARDED_BY(mu_);
+  std::uint64_t total_bytes_ HYDRA_GUARDED_BY(mu_) = 0;
+  std::uint64_t lru_clock_ HYDRA_GUARDED_BY(mu_) = 0;
+  std::uint64_t quarantine_seq_ HYDRA_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp names, lock-free
-  Stats stats_;
+  Stats stats_ HYDRA_GUARDED_BY(mu_);
 };
 
 }  // namespace hydra::sim

@@ -24,7 +24,7 @@ RunCache::Future RunCache::submit(
     const JobOptions& opts) {
   Future future;
   {
-    const std::scoped_lock lock(mu_);
+    const util::LockGuard lock(mu_);
     static const obs::Counter hit_counter =
         obs::metrics().counter("run_cache.hits");
     static const obs::Counter miss_counter =
@@ -142,19 +142,19 @@ RunCache::Future RunCache::submit(std::uint64_t key, util::ThreadPool& pool,
 }
 
 void RunCache::set_store(std::shared_ptr<PersistentRunCache> store) {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   store_ = std::move(store);
 }
 
 std::shared_ptr<PersistentRunCache> RunCache::store() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   return store_;
 }
 
 RunCache::Stats RunCache::stats() const {
   Stats s;
   {
-    const std::scoped_lock lock(mu_);
+    const util::LockGuard lock(mu_);
     s = stats_;
   }
   s.failures = counters_->failures.load(std::memory_order_relaxed);
@@ -167,12 +167,12 @@ RunCache::Stats RunCache::stats() const {
 }
 
 std::size_t RunCache::size() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   return runs_.size();
 }
 
 bool RunCache::contains(std::uint64_t key) const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   const auto it = runs_.find(key);
   return it != runs_.end() &&
          it->second.state->load(std::memory_order_acquire) != kFailed;

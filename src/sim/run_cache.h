@@ -34,11 +34,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "sim/system.h"
 #include "util/cancel.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hydra::sim {
@@ -127,10 +128,12 @@ class RunCache {
     std::atomic<std::uint64_t> disk_stores{0};
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Entry> runs_;
-  Stats stats_;
-  std::shared_ptr<PersistentRunCache> store_;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> runs_ HYDRA_GUARDED_BY(mu_);
+  Stats stats_ HYDRA_GUARDED_BY(mu_);
+  std::shared_ptr<PersistentRunCache> store_ HYDRA_GUARDED_BY(mu_);
+  // Not guarded: set once at construction, and the counters it points
+  // to are atomics shared with in-flight jobs.
   std::shared_ptr<SharedCounters> counters_ =
       std::make_shared<SharedCounters>();
 };

@@ -45,7 +45,7 @@ LuCache::LuCache(const RcNetwork& net)
 }
 
 const LuFactorization& LuCache::steady() const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   if (!steady_lu_) {
     static const obs::Counter factorizations =
         obs::metrics().counter("thermal.lu_factorizations");
@@ -58,7 +58,7 @@ const LuFactorization& LuCache::steady() const {
 }
 
 const LuFactorization& LuCache::backward_euler(double dt) const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   auto it = be_cache_.find(dt);
   if (it == be_cache_.end()) {
     static const obs::Counter factorizations =
@@ -78,7 +78,7 @@ const LuFactorization& LuCache::backward_euler(double dt) const {
 }
 
 const FusedStepOperator& LuCache::fused(double dt) const {
-  const std::scoped_lock lock(mu_);
+  const util::LockGuard lock(mu_);
   auto it = fused_cache_.find(dt);
   if (it == fused_cache_.end()) {
     static const obs::Counter builds =

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "thermal/linalg.h"
 #include "thermal/rc_network.h"
 #include "thermal/simd.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/units.h"
 
 namespace hydra::thermal {
@@ -105,10 +106,15 @@ class LuCache {
  private:
   Matrix g_;
   Vector capacitance_;
-  mutable std::mutex mu_;
-  mutable std::unique_ptr<LuFactorization> steady_lu_;
-  mutable std::map<double, std::unique_ptr<LuFactorization>> be_cache_;
-  mutable std::map<double, std::unique_ptr<FusedStepOperator>> fused_cache_;
+  /// Guards lazy construction only: the returned factorisations and
+  /// operators are immutable once built, so callers solve against the
+  /// references lock-free.
+  mutable util::Mutex mu_;
+  mutable std::unique_ptr<LuFactorization> steady_lu_ HYDRA_GUARDED_BY(mu_);
+  mutable std::map<double, std::unique_ptr<LuFactorization>> be_cache_
+      HYDRA_GUARDED_BY(mu_);
+  mutable std::map<double, std::unique_ptr<FusedStepOperator>> fused_cache_
+      HYDRA_GUARDED_BY(mu_);
 };
 
 /// Time-stepping solver. Owns the current temperature state.

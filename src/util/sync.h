@@ -1,0 +1,152 @@
+// Annotated synchronization primitives (DESIGN.md §16).
+//
+// Thin zero-cost wrappers over the std lock types that carry the Clang
+// Thread Safety Analysis capability attributes from
+// util/thread_annotations.h. Every mutex-owning type in src/ uses these
+// instead of the raw std types (enforced by the `no-raw-mutex`
+// hydra-lint rule), so the lock protocol of the whole concurrent
+// surface — which mutex guards which fields, which methods require
+// which locks — is machine-checked on every clang build rather than
+// sampled dynamically by whatever schedule the TSan leg happens to see.
+//
+// The wrappers add no state and no indirection: each is exactly its
+// std counterpart plus attributes, and on compilers without the
+// attributes (gcc) they compile to identical code.
+//
+//   util::Mutex mu;
+//   int value HYDRA_GUARDED_BY(mu);
+//   {
+//     const util::LockGuard lock(mu);
+//     ++value;                       // ok: mu held
+//   }
+//   ++value;                         // compile error under clang
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace hydra::util {
+
+class CondVar;
+
+/// std::mutex as a capability. Prefer util::LockGuard over manual
+/// lock()/unlock() pairs; the manual form exists for protocols RAII
+/// cannot express.
+class HYDRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HYDRA_ACQUIRE() { mu_.lock(); }
+  void unlock() HYDRA_RELEASE() { mu_.unlock(); }
+  bool try_lock() HYDRA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex as a capability: one writer or many readers.
+class HYDRA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() HYDRA_ACQUIRE() { mu_.lock(); }
+  void unlock() HYDRA_RELEASE() { mu_.unlock(); }
+  void lock_shared() HYDRA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() HYDRA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a util::Mutex (the annotated counterpart of
+/// std::scoped_lock / std::lock_guard).
+class HYDRA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) HYDRA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() HYDRA_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a util::SharedMutex.
+class HYDRA_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HYDRA_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() HYDRA_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a util::SharedMutex. The destructor
+/// carries the generic release annotation: that is the documented form
+/// for scoped capabilities, and it covers the shared acquisition.
+class HYDRA_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) HYDRA_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() HYDRA_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex through a live LockGuard.
+/// wait() releases and reacquires the guard's mutex internally; because
+/// the capability is held again before wait() returns, the analysis
+/// (correctly) sees it as held throughout — predicates re-checked after
+/// a wakeup run under the lock exactly as the caller expects.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Block until notified. Spurious wakeups happen; prefer the
+  /// predicate overload.
+  void wait(LockGuard& guard) {
+    // Adopt the already-held mutex for the wait, then hand ownership
+    // back to the guard: the guard's invariant (held from construction
+    // to destruction) is preserved across the internal release window.
+    std::unique_lock<std::mutex> lk(guard.mu_.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Block until `pred()` is true, re-checking under the lock after
+  /// every wakeup.
+  template <typename Pred>
+  void wait(LockGuard& guard, Pred pred) {
+    while (!pred()) wait(guard);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hydra::util

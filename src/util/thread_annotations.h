@@ -1,0 +1,103 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §16).
+//
+// These wrap the `capability`-family attributes so the lock protocol of
+// every concurrent type in the tree is stated in the type system and
+// checked at compile time: a field tagged HYDRA_GUARDED_BY(mu) cannot
+// be touched without holding mu, a method tagged HYDRA_REQUIRES(mu)
+// cannot be called without it, and the whole tree builds under
+// `-Wthread-safety -Werror=thread-safety-analysis` on clang (the CI
+// clang legs). The macros expand to nothing on compilers without the
+// attributes (gcc), so they are zero-cost in every sense: no codegen,
+// no ABI, no overhead — purely a compile-time contract.
+//
+// Apply them through the annotated primitives in util/sync.h
+// (util::Mutex, util::SharedMutex, util::LockGuard, util::CondVar);
+// raw std::mutex outside src/util is rejected by the `no-raw-mutex`
+// hydra-lint rule.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HYDRA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HYDRA_THREAD_ANNOTATION
+#define HYDRA_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability (a lock). `name` appears in diagnostics.
+#define HYDRA_CAPABILITY(name) HYDRA_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define HYDRA_SCOPED_CAPABILITY HYDRA_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field may only be read or written while holding `x`.
+#define HYDRA_GUARDED_BY(x) HYDRA_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data may only be touched while holding `x` (the
+/// pointer itself is unguarded).
+#define HYDRA_PT_GUARDED_BY(x) HYDRA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capabilities exclusively before calling.
+#define HYDRA_REQUIRES(...) \
+  HYDRA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capabilities at least shared before calling.
+#define HYDRA_REQUIRES_SHARED(...) \
+  HYDRA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and does not
+/// release it (lock functions; RAII constructors).
+#define HYDRA_ACQUIRE(...) \
+  HYDRA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of HYDRA_ACQUIRE.
+#define HYDRA_ACQUIRE_SHARED(...) \
+  HYDRA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (unlock functions; RAII
+/// destructors — generic release also covers shared acquisition).
+#define HYDRA_RELEASE(...) \
+  HYDRA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of HYDRA_RELEASE.
+#define HYDRA_RELEASE_SHARED(...) \
+  HYDRA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define HYDRA_TRY_ACQUIRE(...) \
+  HYDRA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock documentation for
+/// functions that acquire it themselves).
+#define HYDRA_EXCLUDES(...) HYDRA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime-contract level that the calling thread already
+/// holds the capability; the analysis trusts it from here on. This is
+/// the documented seam for protocols the analysis cannot follow.
+#define HYDRA_ASSERT_CAPABILITY(x) \
+  HYDRA_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the capability guarding the
+/// returned data.
+#define HYDRA_RETURN_CAPABILITY(x) \
+  HYDRA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Declares a lock-ordering edge: this capability must be acquired
+/// after the listed ones.
+#define HYDRA_ACQUIRED_AFTER(...) \
+  HYDRA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Declares a lock-ordering edge: this capability must be acquired
+/// before the listed ones.
+#define HYDRA_ACQUIRED_BEFORE(...) \
+  HYDRA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Turns the analysis off for one function body. Every use is a
+/// documented protocol the analysis cannot express (single-writer
+/// thread-local buffers, adopt-lock handoffs); say why at the use site.
+#define HYDRA_NO_THREAD_SAFETY_ANALYSIS \
+  HYDRA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -46,7 +46,7 @@ ThreadPool::~ThreadPool() {
   {
     // Pair the flag with the sleep mutex so no worker can re-check the
     // predicate and block between our store and the notify.
-    const std::scoped_lock lock(sleep_mu_);
+    const LockGuard lock(sleep_mu_);
   }
   wake_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -56,8 +56,12 @@ void ThreadPool::submit(std::function<void()> job) {
   const std::size_t q =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    const std::scoped_lock lock(queues_[q]->mu);
-    queues_[q]->jobs.push_back(std::move(job));
+    // Bind the queue once so the lock expression and the guarded access
+    // name the same object — the analysis matches capabilities by
+    // expression, not by value.
+    Queue& target = *queues_[q];
+    const LockGuard lock(target.mu);
+    target.jobs.push_back(std::move(job));
   }
   pending_.fetch_add(1, std::memory_order_release);
   wake_.notify_one();
@@ -67,7 +71,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& job) {
   // Own deque first (front = submission order)...
   {
     Queue& own = *queues_[self];
-    const std::scoped_lock lock(own.mu);
+    const LockGuard lock(own.mu);
     if (!own.jobs.empty()) {
       job = std::move(own.jobs.front());
       own.jobs.pop_front();
@@ -77,7 +81,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& job) {
   // ...then steal from the back of a sibling's.
   for (std::size_t k = 1; k < queues_.size(); ++k) {
     Queue& victim = *queues_[(self + k) % queues_.size()];
-    const std::scoped_lock lock(victim.mu);
+    const LockGuard lock(victim.mu);
     if (!victim.jobs.empty()) {
       job = std::move(victim.jobs.back());
       victim.jobs.pop_back();
@@ -108,7 +112,9 @@ void ThreadPool::worker_loop(std::size_t self) {
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    LockGuard lock(sleep_mu_);
+    // The predicate reads only atomics, so it is safe under the lambda-
+    // body analysis (lambdas are checked as separate functions).
     wake_.wait(lock, [this] {
       return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
     });
@@ -128,9 +134,9 @@ void ThreadPool::for_each_index(std::size_t n,
   struct BarrierState {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mu;
-    std::condition_variable all_done;
-    std::exception_ptr first_error;  ///< guarded by mu
+    Mutex mu;
+    CondVar all_done;
+    std::exception_ptr first_error HYDRA_GUARDED_BY(mu);
   };
   const auto state = std::make_shared<BarrierState>();
   const std::size_t total = n;
@@ -142,7 +148,7 @@ void ThreadPool::for_each_index(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        const std::scoped_lock lock(state->mu);
+        const LockGuard lock(state->mu);
         if (!state->first_error) {
           state->first_error = std::current_exception();
         }
@@ -151,7 +157,7 @@ void ThreadPool::for_each_index(std::size_t n,
           total) {
         // Pair with the mutex so the waiter cannot re-check the
         // predicate and block between our increment and the notify.
-        { const std::scoped_lock lock(state->mu); }
+        { const LockGuard lock(state->mu); }
         state->all_done.notify_all();
       }
     }
@@ -164,7 +170,7 @@ void ThreadPool::for_each_index(std::size_t n,
   for (std::size_t h = 0; h < helpers; ++h) submit(drain);
   drain();  // the caller claims too — the no-deadlock guarantee
   {
-    std::unique_lock<std::mutex> lock(state->mu);
+    LockGuard lock(state->mu);
     state->all_done.wait(lock, [&] {
       return state->done.load(std::memory_order_acquire) == total;
     });

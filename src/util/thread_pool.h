@@ -18,17 +18,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace hydra::util {
 
@@ -101,8 +102,8 @@ class ThreadPool {
   // Cache-line aligned so two workers hammering adjacent per-worker
   // queues (or the hot shared counters below) never false-share a line.
   struct alignas(64) Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> jobs;
+    Mutex mu;
+    std::deque<std::function<void()>> jobs HYDRA_GUARDED_BY(mu);
   };
 
   bool try_pop(std::size_t self, std::function<void()>& job);
@@ -110,8 +111,8 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex sleep_mu_;
-  std::condition_variable wake_;
+  Mutex sleep_mu_;
+  CondVar wake_;
   // Each hot atomic on its own cache line: next_queue_ is written by
   // every submit, pending_ by submitters and all workers — sharing a
   // line would bounce it between cores on every job.

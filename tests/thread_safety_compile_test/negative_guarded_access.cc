@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: touching a
+// HYDRA_GUARDED_BY field without holding its mutex is exactly the bug
+// class the annotations exist to make unwritable. Registered WILL_FAIL;
+// if this ever compiles under clang, the analysis has gone dark.
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Guarded {
+  hydra::util::Mutex mu;
+  int value HYDRA_GUARDED_BY(mu) = 0;
+
+  int unlocked_read() {
+    return value;  // error: reading `value` requires holding `mu`
+  }
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.unlocked_read();
+}

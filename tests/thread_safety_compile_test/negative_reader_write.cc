@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: writing a
+// guarded field while holding only the SHARED side of a SharedMutex.
+// This is the Registry's scrape/registration split — a reader that
+// mutates would race every other reader, and the analysis must reject
+// it even though a lock (the wrong kind) is genuinely held.
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct SharedGuarded {
+  hydra::util::SharedMutex mu;
+  int value HYDRA_GUARDED_BY(mu) = 0;
+
+  void write_under_reader() {
+    const hydra::util::ReaderLock lock(mu);
+    ++value;  // error: writing `value` requires `mu` exclusively
+  }
+};
+
+}  // namespace
+
+int main() {
+  SharedGuarded s;
+  s.write_under_reader();
+  return 0;
+}

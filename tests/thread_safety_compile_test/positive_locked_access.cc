@@ -1,0 +1,75 @@
+// Positive control for the negative-compile tests: the canonical lock
+// patterns used across the tree, written correctly, must compile clean
+// under -Werror=thread-safety-analysis. If this file stops compiling,
+// the sibling negatives prove nothing (any failure could be a broken
+// include path rather than the analysis doing its job).
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+using hydra::util::CondVar;
+using hydra::util::LockGuard;
+using hydra::util::Mutex;
+using hydra::util::ReaderLock;
+using hydra::util::SharedMutex;
+using hydra::util::WriterLock;
+
+struct Guarded {
+  Mutex mu;
+  int value HYDRA_GUARDED_BY(mu) = 0;
+  CondVar cv;
+  bool ready HYDRA_GUARDED_BY(mu) = false;
+
+  void locked_write() {
+    const LockGuard lock(mu);
+    ++value;
+  }
+
+  int locked_read() {
+    const LockGuard lock(mu);
+    return value;
+  }
+
+  void locked_helper() HYDRA_REQUIRES(mu) { ++value; }
+
+  void call_through() {
+    const LockGuard lock(mu);
+    locked_helper();
+  }
+
+  void wait_ready() {
+    LockGuard lock(mu);
+    // The guarded predicate read is legal: wait() holds mu whenever the
+    // predicate runs, and the analysis sees the capability held across
+    // the call.
+    while (!ready) cv.wait(lock);
+    ++value;
+  }
+};
+
+struct SharedGuarded {
+  SharedMutex mu;
+  int value HYDRA_GUARDED_BY(mu) = 0;
+
+  void writer_bump() {
+    const WriterLock lock(mu);
+    ++value;
+  }
+
+  int reader_get() {
+    const ReaderLock lock(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.locked_write();
+  g.call_through();
+  SharedGuarded s;
+  s.writer_bump();
+  return g.locked_read() + s.reader_get();
+}
