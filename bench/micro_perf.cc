@@ -14,11 +14,13 @@
 
 #include "arch/core.h"
 #include "floorplan/ev7.h"
+#include "floorplan/multicore.h"
 #include "power/power_model.h"
 #include "sensor/sensor.h"
 #include "sim/experiment.h"
 #include "thermal/model_builder.h"
 #include "thermal/simd.h"
+#include "thermal/sparse.h"
 #include "util/units.h"
 #include "thermal/solver.h"
 #include "util/thread_pool.h"
@@ -205,6 +207,99 @@ void BM_ThermalFusedStepSimd(benchmark::State& state) {
   simd::set_backend_for_test(prev);
 }
 BENCHMARK(BM_ThermalFusedStepSimd)->ArgName("vector")->Arg(0)->Arg(1);
+
+// Sparse LDL^T factorisation of the 16-core die step matrix (CSR
+// assembly + minimum-degree ordering + numeric factor): the
+// factorise-once cost the sparse path pays per distinct rounded dt,
+// amortised over every step of every run sharing the LuCache entry.
+void BM_SparseCholeskyFactor(benchmark::State& state) {
+  const auto fp = floorplan::multicore_floorplan(16);
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  const thermal::CsrMatrix g = model.network.conductance_csr();
+  std::size_t nnz_l = 0;
+  for (auto _ : state) {
+    thermal::SparseCholesky chol(g);
+    nnz_l = chol.factor_nnz();
+    benchmark::DoNotOptimize(chol);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(g.rows);
+  state.counters["nnz_g"] = static_cast<double>(g.nnz());
+  state.counters["nnz_l"] = static_cast<double>(nnz_l);
+}
+BENCHMARK(BM_SparseCholeskyFactor)->Unit(benchmark::kMillisecond);
+
+// One sparse backward-Euler step on the 16-core die (rhs build + LDL^T
+// substitution through the gather-dot kernels). Shares the fused-path
+// contract that the warmed per-step path never allocates. Compare
+// against BM_DieStep/cores:16's dense leg for the crossover evidence.
+void BM_SparseStep(benchmark::State& state) {
+  const thermal::SparseMode prev = thermal::sparse_mode();
+  thermal::set_sparse_mode_for_test(thermal::SparseMode::kOn);
+  const auto fp = floorplan::multicore_floorplan(16);
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::TransientSolver solver(model.network, util::Celsius(45.0),
+                                  thermal::Scheme::kFusedBE);
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 0.1;
+  solver.step(power, util::Seconds(3.3e-6));  // warm: build the factor
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    solver.step(power, util::Seconds(3.3e-6));
+  }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_step"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+  state.counters["sparse_path"] = solver.sparse_path() ? 1.0 : 0.0;
+  thermal::set_sparse_mode_for_test(prev);
+}
+BENCHMARK(BM_SparseStep);
+
+// The die-level thermal step across die sizes, dense fused (vector 0)
+// vs sparse (vector 1) — the measured dense/sparse crossover lives in
+// the ratio of these legs: dense wins at the single-core size, sparse
+// wins from 4 cores up and the gap widens superlinearly (the fused step
+// is O(n^2), the substitution O(nnz(L)) ~ O(n)).
+void BM_DieStep(benchmark::State& state) {
+  const thermal::SparseMode prev = thermal::sparse_mode();
+  thermal::set_sparse_mode_for_test(state.range(1) == 0
+                                        ? thermal::SparseMode::kOff
+                                        : thermal::SparseMode::kOn);
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  const auto fp = floorplan::multicore_floorplan(cores);
+  const auto model = thermal::build_thermal_model(fp, thermal::Package{});
+  thermal::TransientSolver solver(model.network, util::Celsius(45.0),
+                                  thermal::Scheme::kFusedBE);
+  thermal::Vector power(model.network.size(), 0.0);
+  for (std::size_t i = 0; i < model.num_blocks; ++i) power[i] = 0.1;
+  solver.step(power, util::Seconds(3.3e-6));  // warm: build the operator
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    solver.step(power, util::Seconds(3.3e-6));
+  }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_step"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+  state.counters["nodes"] = static_cast<double>(model.network.size());
+  state.SetLabel(solver.sparse_path() ? "sparse" : "dense");
+  thermal::set_sparse_mode_for_test(prev);
+}
+BENCHMARK(BM_DieStep)
+    ->ArgNames({"cores", "sparse"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
 void BM_ThermalRk4Step(benchmark::State& state) {
   const auto fp = floorplan::ev7_floorplan();

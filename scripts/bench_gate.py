@@ -60,7 +60,16 @@ ZERO_KEYS = [
     "solver_fused_allocs_per_step",
     "system_allocs_per_run",
 ]
-EXACT_KEYS = ["suite_cache_misses"]
+EXACT_KEYS = [
+    "suite_cache_misses",
+    # Sparse-dispatch configuration: the 16-core die bench must actually
+    # run the sparse LDL^T path (sparse_path true), and the dense/sparse
+    # crossover must stay at its committed value — a drift in either
+    # means the multicore throughput number silently measures a
+    # different engine than the baseline did.
+    "sparse_path",
+    "sparse_crossover_nodes",
+]
 # Informational only: wall times and speedup depend on the runner's core
 # count and load, so they are printed but never gated.  idle_skip_fraction
 # and the feature flags are printed so a gate log records which fast paths
@@ -117,7 +126,8 @@ def check_restart(restart, restart_floor):
     return failures
 
 
-def compare(baseline, candidate, throughput_floor):
+def compare(baseline, candidate, throughput_floor,
+            require_live_speedup=False):
     """Return a list of failure strings (empty = gate passes)."""
     failures = []
     # suite_instr_per_second is only comparable when both runs simulated
@@ -161,14 +171,29 @@ def compare(baseline, candidate, throughput_floor):
         if cand != base:
             failures.append(f"{key}: {cand} != baseline {base}")
     # Parallel speedup: gated only when the host has at least as many
-    # hardware threads as the N-thread pool asked for.
+    # hardware threads as the N-thread pool asked for.  A skipped check
+    # is normally fine (a 1-core dev box), but with
+    # require_live_speedup the skip itself fails: CI runners are
+    # provisioned with enough cores, so a skip there means the speedup
+    # gate has silently gone dead — exactly the state the committed
+    # `speedup: 0.88` baseline once hid.
     speedup = candidate.get("speedup")
     threads = candidate.get("threads", 1)
     cores = candidate.get("hardware_concurrency", 0)
-    if speedup is not None and threads > 1:
+    if speedup is None or threads <= 1:
+        if require_live_speedup:
+            failures.append(
+                f"speedup: check not live (speedup={speedup}, "
+                f"threads={threads}) but --require-live-speedup set")
+    else:
         if cores < threads:
             print(f"  speedup: {speedup:.2f}x skipped "
                   f"({cores} hardware threads < {threads} pool threads)")
+            if require_live_speedup:
+                failures.append(
+                    f"speedup: check skipped on a starved host ({cores} "
+                    f"hardware threads < {threads} pool threads) but "
+                    f"--require-live-speedup set")
         else:
             status = "ok" if speedup >= SPEEDUP_FLOOR else "FAIL"
             print(f"  speedup: {speedup:.2f}x at {threads} threads "
@@ -194,6 +219,8 @@ def self_test(throughput_floor):
         "solver_fused_allocs_per_step": 0,
         "system_allocs_per_run": 0,
         "suite_cache_misses": 18,
+        "sparse_path": True,
+        "sparse_crossover_nodes": 64,
     }
     print("self-test: identical candidate must pass")
     if compare(baseline, dict(baseline), throughput_floor):
@@ -246,6 +273,41 @@ def self_test(throughput_floor):
                          for f in compare(baseline, flat, throughput_floor)}:
         print("self-test FAILED: flat speedup with spare cores passed")
         return 1
+    print("self-test: a dead speedup check must fail under "
+          "--require-live-speedup")
+    for dead in (dict(baseline),  # no speedup/threads keys at all
+                 dict(starved)):  # skipped: starved host
+        caught = {f.split(":")[0]
+                  for f in compare(baseline, dead, throughput_floor,
+                                   require_live_speedup=True)}
+        if "speedup" not in caught:
+            print("self-test FAILED: dead speedup check passed under "
+                  "--require-live-speedup")
+            return 1
+    print("self-test: a live passing speedup must satisfy "
+          "--require-live-speedup")
+    live = dict(baseline)
+    live.update(threads=2, hardware_concurrency=8, speedup=1.8)
+    if compare(baseline, live, throughput_floor, require_live_speedup=True):
+        print("self-test FAILED: live speedup rejected under "
+              "--require-live-speedup")
+        return 1
+    print("self-test: a flipped sparse path must fail")
+    densified = dict(baseline)
+    densified["sparse_path"] = False
+    if "sparse_path" not in {
+            f.split(":")[0]
+            for f in compare(baseline, densified, throughput_floor)}:
+        print("self-test FAILED: flipped sparse_path passed")
+        return 1
+    print("self-test: a drifted sparse crossover must fail")
+    drifted = dict(baseline)
+    drifted["sparse_crossover_nodes"] = 512
+    if "sparse_crossover_nodes" not in {
+            f.split(":")[0]
+            for f in compare(baseline, drifted, throughput_floor)}:
+        print("self-test FAILED: drifted sparse_crossover_nodes passed")
+        return 1
     restart_ok = {
         "restart_cache_hit_rate": 1.0,
         "restart_bit_identical": 1,
@@ -282,6 +344,10 @@ def main():
                     "ext_cache_restart bench (optional)")
     ap.add_argument("--restart-floor", type=float, default=0.999,
                     help="minimum warm-restart cache hit rate")
+    ap.add_argument("--require-live-speedup", action="store_true",
+                    help="fail if the parallel-speedup check is skipped "
+                    "(starved or single-threaded run) instead of passing "
+                    "silently — use in CI, where cores are guaranteed")
     ap.add_argument("--update", action="store_true",
                     help="copy candidate over baseline instead of gating")
     ap.add_argument("--self-test", action="store_true",
@@ -299,7 +365,8 @@ def main():
 
     print(f"bench gate: {args.candidate} vs {args.baseline}")
     failures = compare(load(args.baseline), load(args.candidate),
-                       args.throughput_floor)
+                       args.throughput_floor,
+                       require_live_speedup=args.require_live_speedup)
     if args.restart:
         print(f"restart gate: {args.restart}")
         failures += check_restart(load(args.restart), args.restart_floor)

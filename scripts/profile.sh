@@ -23,6 +23,12 @@
 # the end-to-end hydra_run simulation; remaining arguments go straight to
 # the benchmark, so `scripts/profile.sh --bench micro_perf
 # --benchmark_filter=BM_ThermalFusedStepSimd` isolates one kernel.
+# The sparse-path kernels profile the same way:
+#   scripts/profile.sh --bench micro_perf --benchmark_filter=BM_SparseStep
+#   scripts/profile.sh --bench micro_perf \
+#     '--benchmark_filter=BM_SparseCholeskyFactor|BM_DieStep'
+# (BM_DieStep runs both the dense and sparse leg at each die size, so one
+# profile shows the crossover's two sides back to back.)
 #
 # The script is best-effort by design — CI runs it in a never-failing
 # optional job — but it still exits nonzero if no profiler produced a

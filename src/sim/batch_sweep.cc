@@ -19,14 +19,22 @@ void BatchCoordinator::process_locked() {
   // shorten one lane's interval mid-run, and mixing operators would mix
   // physics. Panel-lane arithmetic is position-independent, so packing
   // each dt group into the low panel lanes preserves bit-identity.
+  // Same dense/sparse dispatch as the serial solver: lanes over a
+  // many-core die substitute through the shared LDL^T factor, small
+  // models keep the fused panel matvecs — either way the lane result is
+  // bit-identical to its serial twin.
+  const bool sparse = thermal::use_sparse_step(state_.nodes());
   while (!arrivals_.empty()) {
     const double dt = arrivals_.front()->dt;
-    const thermal::FusedStepOperator& op = lu_->fused(dt);
     std::size_t k = 0;
     for (Arrival* a : arrivals_) {
       if (a->dt == dt) state_.load_lane(k++, a->rise, a->power);
     }
-    state_.step(op);
+    if (sparse) {
+      state_.step(lu_->sparse(dt));
+    } else {
+      state_.step(lu_->fused(dt));
+    }
     k = 0;
     std::vector<Arrival*> rest;
     rest.reserve(arrivals_.size());

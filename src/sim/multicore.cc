@@ -187,6 +187,7 @@ MulticoreSystem::MulticoreSystem(const workload::WorkloadProfile& profile,
 
   die_watts_.resize(cores * floorplan::kNumBlocks);
   expanded_.resize(model_.network.size());
+  use_sparse_ = thermal::use_sparse_step(model_.network.size());
   acc_.block_temp_weighted.assign(cores * floorplan::kNumBlocks, 0.0);
   tile_states_.resize(cores);
   tile_power_.assign(cores, util::Watts{0.0});
@@ -229,16 +230,30 @@ void MulticoreSystem::initialize_thermal_state() {
     }
     tile.probe_frame = tile.core.take_interval_activity();
   };
-  if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < tiles_.size(); ++i) probe_tile(i);
-  } else {
-    pool_->for_each_index(tiles_.size(), probe_tile);
+  // The probe is by far the most expensive part of (re)starting a run —
+  // ~probe instructions of detailed core simulation per occupied tile —
+  // and its frames are a statistical fingerprint of the bound profiles,
+  // not of any evolving state. A warm system reuses the first run's
+  // frames; only the fresh-system first run pays.
+  if (!probe_cached_) {
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < tiles_.size(); ++i) probe_tile(i);
+    } else {
+      pool_->for_each_index(tiles_.size(), probe_tile);
+    }
+    probe_cached_ = true;
   }
 
   const util::Celsius ambient = cfg_.package.ambient;
   init_temps_.assign(model_.network.size(), ambient.value() + 30.0);
   const auto& nominal = ladder_.point(0);
-  const thermal::LuFactorization& g_lu = shared_->lu_cache->steady();
+  const thermal::LuFactorization* g_lu = nullptr;
+  const thermal::SparseCholesky* g_chol = nullptr;
+  if (use_sparse_) {
+    g_chol = &shared_->lu_cache->steady_sparse();
+  } else {
+    g_lu = &shared_->lu_cache->steady();
+  }
   for (int iter = 0; iter < 10; ++iter) {
     for (std::size_t t = 0; t < tiles_.size(); ++t) {
       Tile& tile = *tiles_[t];
@@ -254,7 +269,12 @@ void MulticoreSystem::initialize_thermal_state() {
       }
     }
     model_.expand_power_into(die_watts_, expanded_);
-    thermal::steady_state_into(g_lu, expanded_, ambient, init_temps_);
+    if (use_sparse_) {
+      thermal::steady_state_into(*g_chol, expanded_, ambient, init_temps_,
+                                 steady_work_);
+    } else {
+      thermal::steady_state_into(*g_lu, expanded_, ambient, init_temps_);
+    }
   }
   solver_.set_temperatures(init_temps_);
 

@@ -1,5 +1,6 @@
 #include "thermal/batch.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace hydra::thermal {
@@ -11,7 +12,9 @@ BatchedThermalState::BatchedThermalState(std::size_t nodes, std::size_t width)
       rise_panel_(nodes * stride_, 0.0),
       power_panel_(nodes * stride_, 0.0),
       out_m_(nodes * stride_, 0.0),
-      out_n_(nodes * stride_, 0.0) {
+      out_n_(nodes * stride_, 0.0),
+      work_panel_(nodes * stride_, 0.0),
+      lane_tmp_(stride_, 0.0) {
   if (width == 0) throw std::invalid_argument("batch width must be positive");
 }
 
@@ -32,6 +35,26 @@ void BatchedThermalState::step(const FusedStepOperator& op) {
   simd::panel_matvec(op.pn, power_panel_.data(), stride_, out_n_.data());
   // Same commit order as the serial step: (M rise) + (N P) per element.
   for (std::size_t i = 0; i < out_m_.size(); ++i) out_m_[i] += out_n_[i];
+}
+
+void BatchedThermalState::step(const SparseStepOperator& op) {
+  if (op.chol.size() != nodes_) {
+    throw std::invalid_argument("operator size mismatch in batched step");
+  }
+  // rhs = (C/dt) rise + P per lane — the explicit fma matches the
+  // serial step_sparse_be expression bit for bit — then one panel
+  // substitution whose per-lane arithmetic is the serial solve.
+  for (std::size_t c = 0; c < nodes_; ++c) {
+    const double cd = op.c_over_dt[c];
+    const double* rise = &rise_panel_[c * stride_];
+    const double* power = &power_panel_[c * stride_];
+    double* rhs = &out_n_[c * stride_];
+    for (std::size_t k = 0; k < stride_; ++k) {
+      rhs[k] = std::fma(cd, rise[k], power[k]);
+    }
+  }
+  op.chol.panel_solve_into(out_n_.data(), stride_, out_m_.data(),
+                           work_panel_.data(), lane_tmp_.data());
 }
 
 void BatchedThermalState::store_lane(std::size_t k, double* rise_out) const {

@@ -38,6 +38,12 @@ class BatchedThermalState {
   /// The operator's packed matrices must be `nodes()`-square.
   void step(const FusedStepOperator& op);
 
+  /// Sparse twin: rhs = (C/dt) rise + P per lane, then one LDL^T panel
+  /// substitution (SparseCholesky::panel_solve_into). Lane arithmetic
+  /// is exactly the serial step_sparse_be sequence, so batched sparse
+  /// runs stay bit-identical to serial sparse runs.
+  void step(const SparseStepOperator& op);
+
   /// Copy lane `k`'s updated rise (after step) into `rise_out`.
   void store_lane(std::size_t k, double* rise_out) const;
 
@@ -49,7 +55,9 @@ class BatchedThermalState {
   std::vector<double> rise_panel_;
   std::vector<double> power_panel_;
   std::vector<double> out_m_;  ///< M * rise panel, then the summed result
-  std::vector<double> out_n_;  ///< N * P panel
+  std::vector<double> out_n_;  ///< N * P panel (sparse path: rhs panel)
+  std::vector<double> work_panel_;  ///< sparse substitution scratch
+  std::vector<double> lane_tmp_;    ///< one gather-dot row across lanes
 };
 
 }  // namespace hydra::thermal

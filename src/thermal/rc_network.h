@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "thermal/linalg.h"
+#include "thermal/sparse.h"
 #include "util/units.h"
 
 namespace hydra::thermal {
@@ -43,6 +44,14 @@ class RcNetwork {
 
   /// Dense conductance matrix G (including ambient ties on the diagonal).
   Matrix conductance_matrix() const;
+
+  /// Sparse CSR assembly of the same G, built straight from the edge
+  /// list without ever materialising the dense matrix. Rows are sorted
+  /// by column with parallel edges accumulated; every node gets a
+  /// diagonal entry (its ambient tie plus incident edge conductances).
+  /// Entry-for-entry equal to conductance_matrix() — sparse_test
+  /// asserts it.
+  CsrMatrix conductance_csr() const;
 
   /// Total conductance to ambient — for conservation checks.
   util::WattsPerKelvin total_ambient_conductance() const;

@@ -51,6 +51,28 @@ void panel_scalar(const PackedMatrix& m, const double* x, std::size_t width,
   }
 }
 
+double gather_dot_scalar(const double* vals, const std::int32_t* idx,
+                         std::size_t nnz, const double* x) {
+  double s[kLaneWidth] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t p = 0; p < nnz; ++p) {
+    s[p & 3] = std::fma(vals[p], x[idx[p]], s[p & 3]);
+  }
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+void panel_gather_dot_scalar(const double* vals, const std::int32_t* idx,
+                             std::size_t nnz, const double* x,
+                             std::size_t width, double* out) {
+  for (std::size_t k = 0; k < width; ++k) {
+    double s[kLaneWidth] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t p = 0; p < nnz; ++p) {
+      s[p & 3] = std::fma(
+          vals[p], x[static_cast<std::size_t>(idx[p]) * width + k], s[p & 3]);
+    }
+    out[k] = (s[0] + s[2]) + (s[1] + s[3]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // AVX2+FMA backend. Compiled with a per-function target attribute so the
 // translation unit itself needs no -mavx2 (the binary must still run on
@@ -111,6 +133,57 @@ __attribute__((target("avx2,fma"))) void panel_avx2(const PackedMatrix& m,
   }
 }
 
+__attribute__((target("avx2,fma"))) double gather_dot_avx2(
+    const double* vals, const std::int32_t* idx, std::size_t nnz,
+    const double* x) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t p = 0;
+  // The masked gather form with an all-ones mask: identical loads, but
+  // unlike the plain intrinsic it has no undefined source operand for
+  // -Wmaybe-uninitialized to complain about.
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  for (; p + 4 <= nnz; p += 4) {
+    const __m128i id =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + p));
+    const __m256d xv =
+        _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x, id, all, 8);
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(vals + p), xv, acc);
+  }
+  // Register lane j holds term class j (chunks start at p = 0); fold the
+  // tail terms into their class with the same correctly rounded fma.
+  double s[kLaneWidth];
+  _mm256_storeu_pd(s, acc);
+  for (; p < nnz; ++p) s[p & 3] = std::fma(vals[p], x[idx[p]], s[p & 3]);
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+__attribute__((target("avx2,fma"))) void panel_gather_dot_avx2(
+    const double* vals, const std::int32_t* idx, std::size_t nnz,
+    const double* x, std::size_t width, double* out) {
+  for (std::size_t k = 0; k < width; k += 4) {
+    // One register per term class, each spanning four batch lanes: lane
+    // arithmetic is the serial gather_dot, four lanes at a time.
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    __m256d s2 = _mm256_setzero_pd();
+    __m256d s3 = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < nnz; ++p) {
+      const __m256d b = _mm256_set1_pd(vals[p]);
+      const __m256d v =
+          _mm256_loadu_pd(x + static_cast<std::size_t>(idx[p]) * width + k);
+      switch (p & 3) {
+        case 0: s0 = _mm256_fmadd_pd(b, v, s0); break;
+        case 1: s1 = _mm256_fmadd_pd(b, v, s1); break;
+        case 2: s2 = _mm256_fmadd_pd(b, v, s2); break;
+        default: s3 = _mm256_fmadd_pd(b, v, s3); break;
+      }
+    }
+    const __m256d sum =
+        _mm256_add_pd(_mm256_add_pd(s0, s2), _mm256_add_pd(s1, s3));
+    _mm256_storeu_pd(out + k, sum);
+  }
+}
+
 bool cpu_has_avx2_fma() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
@@ -168,6 +241,32 @@ void panel_neon(const PackedMatrix& m, const double* x, std::size_t width,
           vaddq_f64(vaddq_f64(s0, s2), vaddq_f64(s1, s3));
       vst1q_f64(out + r * width + k, sum);
     }
+  }
+}
+
+// AArch64 has no gather load, so the NEON gather_dot is the scalar
+// class walk (vfma via std::fma is one instruction there); the panel
+// variant still vectorises across batch lanes, which are contiguous.
+void panel_gather_dot_neon(const double* vals, const std::int32_t* idx,
+                           std::size_t nnz, const double* x,
+                           std::size_t width, double* out) {
+  for (std::size_t k = 0; k < width; k += 2) {
+    float64x2_t s0 = vdupq_n_f64(0.0);
+    float64x2_t s1 = vdupq_n_f64(0.0);
+    float64x2_t s2 = vdupq_n_f64(0.0);
+    float64x2_t s3 = vdupq_n_f64(0.0);
+    for (std::size_t p = 0; p < nnz; ++p) {
+      const float64x2_t v =
+          vld1q_f64(x + static_cast<std::size_t>(idx[p]) * width + k);
+      switch (p & 3) {
+        case 0: s0 = vfmaq_n_f64(s0, v, vals[p]); break;
+        case 1: s1 = vfmaq_n_f64(s1, v, vals[p]); break;
+        case 2: s2 = vfmaq_n_f64(s2, v, vals[p]); break;
+        default: s3 = vfmaq_n_f64(s3, v, vals[p]); break;
+      }
+    }
+    const float64x2_t sum = vaddq_f64(vaddq_f64(s0, s2), vaddq_f64(s1, s3));
+    vst1q_f64(out + k, sum);
   }
 }
 
@@ -297,6 +396,38 @@ void panel_matvec(const PackedMatrix& m, const double* x, std::size_t width,
 #endif
     default:
       panel_scalar(m, x, width, out);
+      return;
+  }
+}
+
+double gather_dot(const double* vals, const std::int32_t* idx,
+                  std::size_t nnz, const double* x) {
+  switch (active_backend()) {
+#if defined(HYDRA_SIMD_X86)
+    case Backend::kAvx2:
+      return gather_dot_avx2(vals, idx, nnz, x);
+#endif
+    default:
+      return gather_dot_scalar(vals, idx, nnz, x);
+  }
+}
+
+void panel_gather_dot(const double* vals, const std::int32_t* idx,
+                      std::size_t nnz, const double* x, std::size_t width,
+                      double* out) {
+  switch (active_backend()) {
+#if defined(HYDRA_SIMD_X86)
+    case Backend::kAvx2:
+      panel_gather_dot_avx2(vals, idx, nnz, x, width, out);
+      return;
+#endif
+#if defined(HYDRA_SIMD_NEON)
+    case Backend::kNeon:
+      panel_gather_dot_neon(vals, idx, nnz, x, width, out);
+      return;
+#endif
+    default:
+      panel_gather_dot_scalar(vals, idx, nnz, x, width, out);
       return;
   }
 }

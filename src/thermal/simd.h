@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace hydra::thermal::simd {
@@ -95,5 +96,24 @@ void packed_matvec(const PackedMatrix& m, const double* x, double* y);
 /// batched run is bit-identical to its serial twin.
 void panel_matvec(const PackedMatrix& m, const double* x, std::size_t width,
                   double* out);
+
+/// Sparse gather dot product: sum_p vals[p] * x[idx[p]] under the same
+/// virtual-lane contract as matvec() — term p joins column class p % 4
+/// via a correctly rounded fma and the classes reduce as
+/// (s0 + s2) + (s1 + s3). The sparse triangular solves run on this.
+/// Indices are int32 so AVX2 can feed them straight to vgatherdpd; the
+/// scalar and NEON twins walk the same class sequence with std::fma.
+double gather_dot(const double* vals, const std::int32_t* idx,
+                  std::size_t nnz, const double* x);
+
+/// Panel twin of gather_dot for K lockstep lanes: lane k computes
+/// sum_p vals[p] * x[idx[p] * width + k] and writes it to out[k]. Lane
+/// arithmetic is exactly gather_dot()'s operation sequence on that
+/// lane's column, so a batched sparse solve is bit-identical to its
+/// serial twin. `width` must be a multiple of kLaneWidth (panels are
+/// padded to the SIMD stride).
+void panel_gather_dot(const double* vals, const std::int32_t* idx,
+                      std::size_t nnz, const double* x, std::size_t width,
+                      double* out);
 
 }  // namespace hydra::thermal::simd

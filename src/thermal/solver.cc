@@ -37,8 +37,21 @@ void steady_state_into(const LuFactorization& g_lu, const Vector& power,
   for (double& t : out) t += ambient.value();
 }
 
+void steady_state_into(const SparseCholesky& g_chol, const Vector& power,
+                       util::Celsius ambient, Vector& out, Vector& work) {
+  if (power.size() != g_chol.size()) {
+    throw std::invalid_argument("power vector size mismatch");
+  }
+  out.resize(g_chol.size());
+  work.resize(g_chol.size());
+  g_chol.solve_into(power.data(), out.data(), work.data());
+  for (double& t : out) t += ambient.value();
+}
+
 LuCache::LuCache(const RcNetwork& net)
-    : g_(net.conductance_matrix()), capacitance_(net.size()) {
+    : g_(net.conductance_matrix()),
+      g_csr_(net.conductance_csr()),
+      capacitance_(net.size()) {
   for (std::size_t i = 0; i < capacitance_.size(); ++i) {
     capacitance_[i] = net.capacitance(i).value();
   }
@@ -114,6 +127,50 @@ const FusedStepOperator& LuCache::fused(double dt) const {
   return *it->second;
 }
 
+const SparseStepOperator& LuCache::sparse(double dt) const {
+  const util::LockGuard lock(mu_);
+  auto it = sparse_cache_.find(dt);
+  if (it == sparse_cache_.end()) {
+    static const obs::Counter builds =
+        obs::metrics().counter("thermal.sparse_operator_builds");
+    builds.add();
+    const obs::ScopedSpan span(obs::tracer(), "thermal", "sparse_factorize",
+                               "sparse_be");
+    const std::size_t n = capacitance_.size();
+    // Assemble C/dt + G directly in CSR: copy the G structure and add
+    // the capacitive term on the (always present) diagonal entries.
+    CsrMatrix a = g_csr_;
+    Vector c_over_dt(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c_over_dt[i] = capacitance_[i] / dt;
+      for (std::size_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+        if (static_cast<std::size_t>(a.col_idx[p]) == i) {
+          a.values[p] += c_over_dt[i];
+          break;
+        }
+      }
+    }
+    it = sparse_cache_
+             .emplace(dt, std::make_unique<SparseStepOperator>(
+                              SparseCholesky(a), std::move(c_over_dt)))
+             .first;
+  }
+  return *it->second;
+}
+
+const SparseCholesky& LuCache::steady_sparse() const {
+  const util::LockGuard lock(mu_);
+  if (!steady_chol_) {
+    static const obs::Counter builds =
+        obs::metrics().counter("thermal.sparse_operator_builds");
+    builds.add();
+    const obs::ScopedSpan span(obs::tracer(), "thermal", "sparse_factorize",
+                               "steady");
+    steady_chol_ = std::make_unique<SparseCholesky>(g_csr_);
+  }
+  return *steady_chol_;
+}
+
 TransientSolver::TransientSolver(const RcNetwork& net, util::Celsius ambient,
                                  Scheme scheme,
                                  std::shared_ptr<const LuCache> lu_cache)
@@ -133,7 +190,10 @@ TransientSolver::TransientSolver(const RcNetwork& net, util::Celsius ambient,
       tmp_(net.size()),
       flow_(net.size()),
       rise_pad_(simd::padded_size(net.size()), 0.0),
-      pow_pad_(simd::padded_size(net.size()), 0.0) {}
+      pow_pad_(simd::padded_size(net.size()), 0.0),
+      chol_work_(net.size()) {
+  use_sparse_ = scheme_ == Scheme::kFusedBE && use_sparse_step(net.size());
+}
 
 void TransientSolver::set_temperatures(const Vector& celsius) {
   if (celsius.size() != net_->size()) {
@@ -143,6 +203,18 @@ void TransientSolver::set_temperatures(const Vector& celsius) {
 }
 
 void TransientSolver::initialize_steady_state(const Vector& power) {
+  if (use_sparse_) {
+    // Same G, factorised sparsely; agrees with the dense steady solve
+    // to solver round-off (sparse_test bounds it). A factorisation
+    // failure (never expected — G is SPD by construction) falls back to
+    // the dense path rather than failing the run.
+    try {
+      steady_state_into(lu_cache_->steady_sparse(), power,
+                        util::Celsius(ambient_), celsius_, chol_work_);
+      return;
+    } catch (const std::exception&) {
+    }
+  }
   celsius_ = steady_state(lu_cache_->steady(), power, util::Celsius(ambient_));
 }
 
@@ -158,7 +230,11 @@ void TransientSolver::step(const Vector& power, util::Seconds dt) {
       step_backward_euler(power, dt.value());
       break;
     case Scheme::kFusedBE:
-      step_fused_be(power, dt.value());
+      if (use_sparse_) {
+        step_sparse_be(power, dt.value());
+      } else {
+        step_fused_be(power, dt.value());
+      }
       break;
     case Scheme::kRk4:
       step_rk4(power, dt.value());
@@ -228,6 +304,72 @@ void TransientSolver::step_fused_be(const Vector& power, double dt) {
     tmp_[i] = rise;
     // !(|rise| < bound) also catches NaN (any comparison is false).
     if (!(std::abs(rise) < kMaxPlausibleRise)) ok = false;
+  }
+  if (ok) {
+    for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + tmp_[i];
+    return;
+  }
+  ++fused_guard_trips_;
+  fused_disabled_ = true;
+  static const obs::Counter guard_trips =
+      obs::metrics().counter("thermal.fused_guard_trips");
+  guard_trips.add();
+  step_backward_euler(power, dt_in);
+}
+
+void TransientSolver::step_sparse_be(const Vector& power, double dt) {
+  // Mirror of step_fused_be's guard/fallback protocol on the sparse
+  // substitution path: after a trip (or a failed factorisation) the
+  // operator is suspect for good — stay on the reference LU scheme.
+  if (fused_disabled_) {
+    step_backward_euler(power, dt);
+    return;
+  }
+  static const obs::Counter sparse_steps =
+      obs::metrics().counter("thermal.sparse_be_steps");
+  sparse_steps.add();
+  const std::size_t n = net_->size();
+  const double dt_in = dt;
+  dt = round_step_dt(dt);
+  if (last_sparse_ == nullptr || dt != last_sparse_dt_) {
+    const SparseStepOperator* op = nullptr;
+    try {
+      op = &lu_cache_->sparse(dt);
+    } catch (const std::exception&) {
+      op = nullptr;
+    }
+    if (op == nullptr) {
+      ++fused_guard_trips_;
+      fused_disabled_ = true;
+      static const obs::Counter guard_trips =
+          obs::metrics().counter("thermal.fused_guard_trips");
+      guard_trips.add();
+      step_backward_euler(power, dt_in);
+      return;
+    }
+    last_sparse_ = op;
+    last_sparse_dt_ = dt;
+  }
+  // rhs = (C/dt) rise + P, then one LDL^T substitution — all scratch
+  // preallocated, so the steady-state path allocates nothing. The
+  // explicit fma keeps the rhs arithmetic identical to the batched
+  // panel stepper's (bit-identity depends on it; the compiler may or
+  // may not contract a * b + c on its own).
+  const Vector& c_over_dt = last_sparse_->c_over_dt;
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs_[i] = std::fma(c_over_dt[i], celsius_[i] - ambient_, power[i]);
+  }
+  last_sparse_->chol.solve_into(rhs_.data(), tmp_.data(), chol_work_.data());
+  if (inject_fused_fault_) {
+    inject_fused_fault_ = false;
+    tmp_[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Same validate-in-scratch protocol as the fused step: a rejected
+  // candidate leaves celsius_ untouched and LU recomputes the step.
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    // !(|rise| < bound) also catches NaN (any comparison is false).
+    if (!(std::abs(tmp_[i]) < kMaxPlausibleRise)) ok = false;
   }
   if (ok) {
     for (std::size_t i = 0; i < n; ++i) celsius_[i] = ambient_ + tmp_[i];

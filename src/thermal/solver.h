@@ -9,6 +9,7 @@
 #include "thermal/linalg.h"
 #include "thermal/rc_network.h"
 #include "thermal/simd.h"
+#include "thermal/sparse.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 #include "util/units.h"
@@ -32,6 +33,13 @@ Vector steady_state(const LuFactorization& g_lu, const Vector& power,
 /// first use, reused afterwards). `out` must not alias `power`.
 void steady_state_into(const LuFactorization& g_lu, const Vector& power,
                        util::Celsius ambient, Vector& out);
+
+/// Sparse twin against a Cholesky factor of G (LuCache::steady_sparse).
+/// `work` is solver scratch (resized on first use); neither `out` nor
+/// `work` may alias `power`. Agrees with the dense overloads to
+/// solver round-off (sparse_test bounds it).
+void steady_state_into(const SparseCholesky& g_chol, const Vector& power,
+                       util::Celsius ambient, Vector& out, Vector& work);
 
 /// Integration scheme for the transient solver.
 enum class Scheme {
@@ -60,6 +68,20 @@ struct FusedStepOperator {
   /// FMA. Values agree with m/n bit for bit; padding is exact zeros.
   simd::PackedMatrix pm;
   simd::PackedMatrix pn;
+};
+
+/// Sparse backward-Euler step state for one (rounded) dt: the LDL^T
+/// factor of C/dt + G plus the C/dt diagonal that forms the right-hand
+/// side. Each step is rhs = (C/dt) rise + P followed by one sparse
+/// substitution — O(nnz(L)) where the fused path is O(n^2) — at the
+/// cost of a sequential (not panel-free) dependency chain, which is why
+/// small models keep the dense path (see sparse.h, use_sparse_step).
+struct SparseStepOperator {
+  SparseCholesky chol;
+  Vector c_over_dt;
+
+  SparseStepOperator(SparseCholesky&& c, Vector cd)
+      : chol(std::move(c)), c_over_dt(std::move(cd)) {}
 };
 
 /// Round dt to 3 significant figures so DVS-induced variation in the
@@ -103,17 +125,35 @@ class LuCache {
   /// on first use from the same (C/dt + G) matrix as backward_euler().
   const FusedStepOperator& fused(double dt) const;
 
+  /// Sparse LDL^T step operator for the given *already rounded* dt [s]:
+  /// the factor of C/dt + G assembled in CSR (the dense matrix is never
+  /// formed). Throws std::runtime_error if the factorisation fails —
+  /// callers fall back to the dense LU path.
+  const SparseStepOperator& sparse(double dt) const;
+
+  /// Sparse Cholesky factor of G itself, for steady-state solves on the
+  /// sparse path.
+  const SparseCholesky& steady_sparse() const;
+
+  /// The CSR assembly of G this cache factorises from (tests compare it
+  /// to the dense conductance_matrix()).
+  const CsrMatrix& conductance_csr() const { return g_csr_; }
+
  private:
   Matrix g_;
+  CsrMatrix g_csr_;
   Vector capacitance_;
   /// Guards lazy construction only: the returned factorisations and
   /// operators are immutable once built, so callers solve against the
   /// references lock-free.
   mutable util::Mutex mu_;
   mutable std::unique_ptr<LuFactorization> steady_lu_ HYDRA_GUARDED_BY(mu_);
+  mutable std::unique_ptr<SparseCholesky> steady_chol_ HYDRA_GUARDED_BY(mu_);
   mutable std::map<double, std::unique_ptr<LuFactorization>> be_cache_
       HYDRA_GUARDED_BY(mu_);
   mutable std::map<double, std::unique_ptr<FusedStepOperator>> fused_cache_
+      HYDRA_GUARDED_BY(mu_);
+  mutable std::map<double, std::unique_ptr<SparseStepOperator>> sparse_cache_
       HYDRA_GUARDED_BY(mu_);
 };
 
@@ -148,21 +188,29 @@ class TransientSolver {
   }
   util::Celsius ambient() const { return util::Celsius(ambient_); }
 
-  /// Times the fused-BE guard rejected a step (NaN/Inf or divergence)
-  /// and fell back to the reference LU path. After the first trip the
-  /// solver stays on LU for its lifetime — the fused operator is
-  /// suspect, and LU is the scheme it was validated against.
+  /// Times the fast-path guard (fused or sparse) rejected a step
+  /// (NaN/Inf or divergence) and fell back to the reference LU path.
+  /// After the first trip the solver stays on LU for its lifetime — the
+  /// step operator is suspect, and LU is the scheme it was validated
+  /// against.
   std::uint64_t fused_guard_trips() const { return fused_guard_trips_; }
 
-  /// Test seam: poison the next fused-BE step's candidate update with a
-  /// NaN, as a corrupted step operator would. The guard must catch it,
-  /// fall back to LU within the same step, and keep the run's results
-  /// identical to a pure-LU twin (recovery_test asserts this).
+  /// Test seam: poison the next fast-path step's candidate update with
+  /// a NaN, as a corrupted step operator would. The guard must catch
+  /// it, fall back to LU within the same step, and keep the run's
+  /// results identical to a pure-LU twin (recovery_test asserts this;
+  /// sparse_test asserts the sparse-path twin).
   void inject_fused_fault_for_test() { inject_fused_fault_ = true; }
+
+  /// True when Scheme::kFusedBE steps route through the sparse LDL^T
+  /// substitution for this model size (sparse.h, use_sparse_step —
+  /// resolved once at construction).
+  bool sparse_path() const { return use_sparse_; }
 
  private:
   void step_backward_euler(const Vector& power, double dt);
   void step_fused_be(const Vector& power, double dt);
+  void step_sparse_be(const Vector& power, double dt);
   void step_rk4(const Vector& power, double dt);
   void derivative_into(const Vector& rise, const Vector& power, Vector& d);
 
@@ -178,7 +226,13 @@ class TransientSolver {
   const LuFactorization* last_lu_ = nullptr;
   double last_fused_dt_ = 0.0;
   const FusedStepOperator* last_fused_ = nullptr;
-  // Fused-BE numerical guard state (see step_fused_be).
+  double last_sparse_dt_ = 0.0;
+  const SparseStepOperator* last_sparse_ = nullptr;
+  /// kFusedBE routes through the sparse path for this model (decided
+  /// once at construction from the HYDRA_SPARSE policy + node count).
+  bool use_sparse_ = false;
+  // Fast-path numerical guard state, shared by the fused and sparse
+  // steps (see step_fused_be / step_sparse_be).
   std::uint64_t fused_guard_trips_ = 0;
   bool fused_disabled_ = false;
   bool inject_fused_fault_ = false;
@@ -190,6 +244,8 @@ class TransientSolver {
   // stride with the tail zeroed once, so the SIMD inner loop never
   // needs a tail pass (padding terms are exact fma no-ops).
   Vector rise_pad_, pow_pad_;
+  // Substitution scratch for the sparse step/steady solves.
+  Vector chol_work_;
 };
 
 }  // namespace hydra::thermal

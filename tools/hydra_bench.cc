@@ -43,6 +43,7 @@
 #include "thermal/batch.h"
 #include "thermal/simd.h"
 #include "thermal/solver.h"
+#include "thermal/sparse.h"
 #include "util/units.h"
 #include "util/config.h"
 #include "util/json.h"
@@ -145,29 +146,43 @@ double batched_lane_throughput(const sim::SimConfig& cfg, long long steps) {
              : 0.0;
 }
 
-/// Many-core die throughput: one 8-core MulticoreSystem run with the
+struct MulticoreBench {
+  double core_steps_per_second = 0.0;
+  std::size_t nodes = 0;     ///< die RC node count (drives sparse dispatch)
+  bool sparse_path = false;  ///< thermal steps route through sparse LDL^T
+};
+
+/// Many-core die throughput: one 16-core MulticoreSystem run with the
 /// full DTM family active (per-core DVS + thread migration + budget
 /// arbiter), reported as aggregate core-cycles stepped per wall-second.
+/// 16 cores puts the 298-node die past the dense/sparse crossover, so
+/// this number exercises the sparse substitution path end to end (the
+/// warm run also caches the activity probe — the measured run is the
+/// steady-state interval loop, which is what regressions would hit).
 /// A 1-thread tile pool keeps the number host-size independent — the
 /// same convention as the 1-thread suite pass; bench_gate.py floors it
 /// against the baseline to catch regressions in the tiled interval loop.
-double multicore_core_steps_per_second(sim::SimConfig cfg) {
-  cfg.multicore.cores = 8;
+MulticoreBench multicore_core_steps_per_second(sim::SimConfig cfg) {
+  cfg.multicore.cores = 16;
   cfg.multicore.threads = 1;
-  cfg.multicore.workload_threads = 6;
+  cfg.multicore.workload_threads = 12;
   cfg.multicore.migration = true;
-  cfg.multicore.arbiter.die_budget = util::Watts(40.0);
+  cfg.multicore.arbiter.die_budget = util::Watts(80.0);
   sim::MulticoreSystem system(
       workload::spec2000_profile("crafty"), cfg,
       [cfg] { return sim::make_policy(sim::PolicyKind::kHybrid, {}, cfg); },
       "hyb");
-  system.run();  // warm: model build, LU factorisation, tile buffers
+  system.run();  // warm: model build, factorisations, probe frames
   const auto start = std::chrono::steady_clock::now();
   const sim::MulticoreResult result = system.run();
   const double elapsed = seconds_since(start);
-  return elapsed > 0.0
-             ? static_cast<double>(result.aggregate.cycles) / elapsed
-             : 0.0;
+  MulticoreBench bench;
+  bench.core_steps_per_second =
+      elapsed > 0.0 ? static_cast<double>(result.aggregate.cycles) / elapsed
+                    : 0.0;
+  bench.nodes = sim::ModelCache::global().get(cfg)->model.network.size();
+  bench.sparse_path = thermal::use_sparse_step(bench.nodes);
+  return bench;
 }
 
 struct SuiteBench {
@@ -239,9 +254,11 @@ int main(int argc, char** argv) {
                 thermal::simd::backend_name(
                     thermal::simd::active_backend()));
 
-    std::printf("hydra_bench: 8-core die throughput...\n");
-    const double multicore_steps = multicore_core_steps_per_second(cfg);
-    std::printf("  %.0f core-steps/sec (8 tiles, serial)\n", multicore_steps);
+    std::printf("hydra_bench: 16-core die throughput...\n");
+    const MulticoreBench multicore = multicore_core_steps_per_second(cfg);
+    std::printf("  %.0f core-steps/sec (16 tiles, serial, %s path)\n",
+                multicore.core_steps_per_second,
+                multicore.sparse_path ? "sparse" : "dense");
 
     std::printf("hydra_bench: repeated System::run() allocations...\n");
     const std::uint64_t system_allocs = system_allocs_per_run(cfg);
@@ -293,7 +310,14 @@ int main(int argc, char** argv) {
     w.key("solver_steps_per_second").value(solver.steps_per_second);
     w.key("solver_fused_steps_per_second").value(fused.steps_per_second);
     w.key("batched_lane_steps_per_second").value(batched_lane_steps);
-    w.key("multicore_core_steps_per_second").value(multicore_steps);
+    w.key("multicore_core_steps_per_second")
+        .value(multicore.core_steps_per_second);
+    w.key("multicore_nodes")
+        .value(static_cast<unsigned long long>(multicore.nodes));
+    w.key("sparse_path").value(multicore.sparse_path);
+    w.key("sparse_crossover_nodes")
+        .value(static_cast<unsigned long long>(
+            thermal::sparse_crossover_nodes()));
     w.key("solver_steps_measured").value(solver_steps);
     w.key("solver_allocs_per_step")
         .value(static_cast<double>(solver.allocs) /
